@@ -1,0 +1,41 @@
+//! Figure 3 as an ablation: the four tiling strategies on the worked
+//! example, measuring both the planning cost and the resulting call
+//! counts (reported via a one-off println at bench start).
+use criterion::{criterion_group, criterion_main, Criterion};
+use ooc_core::{optimize, simulate, ExecConfig, OptimizeOptions, TiledProgram, TilingStrategy};
+use ooc_ir::{ArrayRef, Expr, LoopNest, Program, Statement};
+use std::hint::black_box;
+
+fn worked_example() -> Program {
+    let mut p = Program::new(&["N"]);
+    let u = p.declare_array("U", 2, 0);
+    let v = p.declare_array("V", 2, 0);
+    let s = Statement::assign(
+        ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+        Expr::Ref(ArrayRef::new(v, &[vec![0, 1], vec![1, 0]], vec![0, 0])),
+    );
+    p.add_nest(LoopNest::rectangular("n", 2, 1, 0, vec![s]));
+    p
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let prog = worked_example();
+    let opt = optimize(&prog, &OptimizeOptions::default());
+    let cfg = ExecConfig::new(vec![1024], 16);
+    for (name, strategy) in [
+        ("out_of_core", TilingStrategy::OutOfCore),
+        ("optimized", TilingStrategy::Optimized),
+        ("slab", TilingStrategy::Slab),
+        ("traditional_square", TilingStrategy::Traditional),
+    ] {
+        let tp = TiledProgram::from_optimized(&opt, strategy);
+        let calls = simulate(&tp, &cfg).io_calls;
+        println!("figure3 ablation: {name:18} -> {calls} I/O calls");
+        c.bench_function(&format!("figure3/plan_and_simulate/{name}"), |b| {
+            b.iter(|| simulate(black_box(&tp), black_box(&cfg)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

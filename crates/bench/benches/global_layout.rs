@@ -1,0 +1,34 @@
+//! Ablation: greedy layout propagation (§3) versus the exact global
+//! layout search (§5's proposed future work).
+use criterion::{criterion_group, criterion_main, Criterion};
+use ooc_core::{modeled_program_cost, optimize, optimize_global, GlobalOptions, OptimizeOptions};
+use ooc_kernels::kernel_by_name;
+use std::hint::black_box;
+
+fn bench_global(c: &mut Criterion) {
+    for name in ["trans", "gfunp", "mat"] {
+        let k = kernel_by_name(name).expect("kernel");
+        let opts = OptimizeOptions::default();
+        let gopts = GlobalOptions::default();
+        // Report the modeled costs once.
+        let greedy = optimize(&k.program, &opts);
+        let global = optimize_global(&k.program, &gopts);
+        println!(
+            "global-layout ablation {name:8}: greedy {:.3}, global {:.3} \
+             ({} assignments{})",
+            modeled_program_cost(&k.program, &greedy, &opts),
+            global.modeled_cost,
+            global.assignments_searched,
+            if global.fell_back { ", fell back" } else { "" },
+        );
+        c.bench_function(&format!("global_layout/greedy/{name}"), |b| {
+            b.iter(|| optimize(black_box(&k.program), &opts))
+        });
+        c.bench_function(&format!("global_layout/exact/{name}"), |b| {
+            b.iter(|| optimize_global(black_box(&k.program), &gopts))
+        });
+    }
+}
+
+criterion_group!(benches, bench_global);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the exact linear algebra that every compiler
+//! decision rests on.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ooc_linalg::{
+    complete_last_column, completion_candidates, column_hnf, Matrix, Polyhedron,
+};
+use std::hint::black_box;
+
+fn bench_matrix_ops(c: &mut Criterion) {
+    let m4 = Matrix::from_i64(4, 4, &[2, 1, 0, 3, 0, 1, 4, 1, 5, 0, 1, 2, 1, 1, 0, 1]);
+    c.bench_function("matrix/inverse_4x4", |b| {
+        b.iter(|| black_box(&m4).inverse())
+    });
+    c.bench_function("matrix/determinant_4x4", |b| {
+        b.iter(|| black_box(&m4).determinant())
+    });
+    let rect = Matrix::from_i64(2, 4, &[1, 0, 2, 1, 0, 1, 1, 3]);
+    c.bench_function("matrix/integer_nullspace_2x4", |b| {
+        b.iter(|| black_box(&rect).integer_nullspace())
+    });
+    c.bench_function("matrix/hnf_4x4", |b| b.iter(|| column_hnf(black_box(&m4))));
+}
+
+fn bench_completion(c: &mut Criterion) {
+    c.bench_function("completion/last_column_depth4", |b| {
+        b.iter(|| complete_last_column(black_box(&[1, 2, 3, 5])))
+    });
+    c.bench_function("completion/candidates_depth4_limit24", |b| {
+        b.iter(|| completion_candidates(black_box(&[1, 2, 3, 5]), 24))
+    });
+}
+
+fn bench_fourier_motzkin(c: &mut Criterion) {
+    // A 4-deep rectangular nest transformed by a skew: bounds via FM.
+    let mut p = Polyhedron::universe(4, 1);
+    for v in 0..4 {
+        p.add_var_range_param(v, 0);
+    }
+    let skew = Matrix::from_i64(
+        4,
+        4,
+        &[1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1],
+    );
+    let transformed = p.transform(&skew);
+    c.bench_function("fm/loop_bounds_depth4_skewed", |b| {
+        b.iter(|| black_box(&transformed).loop_bounds())
+    });
+}
+
+criterion_group!(benches, bench_matrix_ops, bench_completion, bench_fourier_motzkin);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 2's pipeline as a benchmark: compile + simulate one kernel
+//! version (reduced scale so Criterion can iterate).
+use criterion::{criterion_group, criterion_main, Criterion};
+use ooc_core::{simulate, ExecConfig};
+use ooc_kernels::{compile, kernel_by_name, Version};
+use std::hint::black_box;
+
+fn bench_versions(c: &mut Criterion) {
+    for name in ["trans", "mat", "adi"] {
+        let k = kernel_by_name(name).expect("kernel");
+        let params: Vec<i64> = k.paper_params.iter().map(|&n| (n / 16).max(8)).collect();
+        for v in Version::ALL {
+            let cv = compile(&k, v);
+            let mut cfg = ExecConfig::new(params.clone(), 16);
+            cfg.interleave = cv.interleave.clone();
+            c.bench_function(&format!("table2/{name}/{}", v.label()), |b| {
+                b.iter(|| simulate(black_box(&cv.tiled), black_box(&cfg)))
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_versions);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Table 3's pipeline as a benchmark: the same compiled kernel
+//! simulated across the paper's processor counts.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ooc_core::{simulate, ExecConfig};
+use ooc_kernels::{compile, kernel_by_name, Version};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let k = kernel_by_name("trans").expect("kernel");
+    let cv = compile(&k, Version::COpt);
+    for procs in [1usize, 16, 32, 64, 128] {
+        let cfg = ExecConfig::new(vec![512], procs);
+        c.bench_function(&format!("table3/trans_c_opt/{procs}procs"), |b| {
+            b.iter(|| simulate(black_box(&cv.tiled), black_box(&cfg)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

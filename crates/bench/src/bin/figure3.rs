@@ -1,0 +1,55 @@
+//! Regenerates Figure 3 of the paper: traditional tiling (square
+//! tiles, innermost loop tiled) versus out-of-core tiling (innermost
+//! loop untiled) — same memory, fewer I/O calls.
+//!
+//! The paper's setting: the §3.1 two-nest example, 8x8 arrays, 32
+//! elements of memory, at most 8 elements per I/O call.
+use ooc_runtime::{summary_cost, FileLayout, MemoryBudget, Region};
+
+fn main() {
+    println!("Figure 3: different tile access patterns\n");
+    let dims = [8i64, 8];
+    let budget = MemoryBudget::new(32);
+    let per_array = budget.per_array(2);
+    let max_call_elems = 8;
+    println!(
+        "memory = {} elements across 2 arrays ({} each); max {} elements per I/O call\n",
+        budget.capacity(),
+        per_array,
+        max_call_elems
+    );
+
+    // (a) Traditional tiling: both loops tiled -> square 4x4 tiles.
+    println!("(a) traditional tiling - 4x4 tiles (innermost loop tiled):");
+    for (name, layout) in [
+        ("row-major   ", FileLayout::row_major(2)),
+        ("column-major", FileLayout::col_major(2)),
+    ] {
+        let tile = Region::new(vec![1, 1], vec![4, 4]);
+        let cost = summary_cost(layout.region_run_summary(&dims, &tile), max_call_elems);
+        println!(
+            "    {name}: reading a 4x4 tile = {} I/O calls for {} elements",
+            cost.calls, cost.elements
+        );
+    }
+
+    // (b) Out-of-core tiling: innermost untiled -> 2x8 slabs.
+    println!("\n(b) out-of-core tiling - 2x8 tiles (innermost loop NOT tiled):");
+    for (name, layout) in [
+        ("row-major   ", FileLayout::row_major(2)),
+        ("column-major", FileLayout::col_major(2)),
+    ] {
+        let tile = Region::new(vec![1, 1], vec![2, 8]);
+        let cost = summary_cost(layout.region_run_summary(&dims, &tile), max_call_elems);
+        println!(
+            "    {name}: reading a 2x8 tile = {} I/O calls for {} elements",
+            cost.calls, cost.elements
+        );
+    }
+
+    println!(
+        "\nSame in-core memory either way; matching the tile shape to the file\n\
+         layout turns 4 calls of 4 elements into 2 calls of 8 elements -- the\n\
+         paper's motivation for never tiling the (stride-1) innermost loop."
+    );
+}

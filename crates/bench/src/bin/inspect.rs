@@ -1,0 +1,38 @@
+//! Developer tool: per-version diagnostics for one kernel.
+//!
+//! Usage: `inspect <kernel> [procs] [scale-divisor]`
+use ooc_core::{simulate, ExecConfig};
+use ooc_kernels::{compile, kernel_by_name, Version};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "trans".into());
+    let procs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let scale: i64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let k = kernel_by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown kernel `{name}`");
+        std::process::exit(2);
+    });
+    let params: Vec<i64> = k.paper_params.iter().map(|&n| (n / scale).max(8)).collect();
+    println!("kernel {} params={:?} procs={}", k.name, params, procs);
+    for v in Version::ALL {
+        let cv = compile(&k, v);
+        let mut cfg = ExecConfig::new(params.clone(), procs);
+        cfg.interleave = cv.interleave.clone();
+        let r = simulate(&cv.tiled, &cfg);
+        println!(
+            "{:6} calls={:>10} MB={:>10.1} tiles={:>8} time={:>10.2}  layouts={}",
+            v.label(),
+            r.io_calls,
+            r.io_bytes as f64 / 1e6,
+            r.tile_steps,
+            r.result.total_time,
+            cv.tiled
+                .layouts
+                .iter()
+                .enumerate()
+                .map(|(a, l)| format!("{}:{:?}", cv.tiled.program.arrays[a].name, l))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates Table 1 of the paper: the benchmark programs and their
+//! array inventories.
+use ooc_kernels::all_kernels;
+
+fn main() {
+    println!("Table 1: Programs used in our experiments.");
+    println!("{:-<78}", "");
+    println!("{:8} {:10} {:>4}  arrays", "program", "source", "iter");
+    println!("{:-<78}", "");
+    for k in all_kernels() {
+        let mut by_rank = std::collections::BTreeMap::new();
+        for a in &k.program.arrays {
+            *by_rank.entry(a.rank()).or_insert(0usize) += 1;
+        }
+        let arrays = by_rank
+            .iter()
+            .map(|(rank, count)| format!("{count} {rank}-D"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("{:8} {:10} {:>4}  {}", k.name, k.source, k.iterations, arrays);
+    }
+    println!("{:-<78}", "");
+    println!("(paper-scale data per kernel:)");
+    for k in all_kernels() {
+        println!(
+            "  {:8} params={:?}  {:>8.1} MB out-of-core",
+            k.name,
+            k.paper_params,
+            k.paper_bytes() as f64 / 1e6
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates Table 2 of the paper: execution time of the six program
+//! versions of every kernel on 16 processors (col in seconds, the
+//! rest as a percentage of col), side by side with the published
+//! numbers.
+//!
+//! Usage: `table2 [scale] [procs]`
+//!   scale — divide every paper array extent by this (default 1 =
+//!           full paper scale; use 4 for a quick run)
+//!   procs — compute processors (default 16, the paper's Table 2)
+use ooc_bench::{paper_table2, run_table2};
+
+fn main() {
+    let scale: i64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let procs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    eprintln!("running Table 2 at 1/{scale} scale on {procs} simulated processors...");
+    let rows = run_table2(procs, scale);
+    let paper = paper_table2();
+
+    println!("Table 2: Experimental results on {procs} nodes (measured | paper).");
+    println!("{:-<108}", "");
+    println!(
+        "{:8} {:>10} {:>13} {:>13} {:>13} {:>13} {:>13}",
+        "program", "col (s)", "row", "l-opt", "d-opt", "c-opt", "h-opt"
+    );
+    println!("{:-<108}", "");
+    let mut sums = [0.0f64; 5];
+    let mut paper_sums = [0.0f64; 5];
+    for row in &rows {
+        let pref = paper.iter().find(|(k, ..)| *k == row.kernel);
+        print!("{:8} {:>10.2}", row.kernel, row.col_seconds());
+        for i in 1..6 {
+            let measured = row.percent_of_col(i);
+            sums[i - 1] += measured;
+            let ppr = pref.map_or(f64::NAN, |(_, _, r)| r[i - 1]);
+            paper_sums[i - 1] += if ppr.is_nan() { 0.0 } else { ppr };
+            print!(" {:>6.1}|{:<6.1}", measured, ppr);
+        }
+        println!();
+    }
+    println!("{:-<108}", "");
+    print!("{:8} {:>10}", "average:", "");
+    for i in 0..5 {
+        print!(" {:>6.1}|{:<6.1}", sums[i] / rows.len() as f64, paper_sums[i] / rows.len() as f64);
+    }
+    println!();
+    println!();
+    println!("(columns show measured% | paper% of the col baseline)");
+
+    // Machine-readable dump for EXPERIMENTS.md regeneration.
+    if let Ok(path) = std::env::var("TABLE2_JSON") {
+        let json = serde_json::to_string_pretty(&rows).expect("serialize");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

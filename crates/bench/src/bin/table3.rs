@@ -1,0 +1,49 @@
+//! Regenerates Table 3 of the paper: speedups of every version of
+//! every kernel on 16/32/64/128 processors, relative to the same
+//! version on a single node.
+//!
+//! Usage: `table3 [scale]`
+use ooc_bench::{paper_table3_entry, run_table3, PAPER_TABLE3_KERNELS};
+
+fn main() {
+    let scale: i64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let procs = [16usize, 32, 64, 128];
+    eprintln!("running Table 3 at 1/{scale} scale (this sweeps 10 kernels x 6 versions x 5 processor counts)...");
+    let entries = run_table3(scale, &procs);
+
+    println!("Table 3: Results on scalability of different versions (measured | paper).");
+    println!("{:-<100}", "");
+    println!(
+        "{:10} {:7} {:>20} {:>20} {:>20} {:>20}",
+        "program", "version", "16", "32", "64", "128"
+    );
+    println!("{:-<100}", "");
+    for (kernel, label) in PAPER_TABLE3_KERNELS {
+        for version in ["col", "row", "l-opt", "d-opt", "c-opt", "h-opt"] {
+            let speedups: Vec<f64> = procs
+                .iter()
+                .map(|&p| {
+                    entries
+                        .iter()
+                        .find(|e| e.kernel == kernel && e.version == version && e.procs == p)
+                        .map_or(f64::NAN, |e| e.speedup)
+                })
+                .collect();
+            let paper = paper_table3_entry(kernel, version);
+            print!("{:10} {:7}", label, version);
+            for (i, s) in speedups.iter().enumerate() {
+                let ppr = paper.map_or(f64::NAN, |p| p[i]);
+                print!(" {:>9.1}|{:<9.1}", s, ppr);
+            }
+            println!();
+        }
+        println!("{:-<100}", "");
+    }
+    println!("(cells show measured speedup | paper speedup vs the same version on 1 node)");
+
+    if let Ok(path) = std::env::var("TABLE3_JSON") {
+        let json = serde_json::to_string_pretty(&entries).expect("serialize");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,21 @@
+//! # ooc-bench
+//!
+//! Experiment harnesses regenerating every table and figure of the
+//! paper's evaluation (§4), plus the Criterion micro-benchmarks.
+//!
+//! | paper artifact | binary | what it prints |
+//! |---|---|---|
+//! | Table 1 | `table1` | kernel inventory (source, iter, arrays) |
+//! | Table 2 | `table2` | per-version times on 16 nodes, % of `col` |
+//! | Table 3 | `table3` | speedups for 16/32/64/128 processors |
+//! | Figure 1 | `figure1` | normalization + connected components |
+//! | Figure 2 | `figure2` | file layouts and hyperplane vectors |
+//! | Figure 3 | `figure3` | tile access patterns and I/O call counts |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod reference;
+
+pub use experiments::{run_table2, run_table3, table2_row, Table2Cell, Table2Row, Table3Entry};
+pub use reference::{paper_table2, paper_table3_entry, PAPER_TABLE3_KERNELS};

@@ -1,0 +1,142 @@
+//! The paper's published numbers, for side-by-side comparison in the
+//! harness output and in `EXPERIMENTS.md`.
+
+/// Table 2 of the paper: `(kernel, col seconds, [row, l-opt, d-opt,
+/// c-opt, h-opt] as % of col)` on 16 processors.
+#[must_use]
+pub fn paper_table2() -> Vec<(&'static str, f64, [f64; 5])> {
+    vec![
+        ("mat", 257.20, [93.3, 65.1, 56.8, 60.8, 54.3]),
+        ("mxm", 220.01, [181.5, 100.0, 112.6, 79.8, 67.0]),
+        ("adi", 144.12, [134.9, 22.8, 46.5, 22.8, 22.8]),
+        ("vpenta", 135.00, [47.1, 100.0, 47.1, 47.1, 29.9]),
+        ("btrix", 91.45, [66.6, 100.0, 61.3, 61.3, 42.3]),
+        ("emit", 88.64, [176.5, 100.0, 100.0, 100.0, 100.0]),
+        ("syr2k", 215.34, [86.3, 52.0, 77.4, 52.0, 47.6]),
+        ("htribk", 248.61, [110.8, 127.2, 81.1, 81.1, 72.6]),
+        ("gfunp", 86.05, [128.4, 73.3, 68.0, 46.9, 34.0]),
+        ("trans", 181.90, [100.0, 100.0, 48.2, 48.2, 48.2]),
+    ]
+}
+
+/// The kernels whose scalability the paper details in Table 3 (with
+/// the decomposition suffix it prints, e.g. `mat.2`).
+pub const PAPER_TABLE3_KERNELS: [(&str, &str); 10] = [
+    ("mat", "mat.2"),
+    ("mxm", "mxm.2"),
+    ("adi", "adi.2"),
+    ("vpenta", "vpenta.6"),
+    ("btrix", "btrix.4"),
+    ("emit", "emit.3"),
+    ("syr2k", "syr2k.2"),
+    ("htribk", "htribk.2"),
+    ("gfunp", "gfunp.4"),
+    ("trans", "trans.2"),
+];
+
+/// Table 3 of the paper: speedup of `(kernel, version)` on
+/// 16/32/64/128 processors versus the same version on one node.
+/// Returns `None` for combinations the paper does not list.
+#[must_use]
+pub fn paper_table3_entry(kernel: &str, version: &str) -> Option<[f64; 4]> {
+    let t: &[(&str, &str, [f64; 4])] = &[
+        ("mat", "col", [10.9, 20.6, 34.8, 64.3]),
+        ("mat", "row", [11.0, 20.9, 35.6, 66.0]),
+        ("mat", "l-opt", [13.9, 27.6, 53.8, 100.4]),
+        ("mat", "d-opt", [14.5, 28.1, 55.0, 104.2]),
+        ("mat", "c-opt", [14.0, 27.7, 54.8, 102.7]),
+        ("mat", "h-opt", [15.2, 30.9, 60.9, 115.6]),
+        ("mxm", "col", [11.1, 21.2, 37.6, 70.0]),
+        ("mxm", "row", [8.2, 15.4, 30.0, 52.6]),
+        ("mxm", "l-opt", [11.1, 21.2, 37.6, 70.0]),
+        ("mxm", "d-opt", [9.7, 17.0, 32.1, 56.4]),
+        ("mxm", "c-opt", [13.7, 24.8, 56.4, 106.6]),
+        ("mxm", "h-opt", [13.7, 24.8, 56.1, 107.2]),
+        ("adi", "col", [12.0, 22.2, 51.2, 70.9]),
+        ("adi", "row", [6.89, 10.9, 18.6, 31.4]),
+        ("adi", "l-opt", [15.3, 28.2, 61.4, 107.5]),
+        ("adi", "d-opt", [13.8, 24.0, 55.5, 74.9]),
+        ("adi", "c-opt", [15.3, 28.2, 61.4, 107.5]),
+        ("adi", "h-opt", [15.3, 28.2, 61.4, 107.5]),
+        ("vpenta", "col", [10.0, 24.2, 51.3, 78.9]),
+        ("vpenta", "row", [14.5, 28.0, 60.9, 109.8]),
+        ("vpenta", "l-opt", [10.0, 24.2, 51.3, 78.9]),
+        ("vpenta", "d-opt", [14.5, 28.0, 60.9, 109.8]),
+        ("vpenta", "c-opt", [14.5, 28.0, 60.9, 109.8]),
+        ("vpenta", "h-opt", [14.7, 29.0, 62.4, 108.2]),
+        ("btrix", "col", [10.0, 18.1, 27.0, 42.7]),
+        ("btrix", "row", [12.9, 23.9, 45.8, 87.1]),
+        ("btrix", "l-opt", [10.0, 18.1, 27.0, 42.7]),
+        ("btrix", "d-opt", [13.9, 25.1, 46.2, 98.1]),
+        ("btrix", "c-opt", [13.9, 25.1, 46.2, 98.1]),
+        ("btrix", "h-opt", [13.1, 24.6, 44.3, 93.1]),
+        ("emit", "col", [12.7, 23.1, 45.0, 89.9]),
+        ("emit", "row", [6.8, 11.0, 18.5, 33.9]),
+        ("emit", "l-opt", [12.7, 23.1, 45.0, 89.9]),
+        ("emit", "d-opt", [12.7, 23.1, 45.0, 89.9]),
+        ("emit", "c-opt", [12.7, 23.1, 45.0, 89.9]),
+        ("emit", "h-opt", [12.7, 32.1, 45.0, 89.9]),
+        ("syr2k", "col", [10.3, 20.0, 36.5, 71.5]),
+        ("syr2k", "row", [11.7, 22.0, 38.9, 78.0]),
+        ("syr2k", "l-opt", [13.8, 26.8, 51.0, 95.1]),
+        ("syr2k", "d-opt", [12.5, 24.1, 45.6, 87.4]),
+        ("syr2k", "c-opt", [13.8, 26.8, 51.0, 95.1]),
+        ("syr2k", "h-opt", [14.1, 26.0, 51.0, 95.3]),
+        ("htribk", "col", [11.7, 20.3, 37.7, 76.6]),
+        ("htribk", "row", [9.5, 16.9, 30.0, 55.4]),
+        ("htribk", "l-opt", [8.8, 15.0, 24.3, 44.0]),
+        ("htribk", "d-opt", [11.9, 21.5, 37.9, 76.9]),
+        ("htribk", "c-opt", [11.9, 21.5, 37.9, 76.9]),
+        ("htribk", "h-opt", [12.1, 21.6, 40.1, 76.9]),
+        ("gfunp", "col", [10.9, 20.4, 38.4, 70.8]),
+        ("gfunp", "row", [9.5, 17.0, 32.6, 60.6]),
+        ("gfunp", "l-opt", [8.1, 15.7, 28.2, 52.2]),
+        ("gfunp", "d-opt", [14.0, 25.0, 56.0, 102.3]),
+        ("gfunp", "c-opt", [14.0, 25.0, 56.0, 102.3]),
+        ("gfunp", "h-opt", [14.5, 24.7, 57.0, 105.7]),
+        ("trans", "col", [13.0, 22.7, 31.6, 67.7]),
+        ("trans", "row", [13.0, 22.7, 31.6, 67.7]),
+        ("trans", "l-opt", [13.0, 22.7, 31.6, 67.7]),
+        ("trans", "d-opt", [15.4, 30.9, 60.2, 113.0]),
+        ("trans", "c-opt", [15.4, 30.9, 60.2, 113.0]),
+        ("trans", "h-opt", [15.4, 30.9, 60.2, 113.0]),
+    ];
+    t.iter()
+        .find(|(k, v, _)| *k == kernel && *v == version)
+        .map(|(_, _, s)| *s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reference_complete() {
+        let t = paper_table2();
+        assert_eq!(t.len(), 10);
+        // Paper's reported averages: 112.5 / 84.0 / 69.9 / 60.0 / 51.9.
+        let avgs: Vec<f64> = (0..5)
+            .map(|i| t.iter().map(|(_, _, r)| r[i]).sum::<f64>() / 10.0)
+            .collect();
+        assert!((avgs[0] - 112.54).abs() < 0.1, "row avg {}", avgs[0]);
+        assert!((avgs[1] - 84.04).abs() < 0.1, "l-opt avg {}", avgs[1]);
+        assert!((avgs[2] - 69.9).abs() < 0.1, "d-opt avg {}", avgs[2]);
+        assert!((avgs[3] - 60.04).abs() < 0.1, "c-opt avg {}", avgs[3]);
+        assert!((avgs[4] - 51.87).abs() < 0.1, "h-opt avg {}", avgs[4]);
+    }
+
+    #[test]
+    fn table3_reference_lookup() {
+        assert_eq!(
+            paper_table3_entry("mat", "c-opt"),
+            Some([14.0, 27.7, 54.8, 102.7])
+        );
+        assert_eq!(paper_table3_entry("nope", "col"), None);
+        // Every kernel/version pair present.
+        for (k, _) in PAPER_TABLE3_KERNELS {
+            for v in ["col", "row", "l-opt", "d-opt", "c-opt", "h-opt"] {
+                assert!(paper_table3_entry(k, v).is_some(), "{k}/{v} missing");
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The cost model used to order loop nests (Step 3.a).
+//!
+//! The paper orders the nests of a connected component by profiled
+//! cost. A profile is overkill for the ranking the algorithm needs:
+//! the dominant term of an out-of-core nest's cost is the number of
+//! I/O calls, which is the iteration volume divided by how many
+//! consecutive elements each call delivers. We estimate, per
+//! reference, the iteration volume scaled by a stride penalty under
+//! the current (or default) layouts.
+
+use crate::locality::{locality_under, movement_i64, Locality};
+use ooc_ir::{LoopNest, Program};
+use ooc_runtime::FileLayout;
+
+/// Relative weight of a reference with no innermost locality: every
+/// iteration costs a fresh I/O call's worth of latency.
+const MISS_PENALTY: f64 = 64.0;
+
+/// Relative weight of strided spatial locality (stride > 1).
+const STRIDE_PENALTY: f64 = 8.0;
+
+/// Estimated cost of one nest under the given per-array layouts
+/// (indexed by `ArrayId`); the absolute scale is meaningless, only
+/// the ranking matters.
+#[must_use]
+pub fn nest_cost(nest: &LoopNest, layouts: &[FileLayout], params: &[i64]) -> f64 {
+    let volume = nest.iteration_count(params);
+    let mut total = 0.0;
+    // Identity transformation: the innermost column is e_k.
+    let mut q_last = vec![0i64; nest.depth];
+    if nest.depth > 0 {
+        q_last[nest.depth - 1] = 1;
+    }
+    for r in nest.all_refs() {
+        let layout = &layouts[r.array.0];
+        let u = movement_i64(&r.access, &q_last).expect("integer movement");
+        let penalty = match locality_under(layout, &u) {
+            Locality::Temporal => 0.25,
+            Locality::Spatial(1) => 1.0,
+            Locality::Spatial(_) => STRIDE_PENALTY,
+            Locality::None => MISS_PENALTY,
+        };
+        total += volume * penalty;
+    }
+    total
+}
+
+/// Orders the given nests most-costly-first (stable for ties).
+#[must_use]
+pub fn order_by_cost(
+    prog: &Program,
+    nests: &[ooc_ir::NestId],
+    layouts: &[FileLayout],
+    params: &[i64],
+) -> Vec<ooc_ir::NestId> {
+    let mut scored: Vec<(f64, ooc_ir::NestId)> = nests
+        .iter()
+        .map(|&n| (nest_cost(prog.nest(n), layouts, params), n))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN costs").then(a.1.cmp(&b.1)));
+    scored.into_iter().map(|(_, n)| n).collect()
+}
+
+/// Default layouts (all column-major, the Fortran convention the
+/// paper's `col` baseline uses) for every array of a program.
+#[must_use]
+pub fn default_layouts(prog: &Program) -> Vec<FileLayout> {
+    prog.arrays
+        .iter()
+        .map(|a| FileLayout::col_major(a.rank()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_ir::{ArrayRef, Expr, LoopNest, NestId, Program, Statement};
+
+    fn prog_two_nests() -> Program {
+        let mut p = Program::new(&["N"]);
+        let u = p.declare_array("U", 2, 0);
+        let v = p.declare_array("V", 2, 0);
+        // Nest 0: U(i,j) = V(i,j) — column-major-hostile (row traversal).
+        let s0 = Statement::assign(
+            ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+            Expr::Ref(ArrayRef::new(v, &[vec![1, 0], vec![0, 1]], vec![0, 0])),
+        );
+        p.add_nest(LoopNest::rectangular("hot", 2, 1, 0, vec![s0]));
+        // Nest 1: a cheap 1-deep nest over V's first column.
+        let s1 = Statement::assign(
+            ArrayRef::new(v, &[vec![1], vec![0]], vec![0, 1]),
+            Expr::Const(0.0),
+        );
+        p.add_nest(LoopNest::rectangular("cold", 1, 1, 0, vec![s1]));
+        p
+    }
+
+    #[test]
+    fn hot_nest_ranks_first() {
+        let p = prog_two_nests();
+        let layouts = default_layouts(&p);
+        let order = order_by_cost(&p, &[NestId(0), NestId(1)], &layouts, &[64]);
+        assert_eq!(order[0], NestId(0));
+    }
+
+    #[test]
+    fn layout_changes_cost() {
+        let p = prog_two_nests();
+        let col = default_layouts(&p);
+        let row: Vec<FileLayout> = p.arrays.iter().map(|a| FileLayout::row_major(a.rank())).collect();
+        let nest = p.nest(NestId(0));
+        // The i-j traversal with innermost j favors row-major.
+        assert!(nest_cost(nest, &row, &[64]) < nest_cost(nest, &col, &[64]));
+    }
+
+    #[test]
+    fn cost_scales_with_volume() {
+        let p = prog_two_nests();
+        let layouts = default_layouts(&p);
+        let nest = p.nest(NestId(0));
+        let c64 = nest_cost(nest, &layouts, &[64]);
+        let c128 = nest_cost(nest, &layouts, &[128]);
+        assert!(c128 > 3.9 * c64 && c128 < 4.1 * c64);
+    }
+
+    #[test]
+    fn default_layouts_are_col_major() {
+        let p = prog_two_nests();
+        let l = default_layouts(&p);
+        assert_eq!(l[0], FileLayout::col_major(2));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn order_stable_for_equal_costs() {
+        let mut p = Program::new(&["N"]);
+        let a = p.declare_array("A", 2, 0);
+        let s = Statement::assign(
+            ArrayRef::new(a, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+            Expr::Const(0.0),
+        );
+        p.add_nest(LoopNest::rectangular("n0", 2, 1, 0, vec![s.clone()]));
+        p.add_nest(LoopNest::rectangular("n1", 2, 1, 0, vec![s]));
+        let layouts = default_layouts(&p);
+        let order = order_by_cost(&p, &[NestId(0), NestId(1)], &layouts, &[32]);
+        assert_eq!(order, vec![NestId(0), NestId(1)]);
+    }
+}

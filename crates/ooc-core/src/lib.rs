@@ -1,0 +1,84 @@
+//! # ooc-core
+//!
+//! The paper's contribution: a compiler that optimizes I/O-intensive
+//! (out-of-core) programs by combining non-singular loop
+//! transformations with file-layout (data) transformations, then
+//! applying out-of-core tiling.
+//!
+//! Pipeline (paper §3):
+//!
+//! 1. [`interference`] — bipartite nest/array graph, connected
+//!    components (Step 2).
+//! 2. [`cost`] — nest ordering by estimated I/O cost (Step 3.a).
+//! 3. [`locality`] — the hyperplane algebra: relations (1) and (2) of
+//!    Claim 1.
+//! 4. [`optimizer`] — the global algorithm (Steps 3.b–3.c) plus the
+//!    `d-opt` / `l-opt` comparison strategies.
+//! 5. [`tiling`] — out-of-core tiling (§3.3): tile all but the
+//!    innermost loop; plus traditional all-loops tiling for baselines.
+//! 6. [`exec`] — plan execution: functional (real data, small N) and
+//!    simulation (I/O call accounting + `pfs-sim` timing, paper-scale N).
+//! 7. [`storage`] — §3.4 storage-requirement reduction for general
+//!    data transformations.
+//! 8. [`global`] — the paper's §5 future work: exact global layout
+//!    assignment by branch-and-bound.
+//!
+//! # Example: the paper's worked example, end to end
+//!
+//! ```
+//! use ooc_core::{optimize, OptimizeOptions};
+//! use ooc_ir::{ArrayRef, Expr, LoopNest, Program, Statement};
+//! use ooc_runtime::FileLayout;
+//!
+//! // do i / do j: U(i,j) = V(j,i) + 1.0
+//! let mut p = Program::new(&["N"]);
+//! let u = p.declare_array("U", 2, 0);
+//! let v = p.declare_array("V", 2, 0);
+//! let stmt = Statement::assign(
+//!     ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+//!     Expr::Add(
+//!         Box::new(Expr::Ref(ArrayRef::new(v, &[vec![0, 1], vec![1, 0]], vec![0, 0]))),
+//!         Box::new(Expr::Const(1.0)),
+//!     ),
+//! );
+//! p.add_nest(LoopNest::rectangular("nest1", 2, 1, 0, vec![stmt]));
+//!
+//! let optimized = optimize(&p, &OptimizeOptions::default());
+//! assert_eq!(optimized.layouts[0], FileLayout::row_major(2)); // U
+//! assert_eq!(optimized.layouts[1], FileLayout::col_major(2)); // V
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod cost;
+pub mod exec;
+pub mod global;
+pub mod interference;
+pub mod locality;
+pub mod optimizer;
+pub mod report;
+pub mod storage;
+pub mod tiling;
+
+pub use codegen::{render_tiled_nest, render_tiled_program};
+pub use cost::{default_layouts, nest_cost, order_by_cost};
+pub use interference::{Component, InterferenceGraph};
+pub use locality::{
+    dim_order_for, innermost_candidates, layouts_for_2d, locality_under, loop_constraint_rows,
+    movement, movement_i64, Locality,
+};
+pub use exec::{
+    build_workload, max_divergence_from_reference, run_functional, simulate, ExecConfig, SimReport,
+};
+pub use global::{layout_candidates, optimize_global, GlobalOptions, GlobalResult};
+pub use optimizer::{
+    best_transform_for, modeled_program_cost, optimize, optimize_data_only, optimize_loop_only,
+    OptimizeOptions, OptimizedProgram,
+};
+pub use report::{optimization_report, NestReport, OptimizationReport, RefReport};
+pub use storage::{bounding_box, reduce_storage, StorageReduction};
+pub use tiling::{
+    access_classes, array_region, choose_tile_span, class_region, level_spans, plan_spans,
+    ref_region, spans_io_cost, tile_footprint, IoWeights, TiledNest, TiledProgram, TilingStrategy,
+};

@@ -1,0 +1,702 @@
+//! Step (3) of the paper: the global locality optimizer combining
+//! loop (iteration-space) and data (file-layout) transformations.
+//!
+//! Per connected component of the interference graph:
+//!
+//! 1. order the nests by estimated cost (most expensive first);
+//! 2. optimize the costliest nest with **data transformations only**
+//!    — relation (1) fixes a layout per referenced array;
+//! 3. for every remaining nest, derive the innermost column of the
+//!    inverse loop transformation from the already-fixed layouts
+//!    (relation (2)), complete it to a full unimodular matrix
+//!    (Bik–Wijshoff) subject to dependence legality, apply it, then
+//!    fix the layouts of the arrays still free (relation (1) again)
+//!    and propagate.
+//!
+//! The same machinery also produces the paper's comparison versions:
+//! [`optimize_data_only`] (`d-opt`) never transforms loops and
+//! [`optimize_loop_only`] (`l-opt`) never changes layouts.
+
+use crate::cost::{default_layouts, order_by_cost};
+use crate::interference::InterferenceGraph;
+use crate::tiling::{plan_spans, spans_io_cost, IoWeights, TilingStrategy};
+use crate::locality::{
+    dim_order_for, innermost_candidates, layouts_for_2d, locality_under, loop_constraint_rows,
+    movement_i64,
+};
+use ooc_ir::{nest_dependences, transformation_preserves, LoopNest, Program};
+use ooc_linalg::{completion_candidates, Matrix};
+use ooc_runtime::FileLayout;
+
+/// Options controlling the optimizer.
+#[derive(Debug, Clone)]
+pub struct OptimizeOptions {
+    /// Parameter values used by the cost model for nest ordering (the
+    /// paper uses profile data; a representative size works equally
+    /// well for ranking).
+    pub cost_params: Vec<i64>,
+    /// Maximum completions tried per innermost-column candidate.
+    pub completion_limit: usize,
+    /// Representative processor count for the cost model: the modeled
+    /// nest is partitioned over this many processors (outermost
+    /// parallel level), mirroring how the code will execute.
+    pub model_procs: i64,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        OptimizeOptions {
+            // A representative out-of-core size: large enough that the
+            // 1/128 memory budget and run lengths are in the deployment
+            // regime (callers compiling real kernels pass their actual
+            // extents, cf. ooc-kernels::compile).
+            cost_params: vec![1024],
+            completion_limit: 24,
+            model_procs: 16,
+        }
+    }
+}
+
+/// Result of optimization: the transformed program, the chosen file
+/// layouts, and per-nest transformation matrices.
+#[derive(Debug, Clone)]
+pub struct OptimizedProgram {
+    /// The program with all loop transformations applied.
+    pub program: Program,
+    /// Chosen file layout per array (indexed by `ArrayId`).
+    pub layouts: Vec<FileLayout>,
+    /// Per nest: the applied inverse transformation `Q` (`I` = nest
+    /// untouched).
+    pub transforms: Vec<Matrix>,
+    /// Human-readable decision log.
+    pub log: Vec<String>,
+}
+
+/// The paper's combined loop + data optimization (`c-opt`).
+#[must_use]
+pub fn optimize(prog: &Program, opts: &OptimizeOptions) -> OptimizedProgram {
+    run(prog, opts, Mode::Combined)
+}
+
+/// Data (file layout) transformations only (`d-opt`): loop order is
+/// left untouched, each nest fixes layouts for its still-free arrays
+/// in cost order.
+#[must_use]
+pub fn optimize_data_only(prog: &Program, opts: &OptimizeOptions) -> OptimizedProgram {
+    run(prog, opts, Mode::DataOnly)
+}
+
+/// Loop transformations only (`l-opt`): layouts stay at the given
+/// defaults (column-major when `None`), each nest gets the best legal
+/// loop transformation for those layouts.
+#[must_use]
+pub fn optimize_loop_only(
+    prog: &Program,
+    opts: &OptimizeOptions,
+    layouts: Option<Vec<FileLayout>>,
+) -> OptimizedProgram {
+    run_loop_only(prog, opts, layouts.unwrap_or_else(|| default_layouts(prog)))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Combined,
+    DataOnly,
+}
+
+fn run(prog: &Program, opts: &OptimizeOptions, mode: Mode) -> OptimizedProgram {
+    let mut out = OptimizedProgram {
+        program: prog.clone(),
+        layouts: default_layouts(prog),
+        transforms: prog
+            .nests
+            .iter()
+            .map(|n| Matrix::identity(n.depth))
+            .collect(),
+        log: Vec::new(),
+    };
+    let mut fixed: Vec<Option<FileLayout>> = vec![None; prog.arrays.len()];
+    let weights = array_weights(prog, &opts.cost_params);
+
+    let graph = InterferenceGraph::build(prog);
+    for comp in graph.connected_components() {
+        let defaults = default_layouts(prog);
+        let order = order_by_cost(prog, &comp.nests, &defaults, &opts.cost_params);
+        for (rank, &nid) in order.iter().enumerate() {
+            let nest = out.program.nests[nid.0].clone();
+            let q = if rank == 0 || mode == Mode::DataOnly {
+                // Costliest nest (or d-opt everywhere): data
+                // transformations only.
+                Matrix::identity(nest.depth)
+            } else {
+                choose_transform(prog, &nest, &fixed, &weights, opts, &mut out.log)
+            };
+            let transformed = if is_identity(&q) {
+                nest
+            } else {
+                out.log
+                    .push(format!("{}: applied loop transformation Q = {q:?}", nest.name));
+                nest.transformed(&q)
+            };
+            fix_layouts_checked(prog, &transformed, &mut fixed, opts, &mut out.log);
+            out.transforms[nid.0] = q;
+            out.program.nests[nid.0] = transformed;
+        }
+    }
+
+    for (a, f) in fixed.into_iter().enumerate() {
+        if let Some(layout) = f {
+            out.layouts[a] = layout;
+        }
+    }
+    out
+}
+
+fn run_loop_only(
+    prog: &Program,
+    opts: &OptimizeOptions,
+    layouts: Vec<FileLayout>,
+) -> OptimizedProgram {
+    let mut out = OptimizedProgram {
+        program: prog.clone(),
+        layouts: layouts.clone(),
+        transforms: prog
+            .nests
+            .iter()
+            .map(|n| Matrix::identity(n.depth))
+            .collect(),
+        log: Vec::new(),
+    };
+    let fixed: Vec<Option<FileLayout>> = layouts.into_iter().map(Some).collect();
+    let weights = array_weights(prog, &opts.cost_params);
+    for (i, nest) in prog.nests.iter().enumerate() {
+        let q = choose_transform(prog, nest, &fixed, &weights, opts, &mut out.log);
+        if !is_identity(&q) {
+            out.log
+                .push(format!("{}: applied loop transformation Q = {q:?}", nest.name));
+            out.program.nests[i] = nest.transformed(&q);
+        }
+        out.transforms[i] = q;
+    }
+    out
+}
+
+fn is_identity(q: &Matrix) -> bool {
+    *q == Matrix::identity(q.rows())
+}
+
+/// Per-array weights for scoring: the array's element count at the
+/// cost-model parameter values. A reference into a 4096×4096 matrix
+/// must outweigh any number of references into small 1-D coefficient
+/// vectors.
+fn array_weights(prog: &Program, cost_params: &[i64]) -> Vec<f64> {
+    let params: Vec<i64> = (0..prog.params.len())
+        .map(|i| cost_params.get(i).copied().unwrap_or(64))
+        .collect();
+    prog.arrays
+        .iter()
+        .map(|a| a.len(&params).max(1) as f64)
+        .collect()
+}
+
+/// Chooses the best legal inverse loop transformation for a nest given
+/// the layouts fixed so far: candidate innermost columns come from the
+/// kernel relations, legality from the dependence test, and the final
+/// choice minimizes the compiler's modeled I/O time of the transformed
+/// and tiled nest (the identity is always a candidate, so a
+/// transformation is applied only when the model says it wins).
+fn choose_transform(
+    prog: &Program,
+    nest: &LoopNest,
+    fixed: &[Option<FileLayout>],
+    weights: &[f64],
+    opts: &OptimizeOptions,
+    log: &mut Vec<String>,
+) -> Matrix {
+    let depth = nest.depth;
+    if depth == 0 {
+        return Matrix::identity(0);
+    }
+    let deps = nest_dependences(nest);
+    let refs = nest.all_refs();
+
+    // Candidate pool for the innermost column q_k.
+    let mut pool: Vec<Vec<i64>> = Vec::new();
+    let push = |v: Vec<i64>, pool: &mut Vec<Vec<i64>>| {
+        if v.iter().any(|&x| x != 0) && !pool.contains(&v) {
+            pool.push(v);
+        }
+    };
+    // (a) The joint kernel of every constrained reference — the ideal
+    // solution satisfying all fixed layouts at once.
+    let mut all_rows = Vec::new();
+    for r in &refs {
+        if let Some(layout) = &fixed[r.array.0] {
+            all_rows.extend(loop_constraint_rows(layout, r));
+        }
+    }
+    for v in innermost_candidates(&all_rows, depth) {
+        push(v, &mut pool);
+    }
+    // (b) Per-reference kernels (partial satisfaction when the joint
+    // kernel is empty).
+    for r in &refs {
+        if let Some(layout) = &fixed[r.array.0] {
+            let rows = loop_constraint_rows(layout, r);
+            for v in innermost_candidates(&rows, depth) {
+                push(v, &mut pool);
+            }
+        }
+    }
+    // (c) The identity choice (no transformation) as a safe fallback.
+    let mut ek = vec![0i64; depth];
+    ek[depth - 1] = 1;
+    push(ek.clone(), &mut pool);
+
+    // Rank candidates: best locality score first; on ties prefer the
+    // identity innermost column (no gratuitous transformation).
+    let mut scored: Vec<(f64, bool, Vec<i64>)> = pool
+        .into_iter()
+        .map(|q_last| {
+            let score = score_innermost(nest, fixed, weights, &q_last);
+            (score, q_last == ek, q_last)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("no NaN scores")
+            .then(b.1.cmp(&a.1))
+    });
+
+    // First legal completion per candidate column; identity always last
+    // (it needs no completion and never fails legality).
+    let mut legal: Vec<Matrix> = Vec::new();
+    for (_, is_ek, q_last) in &scored {
+        if *is_ek {
+            continue;
+        }
+        for q in completion_candidates(q_last, opts.completion_limit) {
+            let t = q.inverse().expect("unimodular Q is invertible");
+            if transformation_preserves(&t, &deps) {
+                legal.push(q);
+                break;
+            }
+        }
+    }
+    legal.truncate(6);
+    legal.push(Matrix::identity(depth));
+
+    // Evaluate each legal transformation under the full modeled I/O
+    // cost of the transformed, tiled nest; take the cheapest (identity
+    // wins ties).
+    let mut best: Option<(f64, Matrix)> = None;
+    for q in legal {
+        let candidate_nest = if is_identity(&q) {
+            nest.clone()
+        } else {
+            nest.transformed(&q)
+        };
+        // Hypothesize relation-(1) layouts for the free arrays under
+        // this candidate, then cost the nest.
+        let mut trial = fixed.to_vec();
+        fix_layouts(&candidate_nest, &mut trial, &mut Vec::new());
+        let cost = modeled_nest_cost(prog, &candidate_nest, &concrete_layouts(prog, &trial), opts);
+        let better = match &best {
+            None => true,
+            // Strict improvement required, so identity (evaluated last)
+            // is kept on ties.
+            Some((c, _)) => cost < *c - 1e-12,
+        };
+        let is_id = is_identity(&q);
+        if better || (is_id && best.as_ref().is_some_and(|(c, _)| cost <= *c + 1e-12)) {
+            best = Some((cost, q));
+        }
+    }
+    match best {
+        Some((_, q)) => q,
+        None => {
+            log.push(format!(
+                "{}: no legal transformation found, keeping original order",
+                nest.name
+            ));
+            Matrix::identity(depth)
+        }
+    }
+}
+
+/// Modeled I/O time of one nest after tiling under the given concrete
+/// layouts, used to compare candidate loop transformations and layout
+/// assignments.
+fn modeled_nest_cost(
+    prog: &Program,
+    nest: &LoopNest,
+    layouts: &[FileLayout],
+    opts: &OptimizeOptions,
+) -> f64 {
+    let depth = nest.depth;
+    let params: Vec<i64> = (0..prog.params.len())
+        .map(|i| opts.cost_params.get(i).copied().unwrap_or(64))
+        .collect();
+    // Bounding ranges of the transformed nest, partitioned the way the
+    // executor will run it: the outermost zero-distance level is
+    // block-divided over the representative processor count.
+    let bounds = nest.bounds.loop_bounds();
+    let mut ranges = Vec::with_capacity(depth);
+    let mut outer: Vec<i64> = Vec::new();
+    for b in &bounds {
+        match b.eval(&outer, &params) {
+            Some((lo, hi)) => {
+                ranges.push((lo, hi));
+                outer.push(lo);
+            }
+            None => return 0.0,
+        }
+    }
+    let deps = nest_dependences(nest);
+    let chunk_level = (0..depth)
+        .find(|&l| {
+            deps.iter()
+                .all(|d| d.vector[l] == ooc_ir::DepElem::Exact(0))
+        })
+        .unwrap_or(0);
+    {
+        let (lo, hi) = ranges[chunk_level];
+        let extent = (hi - lo + 1).max(1);
+        let chunk = (extent + opts.model_procs - 1) / opts.model_procs.max(1);
+        ranges[chunk_level] = (lo, lo + chunk.max(1) - 1);
+    }
+    let total = u64::try_from(prog.total_elements(&params).max(1)).expect("size");
+    let budget = ooc_runtime::MemoryBudget::paper_fraction(total, 128);
+    let weights = IoWeights::default();
+    let max_call_elems = 4 * 1024 * 1024 / 8;
+    let spans = plan_spans(
+        nest,
+        TilingStrategy::Optimized,
+        layouts,
+        prog,
+        &params,
+        &ranges,
+        &budget,
+        weights,
+        max_call_elems,
+    );
+    spans_io_cost(nest, layouts, prog, &params, &ranges, &spans, weights, max_call_elems)
+}
+
+/// Scores an innermost-column candidate: fixed-layout references score
+/// their actual locality; free arrays score optimistically (they will
+/// receive a layout via relation (1) afterwards). Each reference is
+/// weighted by its array's data size — locality for a scratch vector
+/// must not trump locality for an out-of-core matrix.
+fn score_innermost(
+    nest: &LoopNest,
+    fixed: &[Option<FileLayout>],
+    weights: &[f64],
+    q_last: &[i64],
+) -> f64 {
+    let mut score = 0.0;
+    for r in nest.all_refs() {
+        let u = movement_i64(&r.access, q_last).expect("integer movement");
+        let s = match &fixed[r.array.0] {
+            Some(layout) => locality_under(layout, &u).score(),
+            None => {
+                if u.iter().all(|&x| x == 0) {
+                    3 // temporal
+                } else if r.rank() == 2 || dim_order_for(&r.access, q_last).is_some() {
+                    2 // a layout exists that makes this stride-1
+                } else {
+                    0
+                }
+            }
+        };
+        score += weights[r.array.0] * s as f64;
+    }
+    score
+}
+
+/// [`fix_layouts`] with a cost check: a candidate layout is kept only
+/// when the modeled I/O time of this nest does not get worse — the
+/// published data-transformation frameworks the paper compares against
+/// would not change a layout their own model says loses.
+fn fix_layouts_checked(
+    prog: &Program,
+    nest: &LoopNest,
+    fixed: &mut [Option<FileLayout>],
+    opts: &OptimizeOptions,
+    log: &mut Vec<String>,
+) {
+    let before = modeled_nest_cost(prog, nest, &concrete_layouts(prog, fixed), opts);
+    let mut trial = fixed.to_vec();
+    let mut trial_log = Vec::new();
+    fix_layouts(nest, &mut trial, &mut trial_log);
+    let after = modeled_nest_cost(prog, nest, &concrete_layouts(prog, &trial), opts);
+    // Reject only gross losses: relation (1) encodes locality knowledge
+    // the tile-shape cost model cannot fully see (within-call stride,
+    // cache behaviour), so marginal modeled regressions still apply.
+    if after <= before * 1.10 + 1e-12 {
+        log.extend(trial_log);
+        fixed.clone_from_slice(&trial);
+    } else {
+        log.push(format!(
+            "{}: relation-(1) layouts rejected by the cost model ({after:.3} > {before:.3})",
+            nest.name
+        ));
+    }
+}
+
+/// Total modeled I/O time of an optimized program: the sum of its
+/// (transformed, tiled) nests' modeled costs under its layouts.
+#[must_use]
+pub fn modeled_program_cost(
+    prog: &Program,
+    opt: &OptimizedProgram,
+    opts: &OptimizeOptions,
+) -> f64 {
+    let _ = prog;
+    opt.program
+        .nests
+        .iter()
+        .map(|nest| modeled_nest_cost(&opt.program, nest, &opt.layouts, opts))
+        .sum()
+}
+
+/// The best legal loop transformation for `nest` when every array's
+/// layout is already pinned (used by the global layout search).
+/// Returns the chosen inverse transformation and its modeled cost.
+#[must_use]
+pub fn best_transform_for(
+    prog: &Program,
+    nest: &LoopNest,
+    layouts: &[FileLayout],
+    opts: &OptimizeOptions,
+) -> (Matrix, f64) {
+    let fixed: Vec<Option<FileLayout>> = layouts.iter().cloned().map(Some).collect();
+    let weights = array_weights(prog, &opts.cost_params);
+    let mut log = Vec::new();
+    let q = choose_transform(prog, nest, &fixed, &weights, opts, &mut log);
+    let candidate = if is_identity(&q) {
+        nest.clone()
+    } else {
+        nest.transformed(&q)
+    };
+    let cost = modeled_nest_cost(prog, &candidate, layouts, opts);
+    (q, cost)
+}
+
+/// Fixed layouts where decided, the program default (column-major)
+/// elsewhere.
+fn concrete_layouts(prog: &Program, fixed: &[Option<FileLayout>]) -> Vec<FileLayout> {
+    let defaults = default_layouts(prog);
+    fixed
+        .iter()
+        .zip(defaults)
+        .map(|(f, d)| f.clone().unwrap_or(d))
+        .collect()
+}
+
+/// Relation (1): fixes layouts for the still-free arrays of a
+/// (possibly transformed) nest, using the identity innermost column of
+/// the nest's own iteration space.
+fn fix_layouts(nest: &LoopNest, fixed: &mut [Option<FileLayout>], log: &mut Vec<String>) {
+    let depth = nest.depth;
+    if depth == 0 {
+        return;
+    }
+    let mut ek = vec![0i64; depth];
+    ek[depth - 1] = 1;
+    for r in nest.all_refs() {
+        if fixed[r.array.0].is_some() {
+            continue;
+        }
+        let chosen = if r.rank() == 2 {
+            match layouts_for_2d(&r.access, &ek) {
+                Some(gs) if gs.is_empty() => None, // temporal: keep free
+                Some(gs) => pick_hyperplane(&gs).map(|g| FileLayout::from_hyperplane(&g)),
+                None => unreachable!("rank checked"),
+            }
+        } else {
+            dim_order_for(&r.access, &ek)
+        };
+        if let Some(layout) = chosen {
+            log.push(format!(
+                "{}: fixed layout of array {} to {layout:?}",
+                nest.name, r.array.0
+            ));
+            fixed[r.array.0] = Some(layout);
+        }
+    }
+}
+
+/// Chooses among kernel basis vectors: axis-aligned hyperplanes first
+/// (cheap exact run accounting), then minimal coefficient magnitude —
+/// the paper's "minimum gcd" rule on primitive vectors reduces to
+/// preferring small entries.
+fn pick_hyperplane(gs: &[Vec<i64>]) -> Option<Vec<i64>> {
+    gs.iter()
+        .min_by_key(|g| {
+            let axis = usize::from(!(g.as_slice() == [1, 0] || g.as_slice() == [0, 1]));
+            let mag: i64 = g.iter().map(|x| x.abs()).sum();
+            (axis, mag)
+        })
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_ir::{ArrayRef, Expr, LoopNest, Program, Statement};
+
+    /// The paper's running example (§3.1):
+    ///   nest 1: U(i,j) = V(j,i) + 1
+    ///   nest 2: V(i,j) = W(j,i) + 2
+    /// Expected: U row-major, V column-major, W row-major; nest 2
+    /// interchanged.
+    fn paper_example() -> Program {
+        let mut p = Program::new(&["N"]);
+        let u = p.declare_array("U", 2, 0);
+        let v = p.declare_array("V", 2, 0);
+        let w = p.declare_array("W", 2, 0);
+        let s1 = Statement::assign(
+            ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+            Expr::Add(
+                Box::new(Expr::Ref(ArrayRef::new(
+                    v,
+                    &[vec![0, 1], vec![1, 0]],
+                    vec![0, 0],
+                ))),
+                Box::new(Expr::Const(1.0)),
+            ),
+        );
+        p.add_nest(LoopNest::rectangular("nest1", 2, 1, 0, vec![s1]));
+        let s2 = Statement::assign(
+            ArrayRef::new(v, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+            Expr::Add(
+                Box::new(Expr::Ref(ArrayRef::new(
+                    w,
+                    &[vec![0, 1], vec![1, 0]],
+                    vec![0, 0],
+                ))),
+                Box::new(Expr::Const(2.0)),
+            ),
+        );
+        p.add_nest(LoopNest::rectangular("nest2", 2, 1, 0, vec![s2]));
+        p
+    }
+
+    #[test]
+    fn worked_example_layouts_and_interchange() {
+        let p = paper_example();
+        let opt = optimize(&p, &OptimizeOptions::default());
+        // U row-major, V column-major, W row-major (paper §3.2.3).
+        assert_eq!(opt.layouts[0], FileLayout::row_major(2), "U");
+        assert_eq!(opt.layouts[1], FileLayout::col_major(2), "V");
+        assert_eq!(opt.layouts[2], FileLayout::row_major(2), "W");
+        // Nest 1 untouched; nest 2 interchanged.
+        assert_eq!(opt.transforms[0], Matrix::identity(2));
+        assert_eq!(opt.transforms[1], Matrix::from_i64(2, 2, &[0, 1, 1, 0]));
+        // Transformed nest 2 is V(v,u) = W(u,v) + 2 in new coordinates:
+        // its V access matrix becomes the interchange of the identity.
+        let v_ref = &opt.program.nests[1].body[0].lhs;
+        assert_eq!(v_ref.access, Matrix::from_i64(2, 2, &[0, 1, 1, 0]));
+    }
+
+    #[test]
+    fn data_only_leaves_loops_alone() {
+        let p = paper_example();
+        let opt = optimize_data_only(&p, &OptimizeOptions::default());
+        assert_eq!(opt.transforms[0], Matrix::identity(2));
+        assert_eq!(opt.transforms[1], Matrix::identity(2));
+        // U gets row-major; V col-major (from nest 1, the costlier);
+        // nest 2's V(i,j) reference then conflicts and W... nest 2 with
+        // identity loops wants V row-major (taken) and W col-major...
+        // W is free and gets col-major via relation (1) on W(j,i) with
+        // e_2: u = (1,0) -> Ker ∋ (0,1).
+        assert_eq!(opt.layouts[0], FileLayout::row_major(2));
+        assert_eq!(opt.layouts[1], FileLayout::col_major(2));
+        assert_eq!(opt.layouts[2], FileLayout::col_major(2));
+    }
+
+    #[test]
+    fn loop_only_keeps_layouts() {
+        let p = paper_example();
+        let opt = optimize_loop_only(&p, &OptimizeOptions::default(), None);
+        assert_eq!(opt.layouts[0], FileLayout::col_major(2));
+        assert_eq!(opt.layouts[1], FileLayout::col_major(2));
+        assert_eq!(opt.layouts[2], FileLayout::col_major(2));
+        // Nest 1 with all-column-major: U(i,j) wants innermost moving
+        // only U's dim 0 => q ∈ Ker{row 1 of L_U} = (1,0): interchange;
+        // V(j,i) wants q ∈ Ker{(0,1)·L_V} = Ker{(1,0)} = (0,1): identity.
+        // Either choice optimizes exactly one reference; both score equal.
+        let q = &opt.transforms[0];
+        assert!(q.is_unimodular());
+    }
+
+    #[test]
+    fn dependences_block_illegal_interchange() {
+        // A(i,j) = A(i-1, j+1): distance (1,-1); interchange illegal.
+        // Fix A row-major so the layout asks for interchange; the
+        // optimizer must refuse and keep a legal order.
+        let mut p = Program::new(&["N"]);
+        let a = p.declare_array("A", 2, 0);
+        let s = Statement::assign(
+            ArrayRef::new(a, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+            Expr::Ref(ArrayRef::new(a, &[vec![1, 0], vec![0, 1]], vec![-1, 1])),
+        );
+        p.add_nest(LoopNest::rectangular("n", 2, 1, 0, vec![s]));
+        let opt =
+            optimize_loop_only(&p, &OptimizeOptions::default(), Some(vec![FileLayout::col_major(2)]));
+        let t = opt.transforms[0].inverse().expect("invertible");
+        let deps = nest_dependences(&p.nests[0]);
+        assert!(transformation_preserves(&t, &deps));
+    }
+
+    #[test]
+    fn combined_beats_single_technique_on_example() {
+        use crate::cost::nest_cost;
+        let p = paper_example();
+        let params = [64];
+        let copt = optimize(&p, &OptimizeOptions::default());
+        let dopt = optimize_data_only(&p, &OptimizeOptions::default());
+        let lopt = optimize_loop_only(&p, &OptimizeOptions::default(), None);
+        let total = |o: &OptimizedProgram| -> f64 {
+            o.program
+                .nests
+                .iter()
+                .map(|n| nest_cost(n, &o.layouts, &params))
+                .sum()
+        };
+        let c = total(&copt);
+        let d = total(&dopt);
+        let l = total(&lopt);
+        assert!(c <= d, "c-opt {c} should beat d-opt {d}");
+        assert!(c <= l, "c-opt {c} should beat l-opt {l}");
+        // And on this program, strictly better than both (the paper's
+        // motivating point: only the combined approach optimizes all four
+        // references).
+        assert!(c < d && c < l, "c={c} d={d} l={l}");
+    }
+
+    #[test]
+    fn one_d_arrays_handled() {
+        let mut p = Program::new(&["N"]);
+        let a = p.declare_array("A", 1, 0);
+        let b = p.declare_array("B", 2, 0);
+        let s = Statement::assign(
+            ArrayRef::new(a, &[vec![1, 0]], vec![0]),
+            Expr::Ref(ArrayRef::new(b, &[vec![1, 0], vec![0, 1]], vec![0, 0])),
+        );
+        p.add_nest(LoopNest::rectangular("n", 2, 1, 0, vec![s]));
+        let opt = optimize(&p, &OptimizeOptions::default());
+        // B moves along dim 1 innermost: row-major. A is temporal in j.
+        assert_eq!(opt.layouts[1], FileLayout::row_major(2));
+        assert_eq!(opt.layouts[0].hyperplane(), None);
+    }
+
+    #[test]
+    fn empty_and_degenerate_programs() {
+        let p = Program::new(&["N"]);
+        let opt = optimize(&p, &OptimizeOptions::default());
+        assert!(opt.program.nests.is_empty());
+        assert!(opt.layouts.is_empty());
+    }
+}

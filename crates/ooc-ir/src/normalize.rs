@@ -1,0 +1,812 @@
+//! Step (1) of the paper's strategy: turn an arbitrary (imperfectly
+//! nested) surface program into a sequence of *perfectly nested*
+//! affine loop nests using loop fusion, loop distribution, and code
+//! sinking.
+//!
+//! The transformations are applied with conservative structural
+//! legality checks:
+//!
+//! * **Fusion** of two adjacent loops with identical bounds is allowed
+//!   when every array written in one and touched in the other is
+//!   accessed through *identical* subscript functions (modulo renaming
+//!   of the fused loop variable) — per-iteration dependences are then
+//!   preserved verbatim.
+//! * **Distribution** of a loop over its children is allowed when no
+//!   later child writes an array that an earlier child touches —
+//!   otherwise executing the earlier child to completion first could
+//!   observe values from the "future".
+//! * **Code sinking** moves a statement that is a sibling of a loop
+//!   into that loop, guarded to execute only on the first (or last)
+//!   iteration; it is used when distribution is rejected.
+
+use crate::imperfect::{LoopNode, Node, Subscript, SurfaceExpr, SurfaceProgram, SurfaceRef, SurfaceStmt};
+use crate::program::{
+    ArrayId, ArrayRef, DimSize, Expr, Guard, GuardAt, LoopNest, Program, Statement,
+};
+use ooc_linalg::{Matrix, Polyhedron};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors produced by normalization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormalizeError {
+    /// A subscript referenced a loop variable not in scope.
+    UnknownVariable(String),
+    /// The same loop variable name appears twice on a nesting path.
+    DuplicateLoopVar(String),
+    /// A loop could neither be fused, distributed, nor sunk legally.
+    CannotNormalize(String),
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalizeError::UnknownVariable(v) => write!(f, "unknown loop variable `{v}`"),
+            NormalizeError::DuplicateLoopVar(v) => write!(f, "duplicate loop variable `{v}`"),
+            NormalizeError::CannotNormalize(m) => write!(f, "cannot normalize: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+/// A perfect loop chain produced during normalization.
+#[derive(Debug, Clone)]
+struct Chain {
+    /// Outermost-first loop variables with their trip counts.
+    vars: Vec<(String, DimSize)>,
+    /// Statements plus sink-guards expressed on variable names.
+    stmts: Vec<(SurfaceStmt, Vec<(String, GuardAt)>)>,
+}
+
+/// Normalizes a surface program into a [`Program`] of perfect nests.
+///
+/// # Errors
+/// Returns an error if subscripts use unknown variables or a structure
+/// cannot be legalized by fusion/distribution/sinking.
+pub fn normalize(sp: &SurfaceProgram) -> Result<Program, NormalizeError> {
+    let mut prog = Program {
+        params: sp.params.clone(),
+        arrays: sp
+            .arrays
+            .iter()
+            .map(|(name, dims)| crate::program::ArrayDecl {
+                name: name.clone(),
+                dims: dims.clone(),
+            })
+            .collect(),
+        nests: Vec::new(),
+    };
+
+    let mut chains = Vec::new();
+    for node in &sp.top {
+        collect_chains(node, &mut Vec::new(), &mut chains)?;
+    }
+
+    for (idx, chain) in chains.iter().enumerate() {
+        let nest = chain_to_nest(sp, chain, idx)?;
+        prog.add_nest(nest);
+    }
+    Ok(prog)
+}
+
+/// Recursively lowers `node` under the enclosing loop chain `outer`.
+fn collect_chains(
+    node: &Node,
+    outer: &mut Vec<(String, DimSize)>,
+    out: &mut Vec<Chain>,
+) -> Result<(), NormalizeError> {
+    match node {
+        Node::Stmt(s) => {
+            out.push(Chain {
+                vars: outer.clone(),
+                stmts: vec![(s.clone(), Vec::new())],
+            });
+            Ok(())
+        }
+        Node::Loop(l) => {
+            if outer.iter().any(|(v, _)| v == &l.var) {
+                return Err(NormalizeError::DuplicateLoopVar(l.var.clone()));
+            }
+            let children = fuse_adjacent(&l.body);
+            let children = sink_statements(&l.var, children)?;
+            if children.len() > 1 && !distribution_legal(&children) {
+                return Err(NormalizeError::CannotNormalize(format!(
+                    "loop `{}` has {} children with backward dependences; \
+                     neither fusion, sinking, nor distribution applies",
+                    l.var,
+                    children.len()
+                )));
+            }
+            outer.push((l.var.clone(), l.bound));
+            // A body of straight-line statements is already perfect: keep
+            // the statements together as one nest rather than distributing.
+            let all_stmts: Option<Vec<SurfaceStmt>> = children
+                .iter()
+                .map(|c| match c {
+                    GuardedNode::Plain(Node::Stmt(s)) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect();
+            if let Some(stmts) = all_stmts {
+                out.push(Chain {
+                    vars: outer.clone(),
+                    stmts: stmts.into_iter().map(|s| (s, Vec::new())).collect(),
+                });
+            } else {
+                // Distribution: each child becomes its own copy of this loop.
+                for child in &children {
+                    collect_chains_guarded(child, outer, out)?;
+                }
+            }
+            outer.pop();
+            Ok(())
+        }
+    }
+}
+
+/// Node wrapper carrying guards attached by code sinking.
+#[derive(Debug, Clone)]
+enum GuardedNode {
+    Plain(Node),
+    /// A loop whose body includes sunk statements with guards.
+    SunkLoop(LoopNode, Vec<(SurfaceStmt, Vec<(String, GuardAt)>)>),
+}
+
+fn collect_chains_guarded(
+    node: &GuardedNode,
+    outer: &mut Vec<(String, DimSize)>,
+    out: &mut Vec<Chain>,
+) -> Result<(), NormalizeError> {
+    match node {
+        GuardedNode::Plain(n) => collect_chains(n, outer, out),
+        GuardedNode::SunkLoop(l, sunk) => {
+            // The loop body must itself be a pure statement list for
+            // sinking to have been chosen (checked by sink_statements).
+            if outer.iter().any(|(v, _)| v == &l.var) {
+                return Err(NormalizeError::DuplicateLoopVar(l.var.clone()));
+            }
+            outer.push((l.var.clone(), l.bound));
+            let mut stmts: Vec<(SurfaceStmt, Vec<(String, GuardAt)>)> = Vec::new();
+            // Sunk-before statements run at the loop's first iteration and
+            // are ordered before the body.
+            for (s, g) in sunk {
+                if g.iter().any(|(_, at)| *at == GuardAt::LowerBound) {
+                    stmts.push((s.clone(), g.clone()));
+                }
+            }
+            for child in &l.body {
+                match child {
+                    Node::Stmt(s) => stmts.push((s.clone(), Vec::new())),
+                    Node::Loop(_) => {
+                        return Err(NormalizeError::CannotNormalize(format!(
+                            "sinking into loop `{}` requires a statement-only body",
+                            l.var
+                        )))
+                    }
+                }
+            }
+            for (s, g) in sunk {
+                if g.iter().any(|(_, at)| *at == GuardAt::UpperBound) {
+                    stmts.push((s.clone(), g.clone()));
+                }
+            }
+            out.push(Chain {
+                vars: outer.clone(),
+                stmts,
+            });
+            outer.pop();
+            Ok(())
+        }
+    }
+}
+
+/// Fuses adjacent sibling loops with identical bounds when legal.
+fn fuse_adjacent(children: &[Node]) -> Vec<Node> {
+    let mut out: Vec<Node> = Vec::new();
+    for child in children {
+        let fused = if let (Some(Node::Loop(prev)), Node::Loop(cur)) = (out.last(), child) {
+            prev.bound == cur.bound && fusion_legal(prev, cur)
+        } else {
+            false
+        };
+        if fused {
+            let Node::Loop(cur) = child else { unreachable!() };
+            let Some(Node::Loop(prev)) = out.last_mut() else {
+                unreachable!()
+            };
+            // Rename the second loop's variable to the first's.
+            let renamed = rename_var_nodes(&cur.body, &cur.var, &prev.var);
+            prev.body.extend(renamed);
+        } else {
+            out.push(child.clone());
+        }
+    }
+    out
+}
+
+/// Conservative fusion legality: every array written in one loop and
+/// touched in the other must be accessed with identical subscripts
+/// (after renaming the fused variable).
+fn fusion_legal(a: &LoopNode, b: &LoopNode) -> bool {
+    let (aw, ar) = rw_sets_loop(a);
+    let (bw, br) = rw_sets_loop(b);
+    let shared: BTreeSet<ArrayId> = aw
+        .intersection(&bw.union(&br).copied().collect())
+        .copied()
+        .chain(bw.intersection(&ar).copied())
+        .collect();
+    if shared.is_empty() {
+        return true;
+    }
+    // Gather subscripts used for each shared array in both loops (with b's
+    // var renamed to a's) and require them to be identical sets.
+    for id in shared {
+        let subs_a = subscripts_for(a, id, &a.var, &a.var);
+        let subs_b = subscripts_for(b, id, &b.var, &a.var);
+        if subs_a != subs_b {
+            return false;
+        }
+    }
+    true
+}
+
+fn subscripts_for(l: &LoopNode, id: ArrayId, from: &str, to: &str) -> BTreeSet<Vec<String>> {
+    let mut set = BTreeSet::new();
+    visit_refs_nodes(&l.body, &mut |r| {
+        if r.array == id {
+            set.insert(
+                r.subs
+                    .iter()
+                    .map(|s| format!("{:?}", rename_subscript(s, from, to)))
+                    .collect(),
+            );
+        }
+    });
+    set
+}
+
+/// Code sinking: statements adjacent to exactly one loop sibling are
+/// moved into that loop with a first/last-iteration guard — but only
+/// when distribution would be illegal for them. Returns the reduced
+/// child list.
+fn sink_statements(
+    _parent_var: &str,
+    children: Vec<Node>,
+) -> Result<Vec<GuardedNode>, NormalizeError> {
+    // Identify statements that cannot be distributed away from a
+    // neighboring loop (they touch arrays the loop writes or vice versa).
+    let mut out: Vec<GuardedNode> = Vec::new();
+    let mut pending_before: Vec<SurfaceStmt> = Vec::new();
+    for child in children {
+        match child {
+            Node::Stmt(s) => {
+                // Peek: does this statement conflict with a later sibling?
+                // We defer and decide when we meet the next loop.
+                pending_before.push(s);
+            }
+            Node::Loop(l) => {
+                let mut sunk: Vec<(SurfaceStmt, Vec<(String, GuardAt)>)> = Vec::new();
+                for s in pending_before.drain(..) {
+                    if stmt_conflicts_with_loop(&s, &l) {
+                        sunk.push((s, vec![(l.var.clone(), GuardAt::LowerBound)]));
+                    } else {
+                        out.push(GuardedNode::Plain(Node::Stmt(s)));
+                    }
+                }
+                if sunk.is_empty() {
+                    out.push(GuardedNode::Plain(Node::Loop(l)));
+                } else {
+                    out.push(GuardedNode::SunkLoop(l, sunk));
+                }
+            }
+        }
+    }
+    // Trailing statements: check conflict with the last loop; sink at the
+    // upper bound when conflicting.
+    for s in pending_before.drain(..) {
+        let conflicts_prev = matches!(
+            out.last(),
+            Some(GuardedNode::Plain(Node::Loop(l))) if stmt_conflicts_with_loop(&s, l)
+        );
+        if conflicts_prev {
+            let Some(GuardedNode::Plain(Node::Loop(l))) = out.pop() else {
+                unreachable!()
+            };
+            out.push(GuardedNode::SunkLoop(
+                l.clone(),
+                vec![(s, vec![(l.var.clone(), GuardAt::UpperBound)])],
+            ));
+        } else {
+            out.push(GuardedNode::Plain(Node::Stmt(s)));
+        }
+    }
+    Ok(out)
+}
+
+/// Whether statement `s` and loop `l` touch a common array with a write
+/// on either side (so separating them by distribution is unsafe under
+/// our conservative rule).
+fn stmt_conflicts_with_loop(s: &SurfaceStmt, l: &LoopNode) -> bool {
+    let (lw, lr) = rw_sets_loop(l);
+    let mut sw = BTreeSet::new();
+    sw.insert(s.lhs.array);
+    let mut sr = BTreeSet::new();
+    let mut reads = Vec::new();
+    s.rhs.collect_refs(&mut reads);
+    for r in reads {
+        sr.insert(r.array);
+    }
+    // write-write, write-read, read-write intersections.
+    sw.intersection(&lw).next().is_some()
+        || sw.intersection(&lr).next().is_some()
+        || sr.intersection(&lw).next().is_some()
+}
+
+/// Distribution legality over the (guarded) children: no later child
+/// may write an array an earlier child touches.
+fn distribution_legal(children: &[GuardedNode]) -> bool {
+    let sets: Vec<(BTreeSet<ArrayId>, BTreeSet<ArrayId>)> = children
+        .iter()
+        .map(|c| match c {
+            GuardedNode::Plain(n) => rw_sets_node(n),
+            GuardedNode::SunkLoop(l, sunk) => {
+                let (mut w, mut r) = rw_sets_loop(l);
+                for (s, _) in sunk {
+                    w.insert(s.lhs.array);
+                    let mut reads = Vec::new();
+                    s.rhs.collect_refs(&mut reads);
+                    for rr in reads {
+                        r.insert(rr.array);
+                    }
+                }
+                (w, r)
+            }
+        })
+        .collect();
+    for i in 0..sets.len() {
+        for j in i + 1..sets.len() {
+            let (wi, ri) = &sets[i];
+            let (wj, _) = &sets[j];
+            // Later child j writing anything child i reads or writes would
+            // be reordered before i's later iterations — reject.
+            if wj.intersection(wi).next().is_some() || wj.intersection(ri).next().is_some() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn rw_sets_node(n: &Node) -> (BTreeSet<ArrayId>, BTreeSet<ArrayId>) {
+    match n {
+        Node::Stmt(s) => {
+            let mut w = BTreeSet::new();
+            w.insert(s.lhs.array);
+            let mut r = BTreeSet::new();
+            let mut reads = Vec::new();
+            s.rhs.collect_refs(&mut reads);
+            for rr in reads {
+                r.insert(rr.array);
+            }
+            (w, r)
+        }
+        Node::Loop(l) => rw_sets_loop(l),
+    }
+}
+
+fn rw_sets_loop(l: &LoopNode) -> (BTreeSet<ArrayId>, BTreeSet<ArrayId>) {
+    let mut w = BTreeSet::new();
+    let mut r = BTreeSet::new();
+    for n in &l.body {
+        let (nw, nr) = rw_sets_node(n);
+        w.extend(nw);
+        r.extend(nr);
+    }
+    (w, r)
+}
+
+fn visit_refs_nodes<'a>(nodes: &'a [Node], f: &mut impl FnMut(&'a SurfaceRef)) {
+    for n in nodes {
+        match n {
+            Node::Stmt(s) => {
+                f(&s.lhs);
+                let mut reads = Vec::new();
+                s.rhs.collect_refs(&mut reads);
+                for r in reads {
+                    f(r);
+                }
+            }
+            Node::Loop(l) => visit_refs_nodes(&l.body, f),
+        }
+    }
+}
+
+fn rename_subscript(s: &Subscript, from: &str, to: &str) -> Subscript {
+    Subscript {
+        terms: s
+            .terms
+            .iter()
+            .map(|(n, c)| {
+                if n == from {
+                    (to.to_string(), *c)
+                } else {
+                    (n.clone(), *c)
+                }
+            })
+            .collect(),
+        constant: s.constant,
+    }
+}
+
+fn rename_var_nodes(nodes: &[Node], from: &str, to: &str) -> Vec<Node> {
+    nodes
+        .iter()
+        .map(|n| match n {
+            Node::Stmt(s) => Node::Stmt(SurfaceStmt {
+                lhs: rename_ref(&s.lhs, from, to),
+                rhs: rename_expr(&s.rhs, from, to),
+            }),
+            Node::Loop(l) => Node::Loop(LoopNode {
+                var: l.var.clone(),
+                bound: l.bound,
+                body: rename_var_nodes(&l.body, from, to),
+            }),
+        })
+        .collect()
+}
+
+fn rename_ref(r: &SurfaceRef, from: &str, to: &str) -> SurfaceRef {
+    SurfaceRef {
+        array: r.array,
+        subs: r.subs.iter().map(|s| rename_subscript(s, from, to)).collect(),
+    }
+}
+
+fn rename_expr(e: &SurfaceExpr, from: &str, to: &str) -> SurfaceExpr {
+    match e {
+        SurfaceExpr::Const(c) => SurfaceExpr::Const(*c),
+        SurfaceExpr::Ref(r) => SurfaceExpr::Ref(rename_ref(r, from, to)),
+        SurfaceExpr::Add(a, b) => SurfaceExpr::Add(
+            Box::new(rename_expr(a, from, to)),
+            Box::new(rename_expr(b, from, to)),
+        ),
+        SurfaceExpr::Sub(a, b) => SurfaceExpr::Sub(
+            Box::new(rename_expr(a, from, to)),
+            Box::new(rename_expr(b, from, to)),
+        ),
+        SurfaceExpr::Mul(a, b) => SurfaceExpr::Mul(
+            Box::new(rename_expr(a, from, to)),
+            Box::new(rename_expr(b, from, to)),
+        ),
+        SurfaceExpr::Div(a, b) => SurfaceExpr::Div(
+            Box::new(rename_expr(a, from, to)),
+            Box::new(rename_expr(b, from, to)),
+        ),
+    }
+}
+
+/// Lowers a perfect chain to the matrix-form [`LoopNest`].
+fn chain_to_nest(
+    sp: &SurfaceProgram,
+    chain: &Chain,
+    idx: usize,
+) -> Result<LoopNest, NormalizeError> {
+    let depth = chain.vars.len();
+    let nparams = sp.params.len();
+    let var_index = |name: &str| -> Result<usize, NormalizeError> {
+        chain
+            .vars
+            .iter()
+            .position(|(v, _)| v == name)
+            .ok_or_else(|| NormalizeError::UnknownVariable(name.to_string()))
+    };
+
+    let mut bounds = Polyhedron::universe(depth, nparams);
+    for (level, (_, b)) in chain.vars.iter().enumerate() {
+        match b {
+            DimSize::Const(c) => bounds.add_var_range(level, 1, *c),
+            DimSize::Param(p) => bounds.add_var_range_param(level, *p),
+        }
+    }
+
+    let lower_ref = |r: &SurfaceRef| -> Result<ArrayRef, NormalizeError> {
+        let rank = r.subs.len();
+        let mut m = Matrix::zero(rank, depth);
+        let mut offset = vec![0i64; rank];
+        for (dim, sub) in r.subs.iter().enumerate() {
+            offset[dim] = sub.constant;
+            for (name, coeff) in &sub.terms {
+                let v = var_index(name)?;
+                let cur = m[(dim, v)];
+                m[(dim, v)] = cur + ooc_linalg::Rational::from(*coeff);
+            }
+        }
+        Ok(ArrayRef {
+            array: r.array,
+            access: m,
+            offset,
+        })
+    };
+
+    fn lower_expr(
+        e: &SurfaceExpr,
+        lower_ref: &impl Fn(&SurfaceRef) -> Result<ArrayRef, NormalizeError>,
+    ) -> Result<Expr, NormalizeError> {
+        Ok(match e {
+            SurfaceExpr::Const(c) => Expr::Const(*c),
+            SurfaceExpr::Ref(r) => Expr::Ref(lower_ref(r)?),
+            SurfaceExpr::Add(a, b) => Expr::Add(
+                Box::new(lower_expr(a, lower_ref)?),
+                Box::new(lower_expr(b, lower_ref)?),
+            ),
+            SurfaceExpr::Sub(a, b) => Expr::Sub(
+                Box::new(lower_expr(a, lower_ref)?),
+                Box::new(lower_expr(b, lower_ref)?),
+            ),
+            SurfaceExpr::Mul(a, b) => Expr::Mul(
+                Box::new(lower_expr(a, lower_ref)?),
+                Box::new(lower_expr(b, lower_ref)?),
+            ),
+            SurfaceExpr::Div(a, b) => Expr::Div(
+                Box::new(lower_expr(a, lower_ref)?),
+                Box::new(lower_expr(b, lower_ref)?),
+            ),
+        })
+    }
+
+    let mut body = Vec::with_capacity(chain.stmts.len());
+    for (s, guards) in &chain.stmts {
+        let mut g = Vec::with_capacity(guards.len());
+        for (name, at) in guards {
+            g.push(Guard {
+                var: var_index(name)?,
+                at: *at,
+            });
+        }
+        body.push(Statement {
+            lhs: lower_ref(&s.lhs)?,
+            rhs: lower_expr(&s.rhs, &lower_ref)?,
+            guards: g,
+        });
+    }
+
+    Ok(LoopNest {
+        name: format!("nest{idx}"),
+        depth,
+        bounds,
+        body,
+        iterations: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imperfect::*;
+
+    /// `do i { do j { U = V } ; do j { V = W } }` — fusable inner loops
+    /// when their shared array V is accessed identically.
+    #[test]
+    fn fusion_of_adjacent_inner_loops() {
+        let mut sp = SurfaceProgram::new(&["N"]);
+        let u = sp.declare_array("U", 2, 0);
+        let v = sp.declare_array("V", 2, 0);
+        let w = sp.declare_array("W", 2, 0);
+        let s1 = SurfaceStmt {
+            lhs: SurfaceRef::vars(u, &["i", "j"]),
+            rhs: SurfaceExpr::Ref(SurfaceRef::vars(v, &["i", "j"])),
+        };
+        let s2 = SurfaceStmt {
+            lhs: SurfaceRef::vars(w, &["i", "j"]),
+            rhs: SurfaceExpr::Ref(SurfaceRef::vars(v, &["i", "j"])),
+        };
+        sp.top = vec![Node::Loop(LoopNode::new(
+            "i",
+            DimSize::Param(0),
+            vec![
+                Node::Loop(LoopNode::new("j", DimSize::Param(0), vec![Node::Stmt(s1)])),
+                Node::Loop(LoopNode::new("j", DimSize::Param(0), vec![Node::Stmt(s2)])),
+            ],
+        ))];
+        let p = normalize(&sp).expect("normalizes");
+        assert_eq!(p.nests.len(), 1, "inner loops should fuse into one nest");
+        assert_eq!(p.nests[0].depth, 2);
+        assert_eq!(p.nests[0].body.len(), 2);
+    }
+
+    /// Figure 1, second nest: distribution of an outer loop over two
+    /// independent inner loops.
+    #[test]
+    fn distribution_splits_independent_children() {
+        let mut sp = SurfaceProgram::new(&["N"]);
+        let x = sp.declare_array("X", 2, 0);
+        let y = sp.declare_array("Y", 2, 0);
+        let s1 = SurfaceStmt {
+            lhs: SurfaceRef::vars(x, &["i", "j"]),
+            rhs: SurfaceExpr::Const(1.0),
+        };
+        let s2 = SurfaceStmt {
+            lhs: SurfaceRef::vars(y, &["i", "k"]),
+            rhs: SurfaceExpr::Const(2.0),
+        };
+        // Different inner bounds rule out fusion, forcing distribution.
+        sp.top = vec![Node::Loop(LoopNode::new(
+            "i",
+            DimSize::Param(0),
+            vec![
+                Node::Loop(LoopNode::new("j", DimSize::Param(0), vec![Node::Stmt(s1)])),
+                Node::Loop(LoopNode::new("k", DimSize::Const(8), vec![Node::Stmt(s2)])),
+            ],
+        ))];
+        let p = normalize(&sp).expect("normalizes");
+        assert_eq!(p.nests.len(), 2, "distribution should split the two bodies");
+        assert!(p.nests.iter().all(|n| n.depth == 2));
+    }
+
+    /// Same-bound independent inner loops are fused instead (either
+    /// normalization is legal; fusion yields fewer nests).
+    #[test]
+    fn same_bound_independent_loops_fuse() {
+        let mut sp = SurfaceProgram::new(&["N"]);
+        let x = sp.declare_array("X", 2, 0);
+        let y = sp.declare_array("Y", 2, 0);
+        let s1 = SurfaceStmt {
+            lhs: SurfaceRef::vars(x, &["i", "j"]),
+            rhs: SurfaceExpr::Const(1.0),
+        };
+        let s2 = SurfaceStmt {
+            lhs: SurfaceRef::vars(y, &["i", "k"]),
+            rhs: SurfaceExpr::Const(2.0),
+        };
+        sp.top = vec![Node::Loop(LoopNode::new(
+            "i",
+            DimSize::Param(0),
+            vec![
+                Node::Loop(LoopNode::new("j", DimSize::Param(0), vec![Node::Stmt(s1)])),
+                Node::Loop(LoopNode::new("k", DimSize::Param(0), vec![Node::Stmt(s2)])),
+            ],
+        ))];
+        let p = normalize(&sp).expect("normalizes");
+        assert_eq!(p.nests.len(), 1, "same-bound disjoint loops fuse");
+        assert_eq!(p.nests[0].body.len(), 2);
+    }
+
+    /// A statement initializing an array that the following inner loop
+    /// reads must be *sunk* (guarded), not distributed.
+    #[test]
+    fn sinking_guards_initialization() {
+        let mut sp = SurfaceProgram::new(&["N"]);
+        let a = sp.declare_array("A", 1, 0);
+        let b = sp.declare_array("B", 2, 0);
+        // do i { A(i) = 0; do j { A(i) = A(i) + B(i,j) } }
+        let init = SurfaceStmt {
+            lhs: SurfaceRef::vars(a, &["i"]),
+            rhs: SurfaceExpr::Const(0.0),
+        };
+        let acc = SurfaceStmt {
+            lhs: SurfaceRef::vars(a, &["i"]),
+            rhs: SurfaceExpr::Add(
+                Box::new(SurfaceExpr::Ref(SurfaceRef::vars(a, &["i"]))),
+                Box::new(SurfaceExpr::Ref(SurfaceRef::vars(b, &["i", "j"]))),
+            ),
+        };
+        sp.top = vec![Node::Loop(LoopNode::new(
+            "i",
+            DimSize::Param(0),
+            vec![
+                Node::Stmt(init),
+                Node::Loop(LoopNode::new("j", DimSize::Param(0), vec![Node::Stmt(acc)])),
+            ],
+        ))];
+        let p = normalize(&sp).expect("normalizes via sinking");
+        assert_eq!(p.nests.len(), 1);
+        let nest = &p.nests[0];
+        assert_eq!(nest.depth, 2);
+        assert_eq!(nest.body.len(), 2);
+        // The init statement carries a lower-bound guard on the j level.
+        assert_eq!(nest.body[0].guards.len(), 1);
+        assert_eq!(nest.body[0].guards[0].var, 1);
+        assert_eq!(nest.body[0].guards[0].at, GuardAt::LowerBound);
+        assert!(nest.body[1].guards.is_empty());
+    }
+
+    #[test]
+    fn already_perfect_passthrough() {
+        let mut sp = SurfaceProgram::new(&["N"]);
+        let u = sp.declare_array("U", 2, 0);
+        let s = SurfaceStmt {
+            lhs: SurfaceRef::vars(u, &["i", "j"]),
+            rhs: SurfaceExpr::Const(0.0),
+        };
+        sp.top = vec![Node::Loop(LoopNode::new(
+            "i",
+            DimSize::Param(0),
+            vec![Node::Loop(LoopNode::new(
+                "j",
+                DimSize::Param(0),
+                vec![Node::Stmt(s)],
+            ))],
+        ))];
+        let p = normalize(&sp).expect("normalizes");
+        assert_eq!(p.nests.len(), 1);
+        assert_eq!(p.nests[0].depth, 2);
+        // Subscript matrix is the identity.
+        let m = &p.nests[0].body[0].lhs.access;
+        assert_eq!(*m, Matrix::identity(2));
+    }
+
+    #[test]
+    fn duplicate_loop_var_rejected() {
+        let mut sp = SurfaceProgram::new(&["N"]);
+        let u = sp.declare_array("U", 1, 0);
+        let s = SurfaceStmt {
+            lhs: SurfaceRef::vars(u, &["i"]),
+            rhs: SurfaceExpr::Const(0.0),
+        };
+        sp.top = vec![Node::Loop(LoopNode::new(
+            "i",
+            DimSize::Param(0),
+            vec![Node::Loop(LoopNode::new("i", DimSize::Param(0), vec![Node::Stmt(s)]))],
+        ))];
+        assert_eq!(
+            normalize(&sp).err(),
+            Some(NormalizeError::DuplicateLoopVar("i".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let mut sp = SurfaceProgram::new(&["N"]);
+        let u = sp.declare_array("U", 1, 0);
+        let s = SurfaceStmt {
+            lhs: SurfaceRef::vars(u, &["z"]),
+            rhs: SurfaceExpr::Const(0.0),
+        };
+        sp.top = vec![Node::Loop(LoopNode::new("i", DimSize::Param(0), vec![Node::Stmt(s)]))];
+        assert_eq!(
+            normalize(&sp).err(),
+            Some(NormalizeError::UnknownVariable("z".into()))
+        );
+    }
+
+    #[test]
+    fn constant_bound_lowering() {
+        let mut sp = SurfaceProgram::new(&[]);
+        let u = sp.declare_array_dims("U", vec![DimSize::Const(4)]);
+        let s = SurfaceStmt {
+            lhs: SurfaceRef::vars(u, &["i"]),
+            rhs: SurfaceExpr::Const(0.0),
+        };
+        sp.top = vec![Node::Loop(LoopNode::new("i", DimSize::Const(4), vec![Node::Stmt(s)]))];
+        let p = normalize(&sp).expect("normalizes");
+        assert_eq!(p.nests[0].bounds.enumerate(&[]).len(), 4);
+    }
+
+    #[test]
+    fn affine_subscript_lowering() {
+        let mut sp = SurfaceProgram::new(&["N"]);
+        let u = sp.declare_array("U", 2, 0);
+        // U(2i + j + 1, j - 1)
+        let s = SurfaceStmt {
+            lhs: SurfaceRef {
+                array: u,
+                subs: vec![
+                    Subscript::affine(&[("i", 2), ("j", 1)], 1),
+                    Subscript::affine(&[("j", 1)], -1),
+                ],
+            },
+            rhs: SurfaceExpr::Const(0.0),
+        };
+        sp.top = vec![Node::Loop(LoopNode::new(
+            "i",
+            DimSize::Param(0),
+            vec![Node::Loop(LoopNode::new("j", DimSize::Param(0), vec![Node::Stmt(s)]))],
+        ))];
+        let p = normalize(&sp).expect("normalizes");
+        let r = &p.nests[0].body[0].lhs;
+        assert_eq!(r.access, Matrix::from_i64(2, 2, &[2, 1, 0, 1]));
+        assert_eq!(r.offset, vec![1, -1]);
+        assert_eq!(r.subscripts(&[3, 4]), vec![11, 3]);
+    }
+}

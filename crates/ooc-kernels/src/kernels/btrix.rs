@@ -1,0 +1,162 @@
+//! `btrix` — block tridiagonal solver along one dimension, Spec92/NAS
+//! style (Table 1: twenty-five 1-D + four 4-D arrays, 2 timing
+//! iterations).
+//!
+//! Like `vpenta` scaled up a rank: the elimination carries `(1,0,0,1)`
+//! and `(1,0,0,-1)` distances that block the loop transformations,
+//! while the storage order decides everything (Table 2: `l-opt` =
+//! `col` = 100, `d-opt` = `c-opt` = 61.3, `h-opt` 42.3). The 25 small
+//! coefficient vectors ride along in the statements.
+
+use super::util::{add, aref, mul, nest_with_margins, rf, set_iterations};
+use crate::kernel::Kernel;
+use ooc_ir::{ArrayId, Expr, Program, Statement};
+
+/// Builds the kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    let mut p = Program::new(&["N"]);
+    let q1 = p.declare_array("Q1", 4, 0);
+    let q2 = p.declare_array("Q2", 4, 0);
+    let q3 = p.declare_array("Q3", 4, 0);
+    let q4 = p.declare_array("Q4", 4, 0);
+    let coef: Vec<ArrayId> = (0..25)
+        .map(|i| p.declare_array(&format!("S{i}"), 1, 0))
+        .collect();
+
+    // Identity 4-D reference with offsets.
+    let id4 = |arr, o: [i64; 4]| {
+        aref(
+            arr,
+            &[&[1, 0, 0, 0], &[0, 1, 0, 0], &[0, 0, 1, 0], &[0, 0, 0, 1]],
+            &o,
+        )
+    };
+    // 1-D coefficient indexed by the innermost loop l.
+    let c1 = |arr| aref(arr, &[&[0, 0, 0, 1]], &[0]);
+
+    // Forward elimination: do i(2..N) / do j / do k / do l(2..N-1):
+    //   Q1(i,j,k,l) = Q1(i-1,j,k,l-1)*S0(l) + Q1(i-1,j,k,l+1)*S1(l)
+    //               + Q2(i,j,k,l)*S2(l) + ... coefficient chain ...
+    let mut rhs = add(
+        mul(rf(id4(q1, [-1, 0, 0, -1])), rf(c1(coef[0]))),
+        mul(rf(id4(q1, [-1, 0, 0, 1])), rf(c1(coef[1]))),
+    );
+    rhs = add(rhs, mul(rf(id4(q2, [0, 0, 0, 0])), rf(c1(coef[2]))));
+    for &cid in &coef[3..13] {
+        rhs = mul(rhs, rf(c1(cid)));
+    }
+    let s1 = Statement::assign(id4(q1, [0, 0, 0, 0]), rhs);
+    p.add_nest(nest_with_margins(
+        "btrix_fwd",
+        1,
+        0,
+        &[2, 1, 1, 2],
+        &[0, 0, 0, -1],
+        vec![s1],
+    ));
+
+    // Back substitution over the remaining planes:
+    //   Q3(i,j,k,l) = Q3(i-1,j,k,l-1)*S13(l) + Q3(i-1,j,k,l+1)*S14(l)
+    //               + Q4(i,j,k,l)*S15..S24 chain
+    let mut rhs2 = add(
+        mul(rf(id4(q3, [-1, 0, 0, -1])), rf(c1(coef[13]))),
+        mul(rf(id4(q3, [-1, 0, 0, 1])), rf(c1(coef[14]))),
+    );
+    rhs2 = add(rhs2, mul(rf(id4(q4, [0, 0, 0, 0])), rf(c1(coef[15]))));
+    for &cid in &coef[16..25] {
+        rhs2 = mul(rhs2, rf(c1(cid)));
+    }
+    let s2 = Statement::assign(id4(q3, [0, 0, 0, 0]), rhs2);
+    p.add_nest(nest_with_margins(
+        "btrix_back",
+        1,
+        0,
+        &[2, 1, 1, 2],
+        &[0, 0, 0, -1],
+        vec![s2],
+    ));
+    let _unused: Option<Expr> = None;
+
+    set_iterations(&mut p, 2);
+    Kernel {
+        name: "btrix",
+        source: "Spec92",
+        iterations: 2,
+        description: "block-tridiagonal elimination over 4-D state with (1,0,0,±1) \
+                      dependences: layouts decide, loops are frozen",
+        program: p,
+        paper_params: vec![48],
+        small_params: vec![6],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::versions::{compile, Version};
+
+    #[test]
+    fn functional_equivalence_key_versions() {
+        // 4-D functional runs are the slowest; exercise the distinct
+        // code paths (baseline, data-opt, combined with OOC tiling).
+        let k = build();
+        for v in [Version::Col, Version::DOpt, Version::COpt] {
+            let cv = compile(&k, v);
+            let d = ooc_core::max_divergence_from_reference(
+                &cv.tiled,
+                &k.program,
+                &k.small_params,
+                &|a, idx| 1.0 + (a.0 % 7) as f64 * 0.01 + idx.iter().sum::<i64>() as f64 * 1e-4,
+            );
+            assert_eq!(d, 0.0, "{v:?} diverges");
+        }
+    }
+
+    #[test]
+    fn lopt_cannot_fix_the_state_arrays() {
+        // The (1,0,0,±1) pair rules out every completion that would make
+        // the 4-D accesses stream down dimension 0 (the column-major
+        // direction). Whatever legal permutation l-opt picks (it may
+        // shuffle loops to make the small coefficient vectors temporal),
+        // the big arrays stay strided.
+        let k = build();
+        let cv = compile(&k, Version::LOpt);
+        for nest in &cv.tiled.nests {
+            let lhs = &nest.nest.body[0].lhs;
+            let mut ek = vec![0i64; nest.nest.depth];
+            *ek.last_mut().expect("nonempty") = 1;
+            let u = ooc_core::movement_i64(&lhs.access, &ek).expect("integer");
+            assert!(
+                !(u[0] != 0 && u[1..].iter().all(|&x| x == 0)),
+                "{}: l-opt made the 4-D state stream down dim 0 —                  that should be blocked by the dependences",
+                nest.nest.name
+            );
+        }
+    }
+
+    #[test]
+    fn dopt_beats_col() {
+        let k = build();
+        let cfg = ooc_core::ExecConfig::new(vec![24], 1);
+        let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg);
+        let d = ooc_core::simulate(&compile(&k, Version::DOpt).tiled, &cfg);
+        let l = ooc_core::simulate(&compile(&k, Version::LOpt).tiled, &cfg);
+        // l-opt may shave the small coefficient traffic but cannot touch
+        // the dominant 4-D streams: within 5% of col.
+        let ratio = l.io_calls as f64 / col.io_calls as f64;
+        assert!((0.95..=1.05).contains(&ratio), "l/col ratio {ratio}");
+        assert!(d.io_calls < col.io_calls);
+    }
+
+    #[test]
+    fn hopt_groups_the_state_arrays() {
+        let k = build();
+        let cv = compile(&k, Version::HOpt);
+        // Q1/Q2 (and Q3/Q4) share shape and layout within their nests.
+        assert!(
+            !cv.interleave.is_empty(),
+            "expected 4-D state arrays to interleave"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! `emit` — particle emission / field update, Spec92 style (Table 1:
+//! ten 1-D + three 3-D arrays, 2 timing iterations).
+//!
+//! The interesting row of Table 2: the source is *already* perfectly
+//! matched to column-major files (every grid reference streams down
+//! the first dimension in the innermost loop), so no optimization has
+//! anything to do — `l-opt` = `d-opt` = `c-opt` = `h-opt` = 100 —
+//! while the `row` version actively destroys the locality (176.5).
+
+use super::util::{add, aref, mul, nest_with_margins, rf, set_iterations};
+use crate::kernel::Kernel;
+use ooc_ir::{ArrayId, Program, Statement};
+
+/// Builds the kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    let mut p = Program::new(&["N"]);
+    let e1 = p.declare_array("E1", 3, 0);
+    let e2 = p.declare_array("E2", 3, 0);
+    let e3 = p.declare_array("E3", 3, 0);
+    let coef: Vec<ArrayId> = (0..10)
+        .map(|i| p.declare_array(&format!("W{i}"), 1, 0))
+        .collect();
+
+    // Grid references are transposed relative to the (i, j, k) loops:
+    // E(k, j, i) moves down dimension 0 as the innermost k advances —
+    // exactly what column-major storage wants.
+    let grid = |arr| aref(arr, &[&[0, 0, 1], &[0, 1, 0], &[1, 0, 0]], &[0, 0, 0]);
+    let ci = |arr| aref(arr, &[&[1, 0, 0]], &[0]); // W(i): innermost-invariant
+    let cj = |arr| aref(arr, &[&[0, 1, 0]], &[0]); // W(j)
+    let ck = |arr| aref(arr, &[&[0, 0, 1]], &[0]); // W(k): unit-stride 1-D
+
+    // Nest 1: E1 update with five weights.
+    let s1 = Statement::assign(
+        grid(e1),
+        add(
+            mul(rf(grid(e1)), rf(ci(coef[0]))),
+            mul(
+                rf(grid(e2)),
+                mul(rf(cj(coef[1])), mul(rf(ck(coef[2])), mul(rf(ci(coef[3])), rf(cj(coef[4]))))),
+            ),
+        ),
+    );
+    p.add_nest(nest_with_margins("emit_field", 1, 0, &[1, 1, 1], &[0, 0, 0], vec![s1]));
+
+    // Nest 2: E2/E3 exchange with the other five weights.
+    let s2 = Statement::assign(
+        grid(e2),
+        add(
+            mul(rf(grid(e3)), rf(ck(coef[5]))),
+            mul(
+                rf(grid(e2)),
+                mul(rf(ci(coef[6])), mul(rf(cj(coef[7])), mul(rf(ck(coef[8])), rf(ci(coef[9]))))),
+            ),
+        ),
+    );
+    p.add_nest(nest_with_margins("emit_exchange", 1, 0, &[1, 1, 1], &[0, 0, 0], vec![s2]));
+
+    set_iterations(&mut p, 2);
+    Kernel {
+        name: "emit",
+        source: "Spec92",
+        iterations: 2,
+        description: "field updates already perfectly column-major: nothing to \
+                      optimize, row-major layouts actively hurt",
+        program: p,
+        paper_params: vec![256],
+        small_params: vec![6],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::versions::{compile, Version};
+
+    #[test]
+    fn functional_equivalence_all_versions() {
+        let k = build();
+        for v in Version::ALL {
+            let cv = compile(&k, v);
+            let d = ooc_core::max_divergence_from_reference(
+                &cv.tiled,
+                &k.program,
+                &k.small_params,
+                &|a, idx| 1.0 + (a.0 as f64) * 1e-2 + idx.iter().sum::<i64>() as f64 * 1e-4,
+            );
+            assert_eq!(d, 0.0, "{v:?} diverges");
+        }
+    }
+
+    #[test]
+    fn nothing_to_optimize() {
+        // Table 2 emit: col = l-opt = d-opt = c-opt calls-wise.
+        let k = build();
+        let cfg = ooc_core::ExecConfig::new(vec![64], 16);
+        let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg);
+        let l = ooc_core::simulate(&compile(&k, Version::LOpt).tiled, &cfg);
+        let d = ooc_core::simulate(&compile(&k, Version::DOpt).tiled, &cfg);
+        assert_eq!(l.io_calls, col.io_calls, "l-opt = col");
+        assert_eq!(d.io_calls, col.io_calls, "d-opt = col");
+    }
+
+    #[test]
+    fn row_hurts() {
+        // On the parallel machine (the rows of dimension 2 are sliced
+        // across processors), flipping every layout to row-major
+        // shreds the file runs.
+        let k = build();
+        let cfg = ooc_core::ExecConfig::new(vec![64], 16);
+        let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg);
+        let row = ooc_core::simulate(&compile(&k, Version::Row).tiled, &cfg);
+        assert!(
+            row.result.total_time > 1.2 * col.result.total_time,
+            "row {} vs col {}",
+            row.result.total_time,
+            col.result.total_time
+        );
+    }
+
+    #[test]
+    fn loops_untouched_everywhere() {
+        let k = build();
+        for v in [Version::LOpt, Version::COpt] {
+            let cv = compile(&k, v);
+            for (i, nest) in cv.tiled.nests.iter().enumerate() {
+                assert_eq!(
+                    nest.nest.body[0].lhs.access, k.program.nests[i].body[0].lhs.access,
+                    "{v:?} transformed nest {i} needlessly"
+                );
+            }
+        }
+    }
+}

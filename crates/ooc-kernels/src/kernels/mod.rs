@@ -1,0 +1,13 @@
+//! The ten benchmark kernels of Table 1.
+
+pub mod adi;
+pub mod btrix;
+pub mod emit;
+pub mod gfunp;
+pub mod htribk;
+pub mod mat;
+pub mod mxm;
+pub mod syr2k;
+pub mod trans;
+pub mod util;
+pub mod vpenta;

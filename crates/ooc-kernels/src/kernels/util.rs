@@ -1,0 +1,96 @@
+//! Shared construction helpers for the kernel definitions.
+
+use ooc_ir::{ArrayId, ArrayRef, Expr, LoopNest, Statement};
+use ooc_linalg::{Affine, Polyhedron};
+
+/// Builds a reference from access-matrix rows and offsets.
+#[must_use]
+pub fn aref(a: ArrayId, rows: &[&[i64]], off: &[i64]) -> ArrayRef {
+    let rows: Vec<Vec<i64>> = rows.iter().map(|r| r.to_vec()).collect();
+    ArrayRef::new(a, &rows, off.to_vec())
+}
+
+/// `Expr::Ref` shorthand.
+#[must_use]
+pub fn rf(r: ArrayRef) -> Expr {
+    Expr::Ref(r)
+}
+
+/// `a + b`.
+#[must_use]
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Add(Box::new(a), Box::new(b))
+}
+
+/// `a * b`.
+#[must_use]
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::Mul(Box::new(a), Box::new(b))
+}
+
+/// A float constant.
+#[must_use]
+pub fn c(v: f64) -> Expr {
+    Expr::Const(v)
+}
+
+/// A rectangular nest whose level `l` runs `lo[l] ..= N + hi_off[l]`
+/// where `N` is parameter `param` — the shape every kernel loop takes
+/// (halo offsets shrink the range so subscripts like `j±1` stay in
+/// bounds).
+#[must_use]
+pub fn nest_with_margins(
+    name: &str,
+    nparams: usize,
+    param: usize,
+    lo: &[i64],
+    hi_off: &[i64],
+    body: Vec<Statement>,
+) -> LoopNest {
+    assert_eq!(lo.len(), hi_off.len());
+    let depth = lo.len();
+    let mut bounds = Polyhedron::universe(depth, nparams);
+    for l in 0..depth {
+        let x = Affine::var(depth, nparams, l);
+        let lo_c = Affine::constant(depth, nparams, lo[l]);
+        let mut hi = Affine::param(depth, nparams, param);
+        hi.constant = ooc_linalg::Rational::from(hi_off[l]);
+        bounds.add_ge0(x.sub(&lo_c));
+        bounds.add_ge0(hi.sub(&x));
+    }
+    LoopNest {
+        name: name.to_string(),
+        depth,
+        bounds,
+        body,
+        iterations: 1,
+    }
+}
+
+/// Sets the outer timing-loop iteration count on every nest.
+pub fn set_iterations(prog: &mut ooc_ir::Program, iters: u32) {
+    for n in &mut prog.nests {
+        n.iterations = iters;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_ir::Program;
+
+    #[test]
+    fn margins_shrink_ranges() {
+        let mut p = Program::new(&["N"]);
+        let a = p.declare_array("A", 2, 0);
+        let s = Statement::assign(
+            aref(a, &[&[1, 0], &[0, 1]], &[0, 0]),
+            c(0.0),
+        );
+        let nest = nest_with_margins("n", 1, 0, &[2, 1], &[0, -1], vec![s]);
+        let pts = nest.bounds.enumerate(&[5]);
+        // i in 2..=5, j in 1..=4.
+        assert_eq!(pts.len(), 16);
+        assert!(pts.iter().all(|p| p[0] >= 2 && p[1] <= 4));
+    }
+}

@@ -1,0 +1,162 @@
+//! `vpenta` — pentadiagonal matrix inversion, Spec92/NAS style (Table
+//! 1: seven 2-D + two 3-D arrays, 3 timing iterations).
+//!
+//! Forward-elimination sweeps along the rows with both `(1, 1)` and
+//! `(1, -1)` dependence distances: **no** legal loop transformation
+//! can change the traversal (`l-opt` = `col`, the paper's 100.0), but
+//! simply flipping layouts to row-major makes every stream unit-stride
+//! (`row` = `d-opt` = `c-opt` = 47.1; `h-opt` adds interleaving).
+
+use super::util::{add, aref, mul, nest_with_margins, rf, set_iterations};
+use crate::kernel::Kernel;
+use ooc_ir::{DimSize, Program, Statement};
+
+/// Builds the kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    let mut p = Program::new(&["N"]);
+    let x = p.declare_array("X", 2, 0);
+    let a = p.declare_array("A", 2, 0);
+    let b = p.declare_array("B", 2, 0);
+    let cc = p.declare_array("C", 2, 0);
+    let d = p.declare_array("D", 2, 0);
+    let e = p.declare_array("E", 2, 0);
+    let f = p.declare_array("F", 2, 0);
+    // Fortran convention for the small plane index: it comes FIRST so
+    // the column-major default keeps planes interleaved at stride 3
+    // and the large dimensions contiguous.
+    let y = p.declare_array_dims("Y", vec![DimSize::Const(3), DimSize::Param(0), DimSize::Param(0)]);
+    let z = p.declare_array_dims("Z", vec![DimSize::Const(3), DimSize::Param(0), DimSize::Param(0)]);
+
+    let id = |arr, di, dj| aref(arr, &[&[1, 0], &[0, 1]], &[di, dj]);
+
+    // Elimination sweep 1: do i(2..N) / do j(2..N-1):
+    //   X(i,j) = X(i-1,j-1)*A(i,j) + X(i-1,j+1)*B(i,j) + C(i,j)
+    // The (1,1) and (1,-1) distances forbid interchange and reversal.
+    let s1 = Statement::assign(
+        id(x, 0, 0),
+        add(
+            add(
+                mul(rf(id(x, -1, -1)), rf(id(a, 0, 0))),
+                mul(rf(id(x, -1, 1)), rf(id(b, 0, 0))),
+            ),
+            rf(id(cc, 0, 0)),
+        ),
+    );
+    p.add_nest(nest_with_margins("vpenta_fwd1", 1, 0, &[2, 2], &[0, -1], vec![s1]));
+
+    // Elimination sweep 2 over the factor arrays:
+    //   D(i,j) = D(i-1,j-1)*E(i,j) + D(i-1,j+1)*F(i,j) + X(i,j)
+    let s2 = Statement::assign(
+        id(d, 0, 0),
+        add(
+            add(
+                mul(rf(id(d, -1, -1)), rf(id(e, 0, 0))),
+                mul(rf(id(d, -1, 1)), rf(id(f, 0, 0))),
+            ),
+            rf(id(x, 0, 0)),
+        ),
+    );
+    p.add_nest(nest_with_margins("vpenta_fwd2", 1, 0, &[2, 2], &[0, -1], vec![s2]));
+
+    // Pack the smoothed solution planes into the 3-D workspaces — the
+    // smoothing recurrences carry the same (1,±1) distances as the
+    // elimination, keeping the whole kernel loop-frozen:
+    //   Y(1,i,j) = X(i,j)*A(i,j) + Y(1,i-1,j+1)*0.5
+    //   Z(2,i,j) = D(i,j)*E(i,j) + Z(2,i-1,j-1)*0.5
+    let y3 = |di: i64, dj: i64| aref(y, &[&[0, 0], &[1, 0], &[0, 1]], &[1, di, dj]);
+    let z3 = |di: i64, dj: i64| aref(z, &[&[0, 0], &[1, 0], &[0, 1]], &[2, di, dj]);
+    let s3 = Statement::assign(
+        y3(0, 0),
+        add(
+            mul(rf(id(x, 0, 0)), rf(id(a, 0, 0))),
+            mul(rf(y3(-1, 1)), ooc_ir::Expr::Const(0.5)),
+        ),
+    );
+    let s4 = Statement::assign(
+        z3(0, 0),
+        add(
+            mul(rf(id(d, 0, 0)), rf(id(e, 0, 0))),
+            mul(rf(z3(-1, -1)), ooc_ir::Expr::Const(0.5)),
+        ),
+    );
+    p.add_nest(nest_with_margins("vpenta_pack", 1, 0, &[2, 2], &[0, -1], vec![s3, s4]));
+
+    set_iterations(&mut p, 3);
+    Kernel {
+        name: "vpenta",
+        source: "Spec92",
+        iterations: 3,
+        description: "pentadiagonal elimination with (1,±1) dependences: loop \
+                      transformations are illegal, layout flips fix everything",
+        program: p,
+        paper_params: vec![4096],
+        small_params: vec![8],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::versions::{compile, Version};
+    use ooc_linalg::Matrix;
+
+    #[test]
+    fn functional_equivalence_all_versions() {
+        let k = build();
+        for v in Version::ALL {
+            let cv = compile(&k, v);
+            let d = ooc_core::max_divergence_from_reference(
+                &cv.tiled,
+                &k.program,
+                &k.small_params,
+                &|a, idx| 1.0 + (a.0 as f64) * 0.01 + idx.iter().sum::<i64>() as f64 * 1e-4,
+            );
+            assert_eq!(d, 0.0, "{v:?} diverges");
+        }
+    }
+
+    #[test]
+    fn lopt_cannot_transform_the_sweeps() {
+        // The (1,1)/(1,-1) dependence pair blocks every completion our
+        // generator can produce: l-opt must keep the original order.
+        let k = build();
+        let cv = compile(&k, Version::LOpt);
+        for (i, nest) in cv.tiled.nests.iter().take(2).enumerate() {
+            assert_eq!(
+                nest.nest.body[0].lhs.access,
+                k.program.nests[i].body[0].lhs.access,
+                "sweep {i} was transformed"
+            );
+        }
+    }
+
+    #[test]
+    fn lopt_equals_col_dopt_much_better() {
+        // Table 2 vpenta: l-opt = col (100), d-opt = c-opt = row (47.1).
+        let k = build();
+        let cfg = ooc_core::ExecConfig::new(vec![256], 1);
+        let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg);
+        let l = ooc_core::simulate(&compile(&k, Version::LOpt).tiled, &cfg);
+        let d = ooc_core::simulate(&compile(&k, Version::DOpt).tiled, &cfg);
+        assert_eq!(l.io_calls, col.io_calls, "l-opt must equal col");
+        assert!(
+            d.io_calls * 2 < col.io_calls,
+            "d-opt {} vs col {}",
+            d.io_calls,
+            col.io_calls
+        );
+    }
+
+    #[test]
+    fn interchange_is_illegal_here() {
+        let k = build();
+        let deps = ooc_ir::nest_dependences(&k.program.nests[0]);
+        let interchange = Matrix::from_i64(2, 2, &[0, 1, 1, 0]);
+        assert!(!ooc_ir::transformation_preserves(&interchange, &deps));
+        // Reversal of the inner loop combined with interchange is blocked
+        // by the second distance.
+        let rev = Matrix::from_i64(2, 2, &[0, -1, 1, 0]);
+        assert!(!ooc_ir::transformation_preserves(&rev, &deps));
+    }
+}

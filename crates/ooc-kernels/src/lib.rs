@@ -1,0 +1,17 @@
+//! # ooc-kernels
+//!
+//! The ten benchmark codes of the paper's Table 1, reconstructed in
+//! the affine IR, plus the six program versions of the evaluation
+//! (`col`, `row`, `l-opt`, `d-opt`, `c-opt`, `h-opt`).
+//!
+//! Each kernel module documents which Table 2 behaviour its access
+//! structure is designed to reproduce and tests it in miniature.
+
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod kernels;
+pub mod versions;
+
+pub use kernel::{all_kernels, kernel_by_name, Kernel};
+pub use versions::{compile, interleave_groups, CompiledVersion, Version};

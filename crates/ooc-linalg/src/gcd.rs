@@ -1,0 +1,113 @@
+//! Integer gcd utilities used throughout the transformation framework.
+//!
+//! The paper's kernel-selection rule ("choose the kernel vector whose
+//! elements have minimum gcd") and the Bik–Wijshoff completion both
+//! reduce to extended-gcd computations on small integer vectors.
+
+/// Greatest common divisor (always non-negative; `gcd(0, 0) == 0`).
+#[must_use]
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    i64::try_from(a).expect("gcd overflow (|i64::MIN| input pair)")
+}
+
+/// Least common multiple (non-negative; `lcm(x, 0) == 0`).
+#[must_use]
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y == g == gcd(a, b)`
+/// and `g >= 0`.
+#[must_use]
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    if b == 0 {
+        return if a < 0 { (-a, -1, 0) } else { (a, 1, 0) };
+    }
+    let (g, x1, y1) = extended_gcd(b, a % b);
+    (g, y1, x1 - (a / b) * y1)
+}
+
+/// Gcd of a slice (0 for an empty or all-zero slice).
+#[must_use]
+pub fn gcd_slice(v: &[i64]) -> i64 {
+    v.iter().fold(0, |acc, &x| gcd(acc, x))
+}
+
+/// Divides a vector by the gcd of its entries, producing a *primitive*
+/// vector (entries with gcd 1). The zero vector is returned unchanged.
+/// The sign convention makes the first nonzero entry positive, so that
+/// e.g. `(0, -2)` and `(0, 4)` both normalize to `(0, 1)` — the same
+/// hyperplane family.
+#[must_use]
+pub fn primitive(v: &[i64]) -> Vec<i64> {
+    let g = gcd_slice(v);
+    if g == 0 {
+        return v.to_vec();
+    }
+    let mut out: Vec<i64> = v.iter().map(|&x| x / g).collect();
+    if let Some(&first) = out.iter().find(|&&x| x != 0) {
+        if first < 0 {
+            for x in &mut out {
+                *x = -*x;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(1, 1), 1);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 5), 0);
+        assert_eq!(lcm(-4, 6), 12);
+    }
+
+    #[test]
+    fn extended_gcd_identity() {
+        for (a, b) in [(240, 46), (-240, 46), (240, -46), (0, 5), (5, 0), (7, 7)] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert_eq!(g, gcd(a, b), "gcd mismatch for ({a},{b})");
+            assert_eq!(a * x + b * y, g, "Bezout identity fails for ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn slice_gcd() {
+        assert_eq!(gcd_slice(&[4, 6, 8]), 2);
+        assert_eq!(gcd_slice(&[]), 0);
+        assert_eq!(gcd_slice(&[0, 0]), 0);
+        assert_eq!(gcd_slice(&[-3, 9, 12]), 3);
+    }
+
+    #[test]
+    fn primitive_vectors() {
+        assert_eq!(primitive(&[4, 6]), vec![2, 3]);
+        assert_eq!(primitive(&[0, -2]), vec![0, 1]);
+        assert_eq!(primitive(&[-2, 4]), vec![1, -2]);
+        assert_eq!(primitive(&[0, 0]), vec![0, 0]);
+        assert_eq!(primitive(&[7]), vec![1]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Column-style Hermite normal form for integer matrices.
+//!
+//! Used to validate and construct unimodular completions: for an
+//! integer matrix `A` we compute `H = A · U` with `U` unimodular and
+//! `H` lower-triangular with non-negative entries below-left of
+//! positive pivots. The unimodular factor `U` is exactly the kind of
+//! basis change the completion method of Bik & Wijshoff builds on.
+
+use crate::matrix::Matrix;
+use crate::rational::Rational;
+
+/// Result of a column Hermite normal form computation: `h = a * u`
+/// with `u` unimodular.
+#[derive(Debug, Clone)]
+pub struct HnfResult {
+    /// The Hermite normal form (lower triangular, pivots positive).
+    pub h: Matrix,
+    /// The accumulated unimodular column-operation matrix.
+    pub u: Matrix,
+}
+
+/// Computes the column-style Hermite normal form of an integer matrix.
+///
+/// # Panics
+/// Panics if `a` has non-integer entries.
+#[must_use]
+pub fn column_hnf(a: &Matrix) -> HnfResult {
+    assert!(a.is_integer(), "HNF requires an integer matrix");
+    let rows = a.rows();
+    let cols = a.cols();
+    let mut h = a.clone();
+    let mut u = Matrix::identity(cols);
+
+    let mut pivot_col = 0;
+    for r in 0..rows {
+        if pivot_col >= cols {
+            break;
+        }
+        // Zero out entries to the right of the pivot column in row r by
+        // pairwise gcd column combinations.
+        while let Some(j) = (pivot_col + 1..cols).find(|&j| !h[(r, j)].is_zero()) {
+            let p = h[(r, pivot_col)].as_integer().expect("integer entry");
+            let q = h[(r, j)].as_integer().expect("integer entry");
+            let (g, x, y) = crate::gcd::extended_gcd(
+                i64::try_from(p).expect("entry overflow"),
+                i64::try_from(q).expect("entry overflow"),
+            );
+            let g = i128::from(g);
+            let (x, y) = (i128::from(x), i128::from(y));
+            // New pivot column = x*colp + y*colj; new colj = -(q/g)*colp + (p/g)*colj.
+            // The 2x2 block [[x, -(q/g)], [y, p/g]] has determinant
+            // x*(p/g) + y*(q/g) = (x*p + y*q)/g = 1, so it is unimodular.
+            let (mp, mj) = (-(q / g), p / g);
+            combine_cols(&mut h, pivot_col, j, x, y, mp, mj);
+            combine_cols(&mut u, pivot_col, j, x, y, mp, mj);
+        }
+        if h[(r, pivot_col)].is_zero() {
+            // No pivot available in this row; move to the next row with
+            // the same pivot column.
+            continue;
+        }
+        // Make the pivot positive.
+        if h[(r, pivot_col)].signum() < 0 {
+            negate_col(&mut h, pivot_col);
+            negate_col(&mut u, pivot_col);
+        }
+        // Reduce the columns left of the pivot modulo the pivot.
+        let pivot = h[(r, pivot_col)].as_integer().expect("integer entry");
+        for j in 0..pivot_col {
+            let e = h[(r, j)].as_integer().expect("integer entry");
+            let q = e.div_euclid(pivot);
+            if q != 0 {
+                sub_col_multiple(&mut h, j, pivot_col, q);
+                sub_col_multiple(&mut u, j, pivot_col, q);
+            }
+        }
+        pivot_col += 1;
+    }
+
+    HnfResult { h, u }
+}
+
+/// `colA, colB <- x*colA + y*colB, mp*colA + mj*colB` applied column-wise.
+fn combine_cols(m: &mut Matrix, a: usize, b: usize, x: i128, y: i128, mp: i128, mj: i128) {
+    let (x, y) = (Rational::from_int(x), Rational::from_int(y));
+    let (mp, mj) = (Rational::from_int(mp), Rational::from_int(mj));
+    for r in 0..m.rows() {
+        let va = m[(r, a)];
+        let vb = m[(r, b)];
+        m[(r, a)] = x * va + y * vb;
+        m[(r, b)] = mp * va + mj * vb;
+    }
+}
+
+fn negate_col(m: &mut Matrix, c: usize) {
+    for r in 0..m.rows() {
+        let v = m[(r, c)];
+        m[(r, c)] = -v;
+    }
+}
+
+/// `colJ <- colJ - q * colP`.
+fn sub_col_multiple(m: &mut Matrix, j: usize, p: usize, q: i128) {
+    let q = Rational::from_int(q);
+    for r in 0..m.rows() {
+        let sub = q * m[(r, p)];
+        m[(r, j)] -= sub;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, e: &[i64]) -> Matrix {
+        Matrix::from_i64(rows, cols, e)
+    }
+
+    fn check(a: &Matrix) {
+        let HnfResult { h, u } = column_hnf(a);
+        assert!(u.is_unimodular(), "U not unimodular:\n{u}");
+        assert_eq!(&(a * &u), &h, "A*U != H");
+        // Lower triangular: entries right of the staircase are zero.
+        let mut max_pivot_col: isize = -1;
+        for r in 0..h.rows() {
+            let nonzero: Vec<usize> =
+                (0..h.cols()).filter(|&c| !h[(r, c)].is_zero()).collect();
+            if let Some(&last) = nonzero.last() {
+                assert!(
+                    last as isize <= max_pivot_col + 1,
+                    "row {r} extends right of the staircase:\n{h}"
+                );
+                if last as isize == max_pivot_col + 1 {
+                    max_pivot_col = last as isize;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hnf_simple() {
+        check(&m(2, 2, &[2, 4, 6, 8]));
+        check(&m(2, 2, &[0, 1, 1, 0]));
+        check(&m(2, 2, &[1, 0, 0, 1]));
+    }
+
+    #[test]
+    fn hnf_rectangular() {
+        check(&m(2, 3, &[1, 2, 3, 4, 5, 6]));
+        check(&m(3, 2, &[3, 1, 4, 1, 5, 9]));
+    }
+
+    #[test]
+    fn hnf_rank_deficient() {
+        check(&m(2, 2, &[2, 4, 1, 2]));
+        check(&m(3, 3, &[1, 2, 3, 2, 4, 6, 3, 6, 9]));
+    }
+
+    #[test]
+    fn hnf_with_negatives() {
+        check(&m(2, 2, &[-3, 7, 5, -2]));
+        check(&m(3, 3, &[0, -1, 2, 4, 0, -6, 1, 1, 1]));
+    }
+
+    #[test]
+    fn hnf_of_row_vector() {
+        let a = m(1, 3, &[6, 10, 15]);
+        let HnfResult { h, u } = column_hnf(&a);
+        assert!(u.is_unimodular());
+        // gcd(6,10,15) = 1 lands in the pivot; rest of the row is zero.
+        assert_eq!(h[(0, 0)].as_integer(), Some(1));
+        assert!(h[(0, 1)].is_zero() && h[(0, 2)].is_zero());
+    }
+}

@@ -1,0 +1,508 @@
+//! Out-of-core arrays: the PASSION-like runtime object programs
+//! stage data tiles through.
+//!
+//! An [`OocArray`] couples an array shape, a [`FileLayout`], and a
+//! backing [`Store`]. Tiles (rectangular [`Region`]s) are read into
+//! and written from [`Tile`] buffers; every transfer is accounted in
+//! [`IoStats`] as the number of I/O *calls* it costs — maximal
+//! contiguous runs, split by the maximum transfer size — which is
+//! precisely the quantity the paper's optimizations minimize.
+
+use crate::layout::{FileLayout, Region, RunSummary};
+use crate::store::{MemStore, Store, ELEM_BYTES};
+use std::io;
+
+/// Runtime parameters for I/O call accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Maximum elements a single I/O call may move (runs longer than
+    /// this are split). Mirrors `PfsConfig::max_call_bytes / 8`.
+    pub max_call_elems: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            max_call_elems: 4 * 1024 * 1024 / ELEM_BYTES,
+        }
+    }
+}
+
+/// Cumulative I/O statistics of one array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Tile-read operations.
+    pub reads: u64,
+    /// Tile-write operations.
+    pub writes: u64,
+    /// I/O calls issued by reads.
+    pub read_calls: u64,
+    /// I/O calls issued by writes.
+    pub write_calls: u64,
+    /// Elements transferred by reads.
+    pub read_elems: u64,
+    /// Elements transferred by writes.
+    pub write_elems: u64,
+}
+
+impl IoStats {
+    /// Total calls (reads + writes).
+    #[must_use]
+    pub fn total_calls(&self) -> u64 {
+        self.read_calls + self.write_calls
+    }
+
+    /// Total elements (reads + writes).
+    #[must_use]
+    pub fn total_elems(&self) -> u64 {
+        self.read_elems + self.write_elems
+    }
+
+    /// Total bytes (reads + writes).
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_elems() * ELEM_BYTES
+    }
+}
+
+/// Cost of a single region access, derived from the layout's run
+/// structure and the call-size cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoCost {
+    /// I/O calls required.
+    pub calls: u64,
+    /// Elements moved.
+    pub elements: u64,
+    /// Starting byte offset in the file (for stripe mapping).
+    pub start_byte: u64,
+    /// Bytes spanned in the file, `start..end` (≥ moved bytes for
+    /// strided access).
+    pub span_bytes: u64,
+}
+
+/// An in-memory rectangular tile of an array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile {
+    region: Region,
+    data: Vec<f64>,
+}
+
+impl Tile {
+    /// Zero-filled tile covering `region`.
+    #[must_use]
+    pub fn zeroed(region: Region) -> Self {
+        let len = usize::try_from(region.len()).expect("tile too large");
+        Tile {
+            region,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// The covered region.
+    #[must_use]
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// Raw data in canonical region-row-major order.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    fn pos(&self, idx: &[i64]) -> usize {
+        assert!(self.region.contains(idx), "index {idx:?} outside tile");
+        let mut off: i64 = 0;
+        for (d, &x) in idx.iter().enumerate() {
+            off = off * self.region.extent(d) + (x - self.region.lo[d]);
+        }
+        usize::try_from(off).expect("tile offset")
+    }
+
+    /// Reads the element at global (1-based) index `idx`.
+    #[must_use]
+    pub fn get(&self, idx: &[i64]) -> f64 {
+        self.data[self.pos(idx)]
+    }
+
+    /// Writes the element at global index `idx`.
+    pub fn set(&mut self, idx: &[i64], v: f64) {
+        let p = self.pos(idx);
+        self.data[p] = v;
+    }
+}
+
+/// An out-of-core array over a backing store.
+#[derive(Debug)]
+pub struct OocArray<S: Store> {
+    name: String,
+    dims: Vec<i64>,
+    layout: FileLayout,
+    store: S,
+    config: RuntimeConfig,
+    stats: IoStats,
+}
+
+impl OocArray<MemStore> {
+    /// Creates an in-memory-backed array (tests, functional runs).
+    #[must_use]
+    pub fn in_memory(name: &str, dims: &[i64], layout: FileLayout) -> Self {
+        let len: i64 = dims.iter().product();
+        OocArray::new(
+            name,
+            dims,
+            layout,
+            MemStore::new(u64::try_from(len).expect("positive size")),
+            RuntimeConfig::default(),
+        )
+    }
+}
+
+impl<S: Store> OocArray<S> {
+    /// Creates an array over the given store.
+    ///
+    /// # Panics
+    /// Panics if the store size does not match the array shape.
+    #[must_use]
+    pub fn new(name: &str, dims: &[i64], layout: FileLayout, store: S, config: RuntimeConfig) -> Self {
+        let len: i64 = dims.iter().product();
+        assert_eq!(
+            store.len(),
+            u64::try_from(len).expect("positive size"),
+            "store size does not match array shape"
+        );
+        OocArray {
+            name: name.to_string(),
+            dims: dims.to_vec(),
+            layout,
+            store,
+            config,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Array name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dimensions.
+    #[must_use]
+    pub fn dims(&self) -> &[i64] {
+        &self.dims
+    }
+
+    /// The file layout.
+    #[must_use]
+    pub fn layout(&self) -> &FileLayout {
+        &self.layout
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// The I/O cost of accessing `region` under the array's layout —
+    /// no data is moved.
+    #[must_use]
+    pub fn io_cost(&self, region: &Region) -> IoCost {
+        summary_cost(
+            self.layout.region_run_summary(&self.dims, region),
+            self.config.max_call_elems,
+        )
+    }
+
+    /// Reads a tile, counting calls.
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    pub fn read_tile(&mut self, region: &Region) -> io::Result<Tile> {
+        let region = region.clamped(&self.dims);
+        let mut tile = Tile::zeroed(region.clone());
+        let runs = self.layout.region_runs(&self.dims, &region);
+        // Pull every run, then scatter into the tile by element lookup.
+        let mut run_data: Vec<(u64, Vec<f64>)> = Vec::with_capacity(runs.len());
+        let mut calls = 0u64;
+        for run in &runs {
+            let mut buf = vec![0.0; usize::try_from(run.len).expect("run len")];
+            self.store.read_run(run.start, &mut buf)?;
+            calls += run.len.div_ceil(self.config.max_call_elems);
+            run_data.push((run.start, buf));
+        }
+        for_each_index(&region, |idx| {
+            let off = self.layout.offset_of(&self.dims, idx);
+            let v = lookup(&run_data, off);
+            tile.set(idx, v);
+        });
+        self.stats.reads += 1;
+        self.stats.read_calls += calls;
+        self.stats.read_elems += region.len() as u64;
+        Ok(tile)
+    }
+
+    /// Writes a tile back, counting calls.
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    pub fn write_tile(&mut self, tile: &Tile) -> io::Result<()> {
+        let region = tile.region().clamped(&self.dims);
+        let runs = self.layout.region_runs(&self.dims, &region);
+        // Gather tile elements into per-run buffers.
+        let mut run_data: Vec<(u64, Vec<f64>)> = runs
+            .iter()
+            .map(|r| (r.start, vec![0.0; usize::try_from(r.len).expect("run len")]))
+            .collect();
+        for_each_index(&region, |idx| {
+            let off = self.layout.offset_of(&self.dims, idx);
+            store_into(&mut run_data, off, tile.get(idx));
+        });
+        let mut calls = 0u64;
+        for (start, buf) in &run_data {
+            self.store.write_run(*start, buf)?;
+            calls += (buf.len() as u64).div_ceil(self.config.max_call_elems);
+        }
+        self.stats.writes += 1;
+        self.stats.write_calls += calls;
+        self.stats.write_elems += region.len() as u64;
+        Ok(())
+    }
+
+    /// Reads one element (costing a full call) — convenience for tests.
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    pub fn read_element(&mut self, idx: &[i64]) -> io::Result<f64> {
+        let region = Region::new(idx.to_vec(), idx.to_vec());
+        Ok(self.read_tile(&region)?.get(idx))
+    }
+
+    /// Direct whole-array initialization through the layout (costed as
+    /// one sequential write sweep).
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    pub fn initialize(&mut self, f: impl Fn(&[i64]) -> f64) -> io::Result<()> {
+        let region = Region::full(&self.dims);
+        let mut tile = Tile::zeroed(region.clone());
+        for_each_index(&region, |idx| tile.set(idx, f(idx)));
+        self.write_tile(&tile)
+    }
+}
+
+/// Converts a run summary into an I/O cost under a call-size cap.
+#[must_use]
+pub fn summary_cost(s: RunSummary, max_call_elems: u64) -> IoCost {
+    if s.elements == 0 {
+        return IoCost {
+            calls: 0,
+            elements: 0,
+            start_byte: 0,
+            span_bytes: 0,
+        };
+    }
+    // Average run length; long runs split into multiple calls. Splitting
+    // is computed per average run, which is exact when runs are uniform
+    // (rectangular tiles under linear layouts always are).
+    let avg = (s.elements / s.runs).max(1);
+    let calls_per_run = avg.div_ceil(max_call_elems);
+    let rem = s.elements % s.runs;
+    // Distribute the remainder conservatively: at most one extra call.
+    let extra = u64::from(rem > 0 && (avg + 1).div_ceil(max_call_elems) > calls_per_run);
+    IoCost {
+        calls: s.runs * calls_per_run + extra,
+        elements: s.elements,
+        start_byte: s.min_start * ELEM_BYTES,
+        span_bytes: (s.max_end - s.min_start) * ELEM_BYTES,
+    }
+}
+
+fn for_each_index(region: &Region, mut f: impl FnMut(&[i64])) {
+    if region.is_empty() {
+        return;
+    }
+    let mut idx = region.lo.clone();
+    loop {
+        f(&idx);
+        let mut d = region.rank();
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] <= region.hi[d] {
+                break;
+            }
+            idx[d] = region.lo[d];
+            if d == 0 {
+                return;
+            }
+        }
+    }
+}
+
+fn lookup(runs: &[(u64, Vec<f64>)], off: u64) -> f64 {
+    let i = runs
+        .partition_point(|(start, _)| *start <= off)
+        .checked_sub(1)
+        .expect("offset before first run");
+    let (start, buf) = &runs[i];
+    buf[usize::try_from(off - start).expect("in-run offset")]
+}
+
+fn store_into(runs: &mut [(u64, Vec<f64>)], off: u64, v: f64) {
+    let i = runs
+        .partition_point(|(start, _)| *start <= off)
+        .checked_sub(1)
+        .expect("offset before first run");
+    let (start, buf) = &mut runs[i];
+    buf[usize::try_from(off - *start).expect("in-run offset")] = v;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> RuntimeConfig {
+        RuntimeConfig { max_call_elems: 8 }
+    }
+
+    #[test]
+    fn read_write_roundtrip_all_layouts() {
+        for layout in [
+            FileLayout::row_major(2),
+            FileLayout::col_major(2),
+            FileLayout::Hyperplane2D(1, 1),
+            FileLayout::Hyperplane2D(1, -1),
+            FileLayout::Blocked2D { br: 2, bc: 2 },
+        ] {
+            let mut a = OocArray::in_memory("A", &[4, 4], layout.clone());
+            a.initialize(|idx| (idx[0] * 10 + idx[1]) as f64).expect("init");
+            let tile = a
+                .read_tile(&Region::new(vec![2, 2], vec![3, 4]))
+                .expect("read");
+            assert_eq!(tile.get(&[2, 2]), 22.0, "{layout:?}");
+            assert_eq!(tile.get(&[3, 4]), 34.0, "{layout:?}");
+
+            // Modify and write back; re-read to verify.
+            let mut tile = tile;
+            tile.set(&[2, 3], -1.0);
+            a.write_tile(&tile).expect("write");
+            assert_eq!(a.read_element(&[2, 3]).expect("read"), -1.0, "{layout:?}");
+            assert_eq!(a.read_element(&[2, 2]).expect("read"), 22.0, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn call_accounting_matches_figure3() {
+        // 8x8 column-major array, memory tile 4x4 (Figure 3(a)): 4 calls.
+        let mut a = OocArray::new(
+            "V",
+            &[8, 8],
+            FileLayout::col_major(2),
+            MemStore::new(64),
+            small_config(),
+        );
+        a.reset_stats();
+        let _ = a.read_tile(&Region::new(vec![1, 1], vec![4, 4])).expect("read");
+        assert_eq!(a.stats().read_calls, 4);
+
+        // Figure 3(b): 2 full rows of a row-major array, max 8 elements
+        // per call: a single 16-element run = 2 calls.
+        let mut b = OocArray::new(
+            "V",
+            &[8, 8],
+            FileLayout::row_major(2),
+            MemStore::new(64),
+            small_config(),
+        );
+        let _ = b.read_tile(&Region::new(vec![1, 1], vec![2, 8])).expect("read");
+        assert_eq!(b.stats().read_calls, 2);
+    }
+
+    #[test]
+    fn io_cost_no_data_movement() {
+        let a = OocArray::in_memory("A", &[8, 8], FileLayout::col_major(2));
+        let c = a.io_cost(&Region::new(vec![1, 1], vec![4, 4]));
+        assert_eq!(c.calls, 4);
+        assert_eq!(c.elements, 16);
+        // No stats recorded by io_cost.
+        assert_eq!(a.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = OocArray::in_memory("A", &[4, 4], FileLayout::row_major(2));
+        let t = a.read_tile(&Region::new(vec![1, 1], vec![2, 4])).expect("r");
+        a.write_tile(&t).expect("w");
+        let s = a.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.read_elems, 8);
+        assert_eq!(s.write_elems, 8);
+        assert!(s.read_calls >= 1 && s.write_calls >= 1);
+        assert_eq!(s.total_bytes(), 16 * 8);
+    }
+
+    #[test]
+    fn out_of_bounds_regions_clamped() {
+        let mut a = OocArray::in_memory("A", &[4, 4], FileLayout::row_major(2));
+        let tile = a.read_tile(&Region::new(vec![3, 3], vec![9, 9])).expect("r");
+        assert_eq!(tile.region().len(), 4);
+    }
+
+    #[test]
+    fn tile_indexing() {
+        let mut t = Tile::zeroed(Region::new(vec![2, 3], vec![4, 5]));
+        t.set(&[3, 4], 7.5);
+        assert_eq!(t.get(&[3, 4]), 7.5);
+        assert_eq!(t.get(&[2, 3]), 0.0);
+        assert_eq!(t.data().len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside tile")]
+    fn tile_bounds_checked() {
+        let t = Tile::zeroed(Region::new(vec![1, 1], vec![2, 2]));
+        let _ = t.get(&[3, 1]);
+    }
+
+    #[test]
+    fn summary_cost_call_splitting() {
+        let s = RunSummary {
+            runs: 2,
+            elements: 32,
+            min_start: 0,
+            max_end: 40,
+        };
+        // Runs of 16, cap 8 -> 2 calls each.
+        let c = summary_cost(s, 8);
+        assert_eq!(c.calls, 4);
+        assert_eq!(c.span_bytes, 320);
+        // Cap large: 1 call per run.
+        let c = summary_cost(s, 1000);
+        assert_eq!(c.calls, 2);
+    }
+
+    #[test]
+    fn three_d_array_tiles() {
+        let mut a = OocArray::in_memory("B", &[3, 4, 5], FileLayout::row_major(3));
+        a.initialize(|idx| (idx[0] * 100 + idx[1] * 10 + idx[2]) as f64)
+            .expect("init");
+        let t = a
+            .read_tile(&Region::new(vec![2, 1, 1], vec![2, 4, 5]))
+            .expect("read");
+        assert_eq!(t.get(&[2, 3, 4]), 234.0);
+        // A full [1,.,.] plane of a row-major 3-D array is contiguous.
+        let cost = a.io_cost(&Region::new(vec![1, 1, 1], vec![1, 4, 5]));
+        assert_eq!(cost.calls, 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Memory budgeting for out-of-core execution.
+//!
+//! The paper fixes the in-core memory available to a computation at
+//! **1/128 of the total out-of-core data size** and divides it evenly
+//! among the arrays accessed by a nest. This module provides that
+//! arithmetic plus a small allocator that asserts tile working sets
+//! stay inside the budget during execution.
+
+/// The memory budget of an out-of-core computation, in elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    capacity: u64,
+    in_use: u64,
+}
+
+/// Error returned when an allocation would exceed the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Elements requested.
+    pub requested: u64,
+    /// Elements available.
+    pub available: u64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory budget exceeded: requested {} elements, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+impl MemoryBudget {
+    /// A budget of `capacity` elements.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        MemoryBudget {
+            capacity,
+            in_use: 0,
+        }
+    }
+
+    /// The paper's rule: memory = `total_elements / fraction` (fraction
+    /// 128 in the experiments).
+    #[must_use]
+    pub fn paper_fraction(total_elements: u64, fraction: u64) -> Self {
+        MemoryBudget::new((total_elements / fraction).max(1))
+    }
+
+    /// Total capacity in elements.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Elements currently allocated.
+    #[must_use]
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Elements still available.
+    #[must_use]
+    pub fn available(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+
+    /// Allocates `n` elements.
+    ///
+    /// # Errors
+    /// Fails if the allocation exceeds capacity.
+    pub fn alloc(&mut self, n: u64) -> Result<(), BudgetExceeded> {
+        if n > self.available() {
+            return Err(BudgetExceeded {
+                requested: n,
+                available: self.available(),
+            });
+        }
+        self.in_use += n;
+        Ok(())
+    }
+
+    /// Releases `n` elements.
+    ///
+    /// # Panics
+    /// Panics on releasing more than is allocated (a runtime bug).
+    pub fn free(&mut self, n: u64) {
+        assert!(n <= self.in_use, "freeing {n} with only {} in use", self.in_use);
+        self.in_use -= n;
+    }
+
+    /// Evenly splits the capacity across `arrays` concurrently resident
+    /// tiles (the paper's per-nest division).
+    #[must_use]
+    pub fn per_array(&self, arrays: usize) -> u64 {
+        if arrays == 0 {
+            self.capacity
+        } else {
+            (self.capacity / arrays as u64).max(1)
+        }
+    }
+}
+
+/// Chooses the largest tile height `B` such that `arrays` tiles of
+/// `B × row_len` elements fit in the budget; at least 1.
+///
+/// This is the tile-size rule for the paper's out-of-core tiling
+/// (§3.3): the innermost loop is untiled (full `row_len` extent), the
+/// tiled dimension gets `B` iterations.
+#[must_use]
+pub fn tile_span(budget: &MemoryBudget, arrays: usize, row_len: u64) -> u64 {
+    let per = budget.per_array(arrays);
+    (per / row_len.max(1)).max(1)
+}
+
+/// Chooses a square tile edge for traditional tiling: the largest `B`
+/// with `arrays` tiles of `B × B` elements within budget; at least 1.
+#[must_use]
+pub fn square_tile_edge(budget: &MemoryBudget, arrays: usize) -> u64 {
+    let per = budget.per_array(arrays);
+    let mut b = (per as f64).sqrt() as u64;
+    while b > 1 && b * b > per {
+        b -= 1;
+    }
+    b.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fraction_rule() {
+        // 3 arrays of 4096x4096 doubles, 1/128th.
+        let total = 3u64 * 4096 * 4096;
+        let b = MemoryBudget::paper_fraction(total, 128);
+        assert_eq!(b.capacity(), total / 128);
+    }
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut b = MemoryBudget::new(100);
+        b.alloc(60).expect("fits");
+        assert_eq!(b.available(), 40);
+        assert!(b.alloc(50).is_err());
+        b.free(30);
+        b.alloc(50).expect("fits now");
+        assert_eq!(b.in_use(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut b = MemoryBudget::new(10);
+        b.free(1);
+    }
+
+    #[test]
+    fn tile_span_rule() {
+        // Budget 32 elements over 2 arrays, rows of 8: B = 2 (16 elements
+        // per array tile) — exactly the Figure 3 setting.
+        let b = MemoryBudget::new(32);
+        assert_eq!(tile_span(&b, 2, 8), 2);
+        // Tiny budgets still make progress.
+        assert_eq!(tile_span(&MemoryBudget::new(1), 2, 8), 1);
+    }
+
+    #[test]
+    fn square_tile_rule() {
+        // Budget 32 over 2 arrays: per-array 16 -> 4x4 tiles (Figure 3(a)).
+        let b = MemoryBudget::new(32);
+        assert_eq!(square_tile_edge(&b, 2), 4);
+        assert_eq!(square_tile_edge(&MemoryBudget::new(2), 2), 1);
+    }
+
+    #[test]
+    fn per_array_split() {
+        let b = MemoryBudget::new(100);
+        assert_eq!(b.per_array(3), 33);
+        assert_eq!(b.per_array(0), 100);
+    }
+}

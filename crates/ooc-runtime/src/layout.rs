@@ -1,0 +1,778 @@
+//! File layouts for out-of-core arrays.
+//!
+//! A file layout decides the linear order in which array elements are
+//! stored on disk — and therefore how many I/O calls a rectangular
+//! data tile costs. Layouts supported (paper Figure 2):
+//!
+//! * [`FileLayout::DimOrder`] — dimension-order layouts for any rank:
+//!   row-major, column-major, and every permutation in between.
+//! * [`FileLayout::Hyperplane2D`] — general 2-D hyperplane layouts
+//!   `(g₁, g₂)`: elements with equal `g₁a₁ + g₂a₂` are stored
+//!   consecutively (diagonal `(1,-1)`, anti-diagonal `(1,1)`, …).
+//!   `(1,0)`/`(0,1)` coincide with row-/column-major and are handled
+//!   by the exact dimension-order fast path.
+//! * [`FileLayout::Blocked2D`] — blocked layouts (the optimizer does
+//!   not select them, per the paper, but the h-opt hand-optimized
+//!   versions use them for chunking).
+//!
+//! The central query is [`FileLayout::region_runs`]: the maximal
+//! contiguous file runs covering a rectangular region. Each run is the
+//! unit the PASSION-like runtime turns into I/O calls.
+
+use ooc_linalg::gcd;
+use serde::{Deserialize, Serialize};
+
+/// A rectangular region of an array: 1-based inclusive bounds per
+/// dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region {
+    /// Lower bounds (1-based, inclusive).
+    pub lo: Vec<i64>,
+    /// Upper bounds (inclusive).
+    pub hi: Vec<i64>,
+}
+
+impl Region {
+    /// Creates a region; panics if `lo` and `hi` lengths differ.
+    #[must_use]
+    pub fn new(lo: Vec<i64>, hi: Vec<i64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "region rank mismatch");
+        Region { lo, hi }
+    }
+
+    /// Full-array region for the given dims.
+    #[must_use]
+    pub fn full(dims: &[i64]) -> Self {
+        Region {
+            lo: vec![1; dims.len()],
+            hi: dims.to_vec(),
+        }
+    }
+
+    /// The rank.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Extent along dimension `d` (0 if empty).
+    #[must_use]
+    pub fn extent(&self, d: usize) -> i64 {
+        (self.hi[d] - self.lo[d] + 1).max(0)
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> i64 {
+        (0..self.rank()).map(|d| self.extent(d)).product()
+    }
+
+    /// `true` if the region contains no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the point lies inside.
+    #[must_use]
+    pub fn contains(&self, idx: &[i64]) -> bool {
+        idx.len() == self.rank()
+            && idx
+                .iter()
+                .zip(self.lo.iter().zip(&self.hi))
+                .all(|(&x, (&l, &h))| l <= x && x <= h)
+    }
+
+    /// Intersection with array bounds `1..=dims[d]`.
+    #[must_use]
+    pub fn clamped(&self, dims: &[i64]) -> Region {
+        Region {
+            lo: self.lo.iter().map(|&l| l.max(1)).collect(),
+            hi: self
+                .hi
+                .iter()
+                .zip(dims)
+                .map(|(&h, &n)| h.min(n))
+                .collect(),
+        }
+    }
+}
+
+/// A contiguous run of elements in the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// Element offset of the first element of the run within the file.
+    pub start: u64,
+    /// Number of consecutive elements.
+    pub len: u64,
+}
+
+/// Aggregate I/O cost of accessing a region (without materializing
+/// every run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunSummary {
+    /// Number of maximal contiguous runs.
+    pub runs: u64,
+    /// Total elements covered.
+    pub elements: u64,
+    /// Element offset of the first touched byte (for stripe mapping).
+    pub min_start: u64,
+    /// One past the last touched element offset.
+    pub max_end: u64,
+}
+
+/// The supported file layouts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileLayout {
+    /// Dimension-order layout: `perm` lists dimensions from outermost
+    /// (slowest-varying) to innermost (fastest-varying, contiguous).
+    /// For a 2-D array, `perm = [0, 1]` is row-major and `[1, 0]` is
+    /// column-major.
+    DimOrder(Vec<usize>),
+    /// General 2-D hyperplane layout `(g₁, g₂)`: elements are ordered
+    /// by hyperplane value `c = g₁a₁ + g₂a₂` ascending, then by `a₁`
+    /// (then `a₂`) within a hyperplane.
+    Hyperplane2D(i64, i64),
+    /// 2-D blocked layout: `br × bc` blocks stored row-major by block,
+    /// row-major inside each block.
+    Blocked2D {
+        /// Block height.
+        br: i64,
+        /// Block width.
+        bc: i64,
+    },
+}
+
+impl FileLayout {
+    /// Row-major for the given rank.
+    #[must_use]
+    pub fn row_major(rank: usize) -> Self {
+        FileLayout::DimOrder((0..rank).collect())
+    }
+
+    /// Column-major for the given rank (last dimension outermost).
+    #[must_use]
+    pub fn col_major(rank: usize) -> Self {
+        FileLayout::DimOrder((0..rank).rev().collect())
+    }
+
+    /// The layout selected by a 2-D hyperplane vector, routed to the
+    /// exact dimension-order representation when the hyperplane is
+    /// axis-aligned: `(1,0) ⇒` row-major, `(0,1) ⇒` column-major.
+    ///
+    /// # Panics
+    /// Panics on the zero vector.
+    #[must_use]
+    pub fn from_hyperplane(g: &[i64]) -> Self {
+        assert_eq!(g.len(), 2, "hyperplane layouts are 2-D");
+        let p = ooc_linalg::primitive(g);
+        match (p[0], p[1]) {
+            (0, 0) => panic!("zero hyperplane vector"),
+            (1, 0) => FileLayout::row_major(2),
+            (0, 1) => FileLayout::col_major(2),
+            (g1, g2) => FileLayout::Hyperplane2D(g1, g2),
+        }
+    }
+
+    /// The hyperplane vector describing this layout, when one exists.
+    #[must_use]
+    pub fn hyperplane(&self) -> Option<[i64; 2]> {
+        match self {
+            FileLayout::DimOrder(p) if p.as_slice() == [0, 1] => Some([1, 0]),
+            FileLayout::DimOrder(p) if p.as_slice() == [1, 0] => Some([0, 1]),
+            FileLayout::Hyperplane2D(g1, g2) => Some([*g1, *g2]),
+            _ => None,
+        }
+    }
+
+    /// Element offset of `idx` (1-based) in a file holding an array of
+    /// extents `dims` under this layout.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds or ranks mismatch.
+    #[must_use]
+    pub fn offset_of(&self, dims: &[i64], idx: &[i64]) -> u64 {
+        assert_eq!(dims.len(), idx.len());
+        for (d, (&x, &n)) in idx.iter().zip(dims).enumerate() {
+            assert!((1..=n).contains(&x), "index {x} out of 1..={n} in dim {d}");
+        }
+        match self {
+            FileLayout::DimOrder(perm) => {
+                assert_eq!(perm.len(), dims.len());
+                let mut off: u64 = 0;
+                for &d in perm {
+                    off = off * dims[d] as u64 + (idx[d] - 1) as u64;
+                }
+                off
+            }
+            FileLayout::Hyperplane2D(g1, g2) => {
+                let h = Hyperplanes::new(*g1, *g2, dims[0], dims[1]);
+                h.offset_of(idx[0], idx[1])
+            }
+            FileLayout::Blocked2D { br, bc } => {
+                let (n1, n2) = (dims[0], dims[1]);
+                let (bi, bj) = ((idx[0] - 1) / br, (idx[1] - 1) / bc);
+                // Elements before this block: full block-rows above plus
+                // blocks to the left in this block-row. Edge blocks are
+                // smaller; compute exact counts.
+                let rows_above = (bi * br).min(n1);
+                let elems_above = rows_above * n2;
+                let block_h = ((bi + 1) * br).min(n1) - bi * br;
+                let mut elems_left = 0;
+                for b in 0..bj {
+                    let w = ((b + 1) * bc).min(n2) - b * bc;
+                    elems_left += block_h * w;
+                }
+                let block_w = ((bj + 1) * bc).min(n2) - bj * bc;
+                let (ri, rj) = ((idx[0] - 1) % br, (idx[1] - 1) % bc);
+                (elems_above + elems_left + ri * block_w + rj) as u64
+            }
+        }
+    }
+
+    /// The maximal contiguous runs of `region` (clamped to the array),
+    /// in ascending file order. Exact for every layout.
+    ///
+    /// Intended for functional execution and tests; for paper-scale
+    /// accounting use [`FileLayout::region_run_summary`].
+    #[must_use]
+    pub fn region_runs(&self, dims: &[i64], region: &Region) -> Vec<Run> {
+        let region = region.clamped(dims);
+        if region.is_empty() {
+            return Vec::new();
+        }
+        // Generic exact computation: enumerate the region's element
+        // offsets, sort, and coalesce. Region sizes in functional mode are
+        // small; the summary path below never calls this.
+        let mut offsets: Vec<u64> = Vec::with_capacity(usize::try_from(region.len()).unwrap());
+        let mut idx = region.lo.clone();
+        loop {
+            offsets.push(self.offset_of(dims, &idx));
+            // Odometer increment.
+            let mut d = idx.len();
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] <= region.hi[d] {
+                    break;
+                }
+                idx[d] = region.lo[d];
+                if d == 0 {
+                    // Wrapped the outermost dimension: done.
+                    offsets.sort_unstable();
+                    return coalesce(&offsets);
+                }
+            }
+            if idx == region.lo {
+                break;
+            }
+        }
+        offsets.sort_unstable();
+        coalesce(&offsets)
+    }
+
+    /// Aggregate run statistics for a region without enumeration —
+    /// O(#runs) at worst, O(1) for dimension-order layouts. Exact for
+    /// [`FileLayout::DimOrder`] and [`FileLayout::Blocked2D`]; for
+    /// general hyperplane layouts it counts one run per intersected
+    /// hyperplane (exact unless the region covers whole adjacent
+    /// hyperplanes, where runs could merge — a second-order effect).
+    #[must_use]
+    pub fn region_run_summary(&self, dims: &[i64], region: &Region) -> RunSummary {
+        let region = region.clamped(dims);
+        if region.is_empty() {
+            return RunSummary::default();
+        }
+        let elements = region.len() as u64;
+        // A full-array access is one sequential sweep under any layout.
+        if region == Region::full(dims) {
+            return RunSummary {
+                runs: 1,
+                elements,
+                min_start: 0,
+                max_end: elements,
+            };
+        }
+        match self {
+            FileLayout::DimOrder(perm) => {
+                // Innermost (fastest) dimensions that the region covers
+                // fully merge into longer runs.
+                let mut run_len: u64 = 1;
+                for (pos, &d) in perm.iter().enumerate().rev() {
+                    run_len *= region.extent(d) as u64;
+                    if region.extent(d) != dims[d] || pos == 0 {
+                        break;
+                    }
+                }
+                let runs = elements / run_len;
+                let min_start = self.offset_of(dims, &region.lo);
+                let max_end = self.offset_of(dims, &region.hi) + 1;
+                RunSummary {
+                    runs,
+                    elements,
+                    min_start,
+                    max_end,
+                }
+            }
+            FileLayout::Hyperplane2D(g1, g2) => {
+                let h = Hyperplanes::new(*g1, *g2, dims[0], dims[1]);
+                h.region_summary(&region)
+            }
+            FileLayout::Blocked2D { br, bc } => {
+                let (r1, r2) = (region.lo[0], region.hi[0]);
+                let (c1, c2) = (region.lo[1], region.hi[1]);
+                let mut runs = 0u64;
+                let mut min_start = u64::MAX;
+                let mut max_end = 0u64;
+                let (b_lo, b_hi) = ((r1 - 1) / br, (r2 - 1) / br);
+                let (d_lo, d_hi) = ((c1 - 1) / bc, (c2 - 1) / bc);
+                for bi in b_lo..=b_hi {
+                    for bj in d_lo..=d_hi {
+                        // Intersection of the region with block (bi, bj).
+                        let blk_r1 = (bi * br + 1).max(r1);
+                        let blk_r2 = ((bi + 1) * br).min(dims[0]).min(r2);
+                        let blk_c1 = (bj * bc + 1).max(c1);
+                        let blk_c2 = ((bj + 1) * bc).min(dims[1]).min(c2);
+                        if blk_r1 > blk_r2 || blk_c1 > blk_c2 {
+                            continue;
+                        }
+                        let block_w = ((bj + 1) * bc).min(dims[1]) - bj * bc;
+                        let rows = (blk_r2 - blk_r1 + 1) as u64;
+                        let width = (blk_c2 - blk_c1 + 1) as u64;
+                        // Row-major inside the block: full-width spans merge.
+                        let r = if width == block_w as u64 { 1 } else { rows };
+                        runs += r;
+                        let start = self.offset_of(dims, &[blk_r1, blk_c1]);
+                        let end = self.offset_of(dims, &[blk_r2, blk_c2]) + 1;
+                        min_start = min_start.min(start);
+                        max_end = max_end.max(end);
+                    }
+                }
+                RunSummary {
+                    runs,
+                    elements,
+                    min_start,
+                    max_end,
+                }
+            }
+        }
+    }
+}
+
+/// Helper for general 2-D hyperplane layouts: enumerates realized
+/// hyperplane values and cumulative element counts.
+struct Hyperplanes {
+    g1: i64,
+    g2: i64,
+    n1: i64,
+    n2: i64,
+}
+
+impl Hyperplanes {
+    fn new(g1: i64, g2: i64, n1: i64, n2: i64) -> Self {
+        assert!(g1 != 0 || g2 != 0, "zero hyperplane");
+        Hyperplanes { g1, g2, n1, n2 }
+    }
+
+    /// Number of elements on hyperplane `c` (within the full array).
+    fn count_on(&self, c: i64) -> i64 {
+        self.count_on_region(c, 1, self.n1, 1, self.n2)
+    }
+
+    /// Number of elements on hyperplane `c` within the rectangle.
+    #[allow(clippy::similar_names)]
+    fn count_on_region(&self, c: i64, r1: i64, r2: i64, c1: i64, c2: i64) -> i64 {
+        let (g1, g2) = (self.g1, self.g2);
+        if g2 == 0 {
+            // a1 fixed: c = g1*a1.
+            if c % g1 != 0 {
+                return 0;
+            }
+            let a1 = c / g1;
+            if (r1..=r2).contains(&a1) {
+                return c2 - c1 + 1;
+            }
+            return 0;
+        }
+        // For each a1 in [r1, r2], a2 = (c - g1*a1) / g2 must be an
+        // integer in [c1, c2]. The integrality condition is a congruence
+        // g1*a1 ≡ c (mod g2); the range condition is an interval in a1.
+        let mut count = 0i64;
+        // Quick infeasibility screen: the congruence g1*a1 ≡ c (mod |g2|)
+        // is solvable only when gcd(g1, g2) divides c.
+        let m = g2.abs();
+        if c.rem_euclid(gcd(g1, m)) != 0 {
+            return 0;
+        }
+        // Interval of a1 with a2 in [c1, c2]:
+        //   a2 = (c - g1*a1)/g2 in [c1, c2].
+        // Work with rationals to get the a1 interval, then apply the
+        // congruence stepping (solutions are spaced m/gcd(g1,m) apart).
+        let (lo_f, hi_f) = {
+            // c - g1*a1 in [g2*c1, g2*c2] (order depends on sign of g2)
+            let (b1, b2) = if g2 > 0 {
+                (g2 * c1, g2 * c2)
+            } else {
+                (g2 * c2, g2 * c1)
+            };
+            // b1 <= c - g1*a1 <= b2  =>  (c - b2) <= g1*a1 <= (c - b1)
+            let (lo_num, hi_num) = (c - b2, c - b1);
+            if g1 > 0 {
+                (
+                    (lo_num as f64 / g1 as f64).ceil() as i64,
+                    (hi_num as f64 / g1 as f64).floor() as i64,
+                )
+            } else if g1 < 0 {
+                (
+                    (hi_num as f64 / g1 as f64).ceil() as i64,
+                    (lo_num as f64 / g1 as f64).floor() as i64,
+                )
+            } else {
+                // g1 == 0: a2 = c/g2 fixed; every a1 in [r1, r2] counts if
+                // a2 in range.
+                if c % g2 != 0 {
+                    return 0;
+                }
+                let a2 = c / g2;
+                if (c1..=c2).contains(&a2) {
+                    return r2 - r1 + 1;
+                }
+                return 0;
+            }
+        };
+        let lo = lo_f.max(r1);
+        let hi = hi_f.min(r2);
+        let mut a1 = lo;
+        while a1 <= hi {
+            let num = c - g1 * a1;
+            if num % g2 == 0 {
+                let a2 = num / g2;
+                if (c1..=c2).contains(&a2) {
+                    count += 1;
+                    // Solutions are spaced gcd-periodically; continue the
+                    // simple loop (n is bounded by the array extent).
+                }
+            }
+            a1 += 1;
+        }
+        count
+    }
+
+    /// Realized hyperplane value range over the full array.
+    fn c_range(&self) -> (i64, i64) {
+        let corners = [
+            self.g1 + self.g2,
+            self.g1 + self.g2 * self.n2,
+            self.g1 * self.n1 + self.g2,
+            self.g1 * self.n1 + self.g2 * self.n2,
+        ];
+        (
+            *corners.iter().min().expect("nonempty"),
+            *corners.iter().max().expect("nonempty"),
+        )
+    }
+
+    /// Offset of element (a1, a2): elements on smaller hyperplanes plus
+    /// the rank within this hyperplane (ordered by a1, then a2).
+    fn offset_of(&self, a1: i64, a2: i64) -> u64 {
+        let c = self.g1 * a1 + self.g2 * a2;
+        let (c_min, _) = self.c_range();
+        let mut before = 0i64;
+        for cc in c_min..c {
+            before += self.count_on(cc);
+        }
+        // Rank within hyperplane: elements with smaller a1 (a2 determined),
+        // or same a1 and smaller a2 (only when g2 == 0 can a1 repeat).
+        let rank = if self.g2 == 0 {
+            a2 - 1
+        } else {
+            self.count_on_region(c, 1, a1 - 1, 1, self.n2)
+        };
+        (before + rank) as u64
+    }
+
+    /// Run summary for a rectangular region: one run per intersected
+    /// hyperplane (exact within-hyperplane contiguity; see module docs).
+    fn region_summary(&self, region: &Region) -> RunSummary {
+        let (r1, r2) = (region.lo[0], region.hi[0]);
+        let (c1, c2) = (region.lo[1], region.hi[1]);
+        let (c_min, c_max) = self.c_range();
+        let mut runs = 0u64;
+        let mut elements = 0u64;
+        let mut min_start = u64::MAX;
+        let mut max_end = 0u64;
+        let mut cum_before = 0i64; // elements on hyperplanes < cc
+        for cc in c_min..=c_max {
+            let total_on = self.count_on(cc);
+            if total_on == 0 {
+                continue;
+            }
+            let in_region = self.count_on_region(cc, r1, r2, c1, c2);
+            if in_region > 0 {
+                runs += 1;
+                elements += in_region as u64;
+                // Start of this hyperplane's region segment: the rank of
+                // the first region element, i.e. the number of hyperplane
+                // elements ordered before it.
+                let before_rows = if self.g2 == 0 {
+                    c1 - 1
+                } else {
+                    // Find the smallest a1 in [r1, r2] whose a2 lands in
+                    // [c1, c2]; everything with a smaller a1 precedes it.
+                    let mut a1_first = r1;
+                    while a1_first <= r2
+                        && self.count_on_region(cc, a1_first, a1_first, c1, c2) == 0
+                    {
+                        a1_first += 1;
+                    }
+                    self.count_on_region(cc, 1, a1_first - 1, 1, self.n2)
+                };
+                let seg_start = (cum_before + before_rows) as u64;
+                min_start = min_start.min(seg_start);
+                max_end = max_end.max(seg_start + in_region as u64);
+            }
+            cum_before += total_on;
+        }
+        RunSummary {
+            runs,
+            elements,
+            min_start: if runs == 0 { 0 } else { min_start },
+            max_end,
+        }
+    }
+}
+
+/// Coalesces sorted element offsets into maximal contiguous runs.
+fn coalesce(sorted: &[u64]) -> Vec<Run> {
+    let mut out: Vec<Run> = Vec::new();
+    for &off in sorted {
+        match out.last_mut() {
+            Some(run) if run.start + run.len == off => run.len += 1,
+            _ => out.push(Run { start: off, len: 1 }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_offsets() {
+        let l = FileLayout::row_major(2);
+        let dims = [3, 4];
+        assert_eq!(l.offset_of(&dims, &[1, 1]), 0);
+        assert_eq!(l.offset_of(&dims, &[1, 4]), 3);
+        assert_eq!(l.offset_of(&dims, &[2, 1]), 4);
+        assert_eq!(l.offset_of(&dims, &[3, 4]), 11);
+    }
+
+    #[test]
+    fn col_major_offsets() {
+        let l = FileLayout::col_major(2);
+        let dims = [3, 4];
+        assert_eq!(l.offset_of(&dims, &[1, 1]), 0);
+        assert_eq!(l.offset_of(&dims, &[3, 1]), 2);
+        assert_eq!(l.offset_of(&dims, &[1, 2]), 3);
+        assert_eq!(l.offset_of(&dims, &[3, 4]), 11);
+    }
+
+    #[test]
+    fn three_d_dim_order() {
+        // perm [2,0,1]: dim 2 outermost, dim 1 contiguous.
+        let l = FileLayout::DimOrder(vec![2, 0, 1]);
+        let dims = [2, 3, 4];
+        assert_eq!(l.offset_of(&dims, &[1, 1, 1]), 0);
+        assert_eq!(l.offset_of(&dims, &[1, 2, 1]), 1);
+        assert_eq!(l.offset_of(&dims, &[2, 1, 1]), 3);
+        assert_eq!(l.offset_of(&dims, &[1, 1, 2]), 6);
+    }
+
+    #[test]
+    fn offsets_are_a_bijection() {
+        let dims = [5, 6];
+        for layout in [
+            FileLayout::row_major(2),
+            FileLayout::col_major(2),
+            FileLayout::Hyperplane2D(1, 1),
+            FileLayout::Hyperplane2D(1, -1),
+            FileLayout::Hyperplane2D(2, 1),
+            FileLayout::Hyperplane2D(7, 4),
+            FileLayout::Blocked2D { br: 2, bc: 3 },
+            FileLayout::Blocked2D { br: 3, bc: 4 },
+        ] {
+            let mut seen = [false; 30];
+            for a1 in 1..=5 {
+                for a2 in 1..=6 {
+                    let off = layout.offset_of(&dims, &[a1, a2]) as usize;
+                    assert!(off < 30, "{layout:?} offset {off} out of range");
+                    assert!(!seen[off], "{layout:?} duplicate offset {off}");
+                    seen[off] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{layout:?} not surjective");
+        }
+    }
+
+    #[test]
+    fn diagonal_layout_order() {
+        // (1, -1): anti-diagonals a1 - a2 = c ascending. The first
+        // hyperplane of a 3x3 array is c = 1-3 = -2: element (1,3).
+        let l = FileLayout::Hyperplane2D(1, -1);
+        let dims = [3, 3];
+        assert_eq!(l.offset_of(&dims, &[1, 3]), 0);
+        // c = -1: (1,2), (2,3).
+        assert_eq!(l.offset_of(&dims, &[1, 2]), 1);
+        assert_eq!(l.offset_of(&dims, &[2, 3]), 2);
+        // c = 0: (1,1), (2,2), (3,3).
+        assert_eq!(l.offset_of(&dims, &[1, 1]), 3);
+        assert_eq!(l.offset_of(&dims, &[3, 3]), 5);
+    }
+
+    #[test]
+    fn paper_figure3_run_counts() {
+        // Figure 3(a): a 4x4 tile of an 8x8 column-major array needs 4
+        // I/O calls (one per column).
+        let col = FileLayout::col_major(2);
+        let dims = [8, 8];
+        let tile = Region::new(vec![1, 1], vec![4, 4]);
+        let s = col.region_run_summary(&dims, &tile);
+        assert_eq!(s.runs, 4);
+        assert_eq!(s.elements, 16);
+
+        // Figure 3(b): a 2x8 tile (2 full rows) of a row-major array is
+        // a single contiguous run of 16 elements (split into calls by the
+        // max-transfer size at the PFS layer, e.g. 2 calls of 8).
+        let row = FileLayout::row_major(2);
+        let tile_b = Region::new(vec![1, 1], vec![2, 8]);
+        let s = row.region_run_summary(&dims, &tile_b);
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.elements, 16);
+
+        // Same 2 full rows from the column-major file: 8 runs of 2.
+        let s = col.region_run_summary(&dims, &tile_b);
+        assert_eq!(s.runs, 8);
+    }
+
+    #[test]
+    fn run_summary_matches_exact_runs() {
+        let dims = [6, 7];
+        let layouts = [
+            FileLayout::row_major(2),
+            FileLayout::col_major(2),
+            FileLayout::Hyperplane2D(1, 1),
+            FileLayout::Hyperplane2D(1, -1),
+            FileLayout::Blocked2D { br: 2, bc: 3 },
+        ];
+        let regions = [
+            Region::new(vec![1, 1], vec![6, 7]),
+            Region::new(vec![2, 3], vec![4, 5]),
+            Region::new(vec![1, 1], vec![1, 1]),
+            Region::new(vec![3, 1], vec![5, 7]),
+            Region::new(vec![1, 4], vec![6, 4]),
+        ];
+        for layout in &layouts {
+            for region in &regions {
+                let exact = layout.region_runs(&dims, region);
+                let summary = layout.region_run_summary(&dims, region);
+                let exact_elems: u64 = exact.iter().map(|r| r.len).sum();
+                assert_eq!(
+                    summary.elements, exact_elems,
+                    "{layout:?} {region:?} element mismatch"
+                );
+                // Summary may over-count runs for hyperplane and blocked
+                // layouts when adjacent hyperplanes/blocks merge; it must
+                // never under-count.
+                assert!(
+                    summary.runs >= exact.len() as u64,
+                    "{layout:?} {region:?}: summary {} < exact {}",
+                    summary.runs,
+                    exact.len()
+                );
+                if matches!(layout, FileLayout::DimOrder(_)) {
+                    assert_eq!(
+                        summary.runs,
+                        exact.len() as u64,
+                        "{layout:?} {region:?} must be exact"
+                    );
+                }
+                if !exact.is_empty() {
+                    assert_eq!(summary.min_start, exact[0].start);
+                    let last = exact.last().expect("nonempty");
+                    assert_eq!(summary.max_end, last.start + last.len);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_region_is_single_run_dim_order() {
+        for layout in [FileLayout::row_major(2), FileLayout::col_major(2)] {
+            let dims = [9, 5];
+            let s = layout.region_run_summary(&dims, &Region::full(&dims));
+            assert_eq!(s.runs, 1);
+            assert_eq!(s.elements, 45);
+            assert_eq!(s.min_start, 0);
+            assert_eq!(s.max_end, 45);
+        }
+    }
+
+    #[test]
+    fn from_hyperplane_routes_axis_aligned() {
+        assert_eq!(FileLayout::from_hyperplane(&[1, 0]), FileLayout::row_major(2));
+        assert_eq!(FileLayout::from_hyperplane(&[0, 1]), FileLayout::col_major(2));
+        assert_eq!(FileLayout::from_hyperplane(&[0, -3]), FileLayout::col_major(2));
+        assert_eq!(
+            FileLayout::from_hyperplane(&[2, -2]),
+            FileLayout::Hyperplane2D(1, -1)
+        );
+        assert_eq!(FileLayout::row_major(2).hyperplane(), Some([1, 0]));
+        assert_eq!(FileLayout::col_major(2).hyperplane(), Some([0, 1]));
+    }
+
+    #[test]
+    fn blocked_layout_block_run_merging() {
+        // 4x4 array, 2x2 blocks: a full block is one run.
+        let l = FileLayout::Blocked2D { br: 2, bc: 2 };
+        let dims = [4, 4];
+        let s = l.region_run_summary(&dims, &Region::new(vec![1, 1], vec![2, 2]));
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.elements, 4);
+        // A tile spanning 2x4 (two blocks side by side) = 2 runs.
+        let s = l.region_run_summary(&dims, &Region::new(vec![1, 1], vec![2, 4]));
+        assert_eq!(s.runs, 2);
+        // A 4x2 tile (two stacked blocks) = 2 runs.
+        let s = l.region_run_summary(&dims, &Region::new(vec![1, 1], vec![4, 2]));
+        assert_eq!(s.runs, 2);
+        // A misaligned 2x2 tile crossing 4 blocks = 4 runs... each block
+        // contributes a 1x1 partial (1 run each).
+        let s = l.region_run_summary(&dims, &Region::new(vec![2, 2], vec![3, 3]));
+        assert_eq!(s.runs, 4);
+    }
+
+    #[test]
+    fn clamping_and_empty_regions() {
+        let l = FileLayout::row_major(2);
+        let dims = [4, 4];
+        let s = l.region_run_summary(&dims, &Region::new(vec![3, 3], vec![10, 10]));
+        assert_eq!(s.elements, 4); // clamped to [3..4]x[3..4]
+        let s = l.region_run_summary(&dims, &Region::new(vec![3, 3], vec![2, 10]));
+        assert_eq!(s, RunSummary::default());
+        assert!(Region::new(vec![5, 1], vec![4, 4]).is_empty());
+    }
+
+    #[test]
+    fn region_basics() {
+        let r = Region::new(vec![2, 3], vec![4, 7]);
+        assert_eq!(r.extent(0), 3);
+        assert_eq!(r.extent(1), 5);
+        assert_eq!(r.len(), 15);
+        assert!(r.contains(&[3, 5]));
+        assert!(!r.contains(&[1, 5]));
+        assert_eq!(Region::full(&[3, 3]).len(), 9);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ooc-runtime
+//!
+//! A PASSION-style out-of-core runtime (cf. Thakur et al., *PASSION:
+//! Optimized I/O for parallel applications*): out-of-core arrays live
+//! in files under configurable [`FileLayout`]s, programs stage
+//! rectangular data [`Tile`]s between file and memory, and every
+//! transfer is accounted as the number of I/O **calls** it costs —
+//! the quantity the ICPP'99 compiler optimizations minimize.
+//!
+//! * [`layout`] — dimension-order, general 2-D hyperplane, and blocked
+//!   file layouts with exact contiguous-run accounting.
+//! * [`store`] — real-file and in-memory backing stores.
+//! * [`mod@array`] — [`OocArray`]: tile read/write with [`IoStats`].
+//! * [`budget`] — the paper's 1/128 memory rule and tile sizing.
+//! * [`interleave`] — chunking/interleaving used by the hand-optimized
+//!   `h-opt` program versions.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod budget;
+pub mod interleave;
+pub mod layout;
+pub mod store;
+
+pub use array::{summary_cost, IoCost, IoStats, OocArray, RuntimeConfig, Tile};
+pub use budget::{square_tile_edge, tile_span, BudgetExceeded, MemoryBudget};
+pub use interleave::InterleavedGroup;
+pub use layout::{FileLayout, Region, Run, RunSummary};
+pub use store::{FileStore, MemStore, Store, ELEM_BYTES};

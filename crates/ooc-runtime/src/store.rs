@@ -1,0 +1,219 @@
+//! Backing stores for out-of-core array files.
+//!
+//! The runtime reads and writes *runs* of `f64` elements at element
+//! offsets. Two stores are provided:
+//!
+//! * [`FileStore`] — a real file on disk (what PASSION would use).
+//! * [`MemStore`] — an in-memory byte vector with identical semantics,
+//!   for fast deterministic tests and for simulation-mode executions
+//!   that never touch data at all.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+/// Size of one stored element in bytes (double precision, as in the
+/// paper's experiments).
+pub const ELEM_BYTES: u64 = 8;
+
+/// A store of `f64` elements addressed by element offset.
+pub trait Store {
+    /// Number of elements the store holds.
+    fn len(&self) -> u64;
+
+    /// `true` if the store holds no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads `buf.len()` elements starting at element `offset`.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or out-of-range reads.
+    fn read_run(&self, offset: u64, buf: &mut [f64]) -> io::Result<()>;
+
+    /// Writes `buf.len()` elements starting at element `offset`.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or out-of-range writes.
+    fn write_run(&mut self, offset: u64, buf: &[f64]) -> io::Result<()>;
+}
+
+/// In-memory store.
+#[derive(Debug, Clone)]
+pub struct MemStore {
+    data: Vec<f64>,
+}
+
+impl MemStore {
+    /// Zero-filled store of `len` elements.
+    #[must_use]
+    pub fn new(len: u64) -> Self {
+        MemStore {
+            data: vec![0.0; usize::try_from(len).expect("store too large for memory")],
+        }
+    }
+
+    /// Direct view of the contents (tests).
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl Store for MemStore {
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn read_run(&self, offset: u64, buf: &mut [f64]) -> io::Result<()> {
+        let start = usize::try_from(offset).map_err(|_| range_err())?;
+        let end = start.checked_add(buf.len()).ok_or_else(range_err)?;
+        let src = self.data.get(start..end).ok_or_else(range_err)?;
+        buf.copy_from_slice(src);
+        Ok(())
+    }
+
+    fn write_run(&mut self, offset: u64, buf: &[f64]) -> io::Result<()> {
+        let start = usize::try_from(offset).map_err(|_| range_err())?;
+        let end = start.checked_add(buf.len()).ok_or_else(range_err)?;
+        let dst = self.data.get_mut(start..end).ok_or_else(range_err)?;
+        dst.copy_from_slice(buf);
+        Ok(())
+    }
+}
+
+fn range_err() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, "run out of store range")
+}
+
+/// A real file store; elements are little-endian `f64`s.
+#[derive(Debug)]
+pub struct FileStore {
+    file: File,
+    len: u64,
+}
+
+impl FileStore {
+    /// Creates (truncating) a file sized for `len` elements.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path, len: u64) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(len * ELEM_BYTES)?;
+        Ok(FileStore { file, len })
+    }
+
+    /// Opens an existing file; its size must be a multiple of 8.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors; fails on odd-sized files.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let bytes = file.metadata()?.len();
+        if bytes % ELEM_BYTES != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file size not a multiple of the element size",
+            ));
+        }
+        Ok(FileStore {
+            file,
+            len: bytes / ELEM_BYTES,
+        })
+    }
+}
+
+impl Store for FileStore {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_run(&self, offset: u64, buf: &mut [f64]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        if offset + buf.len() as u64 > self.len {
+            return Err(range_err());
+        }
+        let mut bytes = vec![0u8; buf.len() * ELEM_BYTES as usize];
+        self.file.read_exact_at(&mut bytes, offset * ELEM_BYTES)?;
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            buf[i] = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        Ok(())
+    }
+
+    fn write_run(&mut self, offset: u64, buf: &[f64]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        if offset + buf.len() as u64 > self.len {
+            return Err(range_err());
+        }
+        let mut bytes = Vec::with_capacity(buf.len() * ELEM_BYTES as usize);
+        for v in buf {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.file.write_all_at(&bytes, offset * ELEM_BYTES)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memstore_roundtrip() {
+        let mut s = MemStore::new(10);
+        s.write_run(2, &[1.0, 2.0, 3.0]).expect("write");
+        let mut buf = [0.0; 5];
+        s.read_run(0, &mut buf).expect("read");
+        assert_eq!(buf, [0.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn memstore_bounds_checked() {
+        let mut s = MemStore::new(4);
+        assert!(s.write_run(3, &[1.0, 2.0]).is_err());
+        let mut buf = [0.0; 2];
+        assert!(s.read_run(3, &mut buf).is_err());
+        assert!(s.read_run(2, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn filestore_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ooc-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("arr.dat");
+        {
+            let mut s = FileStore::create(&path, 16).expect("create");
+            assert_eq!(s.len(), 16);
+            s.write_run(5, &[3.25, -1.5]).expect("write");
+            let mut buf = [0.0; 3];
+            s.read_run(4, &mut buf).expect("read");
+            assert_eq!(buf, [0.0, 3.25, -1.5]);
+        }
+        {
+            let s = FileStore::open(&path).expect("open");
+            assert_eq!(s.len(), 16);
+            let mut buf = [0.0; 2];
+            s.read_run(5, &mut buf).expect("read");
+            assert_eq!(buf, [3.25, -1.5]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filestore_bounds_checked() {
+        let dir = std::env::temp_dir().join(format!("ooc-store-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("arr.dat");
+        let mut s = FileStore::create(&path, 4).expect("create");
+        assert!(s.write_run(3, &[1.0, 2.0]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

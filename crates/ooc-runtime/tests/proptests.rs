@@ -1,0 +1,149 @@
+//! Property-based tests of the out-of-core runtime: layouts are
+//! bijections, run accounting matches brute force, and tile I/O is
+//! lossless under every layout.
+
+use ooc_runtime::{FileLayout, MemStore, OocArray, Region, RuntimeConfig};
+use proptest::prelude::*;
+
+fn layout_strategy() -> impl Strategy<Value = FileLayout> {
+    prop_oneof![
+        Just(FileLayout::row_major(2)),
+        Just(FileLayout::col_major(2)),
+        Just(FileLayout::Hyperplane2D(1, 1)),
+        Just(FileLayout::Hyperplane2D(1, -1)),
+        Just(FileLayout::Hyperplane2D(2, 1)),
+        Just(FileLayout::Hyperplane2D(3, -2)),
+        (1i64..4, 1i64..4).prop_map(|(br, bc)| FileLayout::Blocked2D { br, bc }),
+    ]
+}
+
+fn dims_strategy() -> impl Strategy<Value = [i64; 2]> {
+    (2i64..9, 2i64..9).prop_map(|(a, b)| [a, b])
+}
+
+fn region_in(dims: [i64; 2]) -> impl Strategy<Value = Region> {
+    (1..=dims[0], 1..=dims[1]).prop_flat_map(move |(l0, l1)| {
+        (l0..=dims[0], l1..=dims[1]).prop_map(move |(h0, h1)| Region::new(vec![l0, l1], vec![h0, h1]))
+    })
+}
+
+proptest! {
+    /// Every layout's offset function is a bijection onto 0..len.
+    #[test]
+    fn offsets_are_bijective(layout in layout_strategy(), dims in dims_strategy()) {
+        let len = (dims[0] * dims[1]) as usize;
+        let mut seen = vec![false; len];
+        for a1 in 1..=dims[0] {
+            for a2 in 1..=dims[1] {
+                let off = layout.offset_of(&dims, &[a1, a2]) as usize;
+                prop_assert!(off < len, "{layout:?}: offset {off} >= {len}");
+                prop_assert!(!seen[off], "{layout:?}: duplicate offset {off}");
+                seen[off] = true;
+            }
+        }
+    }
+
+    /// The fast run summary never under-counts the exact runs and
+    /// agrees on element totals; for dimension-order layouts it is
+    /// exact.
+    #[test]
+    fn summary_matches_exact_runs(
+        layout in layout_strategy(),
+        dims in dims_strategy(),
+    ) {
+        let region = Region::new(vec![1, 1], dims.to_vec());
+        // Also test a strict sub-region.
+        let sub = Region::new(
+            vec![1 + dims[0] / 3, 1 + dims[1] / 3],
+            vec![dims[0] - dims[0] / 4, dims[1] - dims[1] / 4],
+        );
+        for r in [region, sub] {
+            if r.is_empty() {
+                continue;
+            }
+            let exact = layout.region_runs(&dims, &r);
+            let summary = layout.region_run_summary(&dims, &r);
+            let exact_elems: u64 = exact.iter().map(|x| x.len).sum();
+            prop_assert_eq!(summary.elements, exact_elems);
+            prop_assert!(summary.runs >= exact.len() as u64);
+            if matches!(layout, FileLayout::DimOrder(_)) {
+                prop_assert_eq!(summary.runs, exact.len() as u64);
+            }
+            if !exact.is_empty() {
+                prop_assert_eq!(summary.min_start, exact[0].start);
+                let last = exact.last().expect("nonempty");
+                prop_assert_eq!(summary.max_end, last.start + last.len);
+            }
+        }
+    }
+
+    /// Tile reads and writes are lossless: write a tile, read it back,
+    /// and untouched elements survive — under every layout.
+    #[test]
+    fn tile_io_roundtrip(
+        layout in layout_strategy(),
+        dims in dims_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut arr = OocArray::new(
+            "T",
+            &dims,
+            layout,
+            MemStore::new((dims[0] * dims[1]) as u64),
+            RuntimeConfig { max_call_elems: 4 },
+        );
+        arr.initialize(|idx| (idx[0] * 1000 + idx[1]) as f64 + seed as f64)
+            .expect("init");
+        let r = Region::new(
+            vec![1 + dims[0] / 4, 1 + dims[1] / 4],
+            vec![dims[0], dims[1] - dims[1] / 4],
+        );
+        prop_assume!(!r.is_empty());
+        let mut tile = arr.read_tile(&r).expect("read");
+        // Overwrite the tile with new values and write back.
+        for a1 in r.lo[0]..=r.hi[0] {
+            for a2 in r.lo[1]..=r.hi[1] {
+                tile.set(&[a1, a2], -((a1 * 100 + a2) as f64));
+            }
+        }
+        arr.write_tile(&tile).expect("write");
+        // In-region values updated, out-of-region preserved.
+        for a1 in 1..=dims[0] {
+            for a2 in 1..=dims[1] {
+                let got = arr.read_element(&[a1, a2]).expect("read elem");
+                let expect = if r.contains(&[a1, a2]) {
+                    -((a1 * 100 + a2) as f64)
+                } else {
+                    (a1 * 1000 + a2) as f64 + seed as f64
+                };
+                prop_assert_eq!(got, expect, "element ({}, {})", a1, a2);
+            }
+        }
+    }
+
+    /// Call accounting equals runs split by the transfer cap.
+    #[test]
+    fn read_calls_match_run_arithmetic(
+        layout in layout_strategy(),
+        dims in dims_strategy(),
+        cap in 1u64..6,
+        region in dims_strategy().prop_flat_map(region_in),
+    ) {
+        let region = region.clamped(&dims);
+        prop_assume!(!region.is_empty());
+        let mut arr = OocArray::new(
+            "T",
+            &dims,
+            layout.clone(),
+            MemStore::new((dims[0] * dims[1]) as u64),
+            RuntimeConfig { max_call_elems: cap },
+        );
+        let _ = arr.read_tile(&region).expect("read");
+        let expected: u64 = layout
+            .region_runs(&dims, &region)
+            .iter()
+            .map(|r| r.len.div_ceil(cap))
+            .sum();
+        prop_assert_eq!(arr.stats().read_calls, expected);
+    }
+}

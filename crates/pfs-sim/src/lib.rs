@@ -1,0 +1,23 @@
+//! # pfs-sim
+//!
+//! A simulator of the I/O subsystem the paper evaluates on: the Intel
+//! Paragon's PFS parallel file system — files striped in 64 KB units
+//! over 64 I/O nodes — plus the compute-node timing needed to turn
+//! I/O call counts and volumes into wall-clock time.
+//!
+//! The original machine is long gone; what the paper's results depend
+//! on is (a) a fixed per-call cost, (b) finite per-I/O-node bandwidth,
+//! and (c) contention when many processors share the fixed I/O-node
+//! pool. [`PfsSim`] models exactly those with an exact discrete-event
+//! simulation at I/O-operation granularity; [`analytic`] provides
+//! closed-form bounds used for cross-checks and compiler cost queries.
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod config;
+pub mod sim;
+
+pub use analytic::{estimate, lower_bound, stats, WorkloadStats};
+pub use config::{ComputeParams, DiskParams, MachineConfig, PfsConfig};
+pub use sim::{FileId, Op, PfsSim, SimResult, Trace, Workload};

@@ -1,0 +1,110 @@
+//! Cross-cutting invariants of the simulated executor.
+
+use ooc_opt::core::{simulate, ExecConfig};
+use ooc_opt::kernels::{all_kernels, compile, kernel_by_name, Version};
+
+/// More in-core memory never increases the I/O call count: bigger
+/// tiles mean fewer, larger staging operations.
+#[test]
+fn more_memory_never_more_calls() {
+    for name in ["trans", "mat", "gfunp"] {
+        let k = kernel_by_name(name).expect("kernel");
+        let params: Vec<i64> = k.paper_params.iter().map(|&n| (n / 16).max(8)).collect();
+        let cv = compile(&k, Version::COpt);
+        let calls_at = |fraction: u64| {
+            let mut cfg = ExecConfig::new(params.clone(), 16);
+            cfg.memory_fraction = fraction;
+            simulate(&cv.tiled, &cfg).io_calls
+        };
+        let tight = calls_at(512); // 1/512 of the data in memory
+        let paper = calls_at(128); // the paper's 1/128 rule
+        let roomy = calls_at(16); // 1/16
+        assert!(
+            paper <= tight,
+            "{name}: 1/128 memory ({paper} calls) vs 1/512 ({tight})"
+        );
+        assert!(
+            roomy <= paper,
+            "{name}: 1/16 memory ({roomy} calls) vs 1/128 ({paper})"
+        );
+    }
+}
+
+/// The data volume a version moves is independent of the processor
+/// count (partitioning splits work, it must not create work) — up to
+/// the per-class staging of boundary tiles.
+#[test]
+fn volume_stable_across_processors() {
+    for k in all_kernels() {
+        let params: Vec<i64> = k.paper_params.iter().map(|&n| (n / 16).max(8)).collect();
+        let cv = compile(&k, Version::COpt);
+        let bytes_at = |procs: usize| {
+            let mut cfg = ExecConfig::new(params.clone(), procs);
+            cfg.interleave = cv.interleave.clone();
+            simulate(&cv.tiled, &cfg).io_bytes
+        };
+        let b1 = bytes_at(1) as f64;
+        let b16 = bytes_at(16) as f64;
+        assert!(
+            b16 <= b1 * 3.0 && b16 >= b1 / 3.0,
+            "{}: volume blew up across processors: 1 proc {b1}, 16 procs {b16}",
+            k.name
+        );
+    }
+}
+
+/// Flops are an intrinsic property of the program: identical across
+/// versions and processor counts.
+#[test]
+fn flops_invariant_across_versions_and_procs() {
+    let k = kernel_by_name("syr2k").expect("kernel");
+    let params = vec![64i64];
+    let mut reference = None;
+    for v in Version::ALL {
+        let cv = compile(&k, v);
+        for procs in [1usize, 8] {
+            let r = simulate(&cv.tiled, &ExecConfig::new(params.clone(), procs));
+            let f = *reference.get_or_insert(r.flops);
+            assert_eq!(r.flops, f, "{v:?}@{procs}");
+        }
+    }
+}
+
+/// Doubling the timing-loop iterations doubles calls, bytes, and
+/// (approximately) time.
+#[test]
+fn iterations_scale_linearly() {
+    let k = kernel_by_name("trans").expect("kernel");
+    let mut double = k.clone();
+    for nest in &mut double.program.nests {
+        nest.iterations *= 2;
+    }
+    let cfg = ExecConfig::new(vec![128], 4);
+    let base = simulate(&compile(&k, Version::COpt).tiled, &cfg);
+    let twice = simulate(&compile(&double, Version::COpt).tiled, &cfg);
+    assert_eq!(twice.io_calls, base.io_calls * 2);
+    assert_eq!(twice.io_bytes, base.io_bytes * 2);
+    assert!(twice.flops == base.flops * 2.0);
+    let ratio = twice.result.total_time / base.result.total_time;
+    assert!((1.8..=2.2).contains(&ratio), "time ratio {ratio}");
+}
+
+/// A simulated report's wall clock is never less than its compute
+/// time per processor (compute cannot be hidden — I/O is synchronous).
+#[test]
+fn wall_clock_bounds() {
+    for k in all_kernels() {
+        let params: Vec<i64> = k.paper_params.iter().map(|&n| (n / 16).max(8)).collect();
+        let cv = compile(&k, Version::Col);
+        let procs = 8usize;
+        let r = simulate(&cv.tiled, &ExecConfig::new(params, procs));
+        assert!(
+            r.result.total_time * 1.0001 >= r.result.compute_time / procs as f64,
+            "{}: wall {} below compute/proc {}",
+            k.name,
+            r.result.total_time,
+            r.result.compute_time / procs as f64
+        );
+        assert!(r.result.total_time.is_finite());
+    }
+}

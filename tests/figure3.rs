@@ -1,0 +1,70 @@
+//! Figure 3: the out-of-core tiling strategy's I/O call counts, at the
+//! paper's exact illustration scale and at realistic scale.
+
+use ooc_opt::runtime::{summary_cost, FileLayout, MemoryBudget, Region};
+
+/// The paper's illustration: 8x8 arrays, 32 elements of memory split
+/// over two arrays, at most 8 elements per I/O call.
+#[test]
+fn paper_illustration_numbers() {
+    let dims = [8i64, 8];
+    let budget = MemoryBudget::new(32);
+    assert_eq!(budget.per_array(2), 16);
+
+    // (a) traditional 4x4 tiles: 4 calls per tile from either layout.
+    let square = Region::new(vec![1, 1], vec![4, 4]);
+    for layout in [FileLayout::row_major(2), FileLayout::col_major(2)] {
+        let cost = summary_cost(layout.region_run_summary(&dims, &square), 8);
+        assert_eq!(cost.calls, 4, "{layout:?}");
+        assert_eq!(cost.elements, 16);
+    }
+
+    // (b) out-of-core 2x8 tiles: 2 calls when the slab matches the
+    // layout (row-major), 8 when it fights it.
+    let slab = Region::new(vec![1, 1], vec![2, 8]);
+    let row = summary_cost(FileLayout::row_major(2).region_run_summary(&dims, &slab), 8);
+    assert_eq!(row.calls, 2);
+    assert_eq!(row.elements, 16);
+    let col = summary_cost(FileLayout::col_major(2).region_run_summary(&dims, &slab), 8);
+    assert_eq!(col.calls, 8);
+}
+
+/// The same effect at scale, end to end through the compiler: on the
+/// worked example, out-of-core tiling issues fewer calls than naive
+/// square tiling for the same program and layouts.
+#[test]
+fn ooc_tiling_beats_traditional_end_to_end() {
+    use ooc_opt::core::{optimize, simulate, ExecConfig, OptimizeOptions, TiledProgram, TilingStrategy};
+    use ooc_opt::ir::{ArrayRef, Expr, LoopNest, Program, Statement};
+
+    let mut p = Program::new(&["N"]);
+    let u = p.declare_array("U", 2, 0);
+    let v = p.declare_array("V", 2, 0);
+    let s = Statement::assign(
+        ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+        Expr::Ref(ArrayRef::new(v, &[vec![0, 1], vec![1, 0]], vec![0, 0])),
+    );
+    p.add_nest(LoopNest::rectangular("n", 2, 1, 0, vec![s]));
+
+    let opt = optimize(&p, &OptimizeOptions::default());
+    let cfg = ExecConfig::new(vec![1024], 16);
+    let ooc = simulate(
+        &TiledProgram::from_optimized(&opt, TilingStrategy::OutOfCore),
+        &cfg,
+    );
+    let trad = simulate(
+        &TiledProgram::from_optimized(&opt, TilingStrategy::Traditional),
+        &cfg,
+    );
+    assert!(
+        ooc.io_calls < trad.io_calls,
+        "out-of-core {} calls vs traditional {}",
+        ooc.io_calls,
+        trad.io_calls
+    );
+    // (No wall-clock assertion here: at this reduced N a whole slab
+    // fits inside one 64 KB stripe, so the few large out-of-core calls
+    // serialize on single I/O nodes — a small-scale artifact. At paper
+    // scale the slabs span many stripes and the call saving dominates;
+    // the `table2` harness and `tests/table_shapes.rs` cover that.)
+}

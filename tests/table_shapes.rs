@@ -1,0 +1,145 @@
+//! Shape assertions for the paper's Tables 2 and 3, at reduced scale:
+//! who wins, in what order, and where the per-kernel quirks fall.
+//!
+//! These run the full stack — the ten kernels, the six versions, the
+//! optimizer, the tiler, the PFS simulator — so they use 1/16 of the
+//! paper's array extents to stay fast. The bench harnesses (`table2`,
+//! `table3`) run the same code at full scale.
+
+use ooc_opt::core::{simulate, ExecConfig};
+use ooc_opt::kernels::{all_kernels, compile, kernel_by_name, Version};
+
+fn times(kernel: &str, n_div: i64, procs: usize) -> Vec<f64> {
+    let k = kernel_by_name(kernel).expect("kernel");
+    let params: Vec<i64> = k.paper_params.iter().map(|&n| (n / n_div).max(8)).collect();
+    Version::ALL
+        .iter()
+        .map(|&v| {
+            let cv = compile(&k, v);
+            let mut cfg = ExecConfig::new(params.clone(), procs);
+            cfg.interleave = cv.interleave.clone();
+            simulate(&cv.tiled, &cfg).result.total_time
+        })
+        .collect()
+}
+
+/// Table 2's aggregate story: on average over the ten kernels, the
+/// combined version beats the loop-only and data-only versions, which
+/// beat the column-major baseline; h-opt is at least as good as c-opt.
+#[test]
+fn table2_average_ordering() {
+    let mut avg = [0.0f64; 6];
+    for k in all_kernels() {
+        let t = times(k.name, 16, 16);
+        for (i, &ti) in t.iter().enumerate() {
+            avg[i] += ti / t[0] / 10.0;
+        }
+    }
+    let [_col, _row, l, d, c, h] = avg;
+    assert!(c < l, "c-opt avg {c} must beat l-opt avg {l}");
+    assert!(c < d, "c-opt avg {c} must beat d-opt avg {d}");
+    assert!(l < 1.0, "l-opt avg {l} must beat col");
+    assert!(d < 1.0, "d-opt avg {d} must beat col");
+    assert!(h <= c * 1.05, "h-opt avg {h} must not lose to c-opt {c}");
+}
+
+/// trans: col = row = l-opt; d-opt = c-opt = h-opt, much better.
+#[test]
+fn trans_quirks() {
+    let t = times("trans", 16, 16);
+    let (col, row, l, d, c, h) = (t[0], t[1], t[2], t[3], t[4], t[5]);
+    // (within 10%: the per-processor partition introduces a slight
+    // asymmetry at reduced scale)
+    assert!((row / col - 1.0).abs() < 0.10, "row {row} = col {col}");
+    assert!((l / col - 1.0).abs() < 0.10, "l-opt {l} = col {col}");
+    assert!(d < 0.6 * col, "d-opt {d} halves col {col}");
+    assert!((c / d - 1.0).abs() < 0.02, "c-opt {c} = d-opt {d}");
+    assert!((h / d - 1.0).abs() < 0.02, "h-opt {h} = d-opt {d}");
+}
+
+/// vpenta: dependences freeze the loops (l-opt = col); layouts fix
+/// everything (d-opt = c-opt, row also good).
+#[test]
+fn vpenta_quirks() {
+    let t = times("vpenta", 16, 16);
+    let (col, row, l, d, c, _h) = (t[0], t[1], t[2], t[3], t[4], t[5]);
+    assert!((l / col - 1.0).abs() < 0.02, "l-opt {l} = col {col}");
+    assert!(d < 0.5 * col, "d-opt {d} far below col {col}");
+    assert!((c / d - 1.0).abs() < 0.1, "c-opt {c} = d-opt {d}");
+    assert!(row < 0.5 * col, "row {row} also fixes vpenta");
+}
+
+/// emit: nothing to optimize (col = l = d = c); row hurts.
+#[test]
+fn emit_quirks() {
+    let t = times("emit", 4, 16);
+    let (col, row, l, d, c, _h) = (t[0], t[1], t[2], t[3], t[4], t[5]);
+    for (name, v) in [("l-opt", l), ("d-opt", d), ("c-opt", c)] {
+        assert!((v / col - 1.0).abs() < 0.02, "{name} {v} = col {col}");
+    }
+    assert!(row > 1.5 * col, "row {row} hurts emit (col {col})");
+}
+
+/// adi: loop transformations win — a single global layout cannot serve
+/// the three sweep directions, per-nest loop transformations can
+/// (l ≈ c ≪ col, and far below d-opt).
+#[test]
+fn adi_quirks() {
+    let t = times("adi", 4, 16);
+    let (col, _row, l, d, c, _h) = (t[0], t[1], t[2], t[3], t[4], t[5]);
+    assert!(l < 0.5 * d, "l-opt {l} far below d-opt {d}");
+    assert!(c < 0.5 * d, "c-opt {c} far below d-opt {d}");
+    assert!(l < 0.5 * col, "l-opt {l} far below col {col}");
+    assert!(c < 0.5 * col, "c-opt {c} far below col {col}");
+}
+
+/// gfunp: the full ordering c < d < l < col < row.
+#[test]
+fn gfunp_quirks() {
+    let t = times("gfunp", 16, 16);
+    let (col, row, l, d, c, _h) = (t[0], t[1], t[2], t[3], t[4], t[5]);
+    assert!(c < d, "c {c} < d {d}");
+    assert!(d < l, "d {d} < l {l}");
+    assert!(l <= col * 1.01, "l {l} <= col {col}");
+    assert!(row > col, "row {row} worst ({col})");
+}
+
+/// Table 3's shape: every version speeds up with more processors, and
+/// the speedup at 128 is bounded by the I/O subsystem, not linear.
+#[test]
+fn table3_speedups_bounded_by_io_subsystem() {
+    let k = kernel_by_name("trans").expect("kernel");
+    let params = vec![1024i64];
+    // The optimized version scales monotonically (large sequential
+    // calls split cleanly over processors)...
+    {
+        let cv = compile(&k, Version::COpt);
+        let t = |procs: usize| {
+            simulate(&cv.tiled, &ExecConfig::new(params.clone(), procs))
+                .result
+                .total_time
+        };
+        let (t1, t16, t64) = (t(1), t(16), t(64));
+        assert!(t16 < t1, "c-opt: 16 procs faster than 1");
+        assert!(t64 <= t16 * 1.05, "c-opt: 64 ≈ or better than 16 ({t64} vs {t16})");
+        let s64 = t1 / t64;
+        assert!((3.0..64.0).contains(&s64), "c-opt: sublinear scaling ({s64})");
+    }
+    // ...while the strided col baseline gains less: its per-processor
+    // row slices shred the column-major runs as P grows.
+    {
+        let cv = compile(&k, Version::Col);
+        let t = |procs: usize| {
+            simulate(&cv.tiled, &ExecConfig::new(params.clone(), procs))
+                .result
+                .total_time
+        };
+        let (t1, t16, t64) = (t(1), t(16), t(64));
+        assert!(t16 < t1, "col: 16 procs faster than 1");
+        assert!(t64 < t1, "col: still faster than 1 node at 64 procs");
+        let s16 = t1 / t16;
+        let s64 = t1 / t64;
+        assert!(s16 < 16.0, "col: sublinear at 16 ({s16})");
+        assert!(s64 < s16 * 4.0, "col: scaling flattens ({s16} -> {s64})");
+    }
+}
