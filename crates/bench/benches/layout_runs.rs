@@ -21,7 +21,9 @@ fn bench_run_summaries(c: &mut Criterion) {
     let tile_small = Region::new(vec![17, 33], vec![80, 96]);
     let diag = FileLayout::Hyperplane2D(1, -1);
     c.bench_function("layout/summary_64x64_tile/diagonal", |b| {
-        b.iter(|| black_box(&diag).region_run_summary(black_box(&dims_small), black_box(&tile_small)))
+        b.iter(|| {
+            black_box(&diag).region_run_summary(black_box(&dims_small), black_box(&tile_small))
+        })
     });
 }
 

@@ -1,9 +1,7 @@
 //! Micro-benchmarks of the exact linear algebra that every compiler
 //! decision rests on.
 use criterion::{criterion_group, criterion_main, Criterion};
-use ooc_linalg::{
-    complete_last_column, completion_candidates, column_hnf, Matrix, Polyhedron,
-};
+use ooc_linalg::{column_hnf, complete_last_column, completion_candidates, Matrix, Polyhedron};
 use std::hint::black_box;
 
 fn bench_matrix_ops(c: &mut Criterion) {
@@ -36,16 +34,17 @@ fn bench_fourier_motzkin(c: &mut Criterion) {
     for v in 0..4 {
         p.add_var_range_param(v, 0);
     }
-    let skew = Matrix::from_i64(
-        4,
-        4,
-        &[1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1],
-    );
+    let skew = Matrix::from_i64(4, 4, &[1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1]);
     let transformed = p.transform(&skew);
     c.bench_function("fm/loop_bounds_depth4_skewed", |b| {
         b.iter(|| black_box(&transformed).loop_bounds())
     });
 }
 
-criterion_group!(benches, bench_matrix_ops, bench_completion, bench_fourier_motzkin);
+criterion_group!(
+    benches,
+    bench_matrix_ops,
+    bench_completion,
+    bench_fourier_motzkin
+);
 criterion_main!(benches);

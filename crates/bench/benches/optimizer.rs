@@ -12,7 +12,10 @@ fn bench_optimize(c: &mut Criterion) {
         });
     }
     // The single-technique passes on one representative kernel.
-    let gfunp = all_kernels().into_iter().find(|k| k.name == "gfunp").expect("gfunp");
+    let gfunp = all_kernels()
+        .into_iter()
+        .find(|k| k.name == "gfunp")
+        .expect("gfunp");
     c.bench_function("optimizer/l_opt/gfunp", |b| {
         b.iter(|| optimize_loop_only(black_box(&gfunp.program), &opts, None))
     });

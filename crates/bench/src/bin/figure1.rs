@@ -4,8 +4,8 @@
 //! reported.
 use ooc_core::InterferenceGraph;
 use ooc_ir::{
-    normalize, program_to_string, DimSize, LoopNode, Node, SurfaceExpr, SurfaceProgram,
-    SurfaceRef, SurfaceStmt,
+    normalize, program_to_string, DimSize, LoopNode, Node, SurfaceExpr, SurfaceProgram, SurfaceRef,
+    SurfaceStmt,
 };
 
 fn main() {
@@ -70,7 +70,10 @@ fn main() {
 
     let graph = InterferenceGraph::build(&prog);
     let comps = graph.connected_components();
-    println!("Step 2 - interference graph: {} connected components", comps.len());
+    println!(
+        "Step 2 - interference graph: {} connected components",
+        comps.len()
+    );
     for (i, c) in comps.iter().enumerate() {
         let arrays: Vec<&str> = c
             .arrays
@@ -82,7 +85,12 @@ fn main() {
             .iter()
             .map(|n| prog.nests[n.0].name.as_str())
             .collect();
-        println!("  component {}: nests {:?} over arrays {:?}", i + 1, nests, arrays);
+        println!(
+            "  component {}: nests {:?} over arrays {:?}",
+            i + 1,
+            nests,
+            arrays
+        );
     }
     println!("\nEach component is optimized independently (Step 3).");
 }

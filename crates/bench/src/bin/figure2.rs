@@ -6,12 +6,30 @@ use ooc_runtime::{FileLayout, Region};
 fn main() {
     let dims = [8i64, 8];
     let layouts: Vec<(&str, FileLayout)> = vec![
-        ("row-major        g = (1,0)", FileLayout::from_hyperplane(&[1, 0])),
-        ("column-major     g = (0,1)", FileLayout::from_hyperplane(&[0, 1])),
-        ("diagonal         g = (1,-1)", FileLayout::from_hyperplane(&[1, -1])),
-        ("anti-diagonal    g = (1,1)", FileLayout::from_hyperplane(&[1, 1])),
-        ("general          g = (7,4)", FileLayout::from_hyperplane(&[7, 4])),
-        ("blocked 4x4      (h-opt chunking)", FileLayout::Blocked2D { br: 4, bc: 4 }),
+        (
+            "row-major        g = (1,0)",
+            FileLayout::from_hyperplane(&[1, 0]),
+        ),
+        (
+            "column-major     g = (0,1)",
+            FileLayout::from_hyperplane(&[0, 1]),
+        ),
+        (
+            "diagonal         g = (1,-1)",
+            FileLayout::from_hyperplane(&[1, -1]),
+        ),
+        (
+            "anti-diagonal    g = (1,1)",
+            FileLayout::from_hyperplane(&[1, 1]),
+        ),
+        (
+            "general          g = (7,4)",
+            FileLayout::from_hyperplane(&[7, 4]),
+        ),
+        (
+            "blocked 4x4      (h-opt chunking)",
+            FileLayout::Blocked2D { br: 4, bc: 4 },
+        ),
     ];
     println!("Figure 2: example file layouts and their hyperplane vectors");
     println!("(numbers show each element's position in the file; 8x8 array)\n");

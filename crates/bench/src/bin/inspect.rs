@@ -1,13 +1,34 @@
 //! Developer tool: per-version diagnostics for one kernel.
 //!
+//! For every version this prints the *analytic* simulation at the
+//! scaled paper size and the *measured* store traffic of a real
+//! functional run at the kernel's functional-test size (through
+//! `TracingStore` instrumentation) — putting the model and the
+//! observation side by side.
+//!
 //! Usage: `inspect <kernel> [procs] [scale-divisor]`
-use ooc_core::{simulate, ExecConfig};
+use ooc_core::{measure_functional, simulate, ExecConfig, FunctionalConfig, IoComparison};
+use ooc_ir::ArrayId;
 use ooc_kernels::{compile, kernel_by_name, Version};
+
+fn seed(a: ArrayId, idx: &[i64]) -> f64 {
+    let mut h = (a.0 as i64 + 1) * 2654435761;
+    for &x in idx {
+        h = h.wrapping_mul(31).wrapping_add(x * 17);
+    }
+    ((h % 1009) as f64) / 64.0 + 1.0
+}
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "trans".into());
-    let procs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
-    let scale: i64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let procs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let scale: i64 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let k = kernel_by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown kernel `{name}`");
         std::process::exit(2);
@@ -18,7 +39,21 @@ fn main() {
         let cv = compile(&k, v);
         let mut cfg = ExecConfig::new(params.clone(), procs);
         cfg.interleave = cv.interleave.clone();
-        let r = simulate(&cv.tiled, &cfg);
+
+        // Measured: run the program for real at the functional-test
+        // size over traced in-memory stores, and attach the
+        // observation to the simulation report.
+        let run = measure_functional(
+            &cv.tiled,
+            &k.small_params,
+            &seed,
+            &FunctionalConfig::with_fraction(16),
+        );
+        let mut r = simulate(&cv.tiled, &cfg);
+        if let Some(m) = run.total_measured() {
+            r = r.with_measured(m);
+        }
+
         println!(
             "{:6} calls={:>10} MB={:>10.1} tiles={:>8} time={:>10.2}  layouts={}",
             v.label(),
@@ -34,5 +69,8 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(" ")
         );
+        if let Some(cmp) = IoComparison::from_run(v.label(), &run) {
+            println!("       measured at {:?}: {cmp}", k.small_params);
+        }
     }
 }

@@ -17,7 +17,10 @@ fn main() {
             .map(|(rank, count)| format!("{count} {rank}-D"))
             .collect::<Vec<_>>()
             .join(", ");
-        println!("{:8} {:10} {:>4}  {}", k.name, k.source, k.iterations, arrays);
+        println!(
+            "{:8} {:10} {:>4}  {}",
+            k.name, k.source, k.iterations, arrays
+        );
     }
     println!("{:-<78}", "");
     println!("(paper-scale data per kernel:)");

@@ -10,8 +10,14 @@
 use ooc_bench::{paper_table2, run_table2};
 
 fn main() {
-    let scale: i64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let procs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let scale: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let procs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
     eprintln!("running Table 2 at 1/{scale} scale on {procs} simulated processors...");
     let rows = run_table2(procs, scale);
     let paper = paper_table2();
@@ -40,7 +46,11 @@ fn main() {
     println!("{:-<108}", "");
     print!("{:8} {:>10}", "average:", "");
     for i in 0..5 {
-        print!(" {:>6.1}|{:<6.1}", sums[i] / rows.len() as f64, paper_sums[i] / rows.len() as f64);
+        print!(
+            " {:>6.1}|{:<6.1}",
+            sums[i] / rows.len() as f64,
+            paper_sums[i] / rows.len() as f64
+        );
     }
     println!();
     println!();
@@ -48,7 +58,7 @@ fn main() {
 
     // Machine-readable dump for EXPERIMENTS.md regeneration.
     if let Ok(path) = std::env::var("TABLE2_JSON") {
-        let json = serde_json::to_string_pretty(&rows).expect("serialize");
+        let json = ooc_bench::json::table2_json(&rows);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }

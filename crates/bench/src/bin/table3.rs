@@ -6,7 +6,10 @@
 use ooc_bench::{paper_table3_entry, run_table3, PAPER_TABLE3_KERNELS};
 
 fn main() {
-    let scale: i64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let scale: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let procs = [16usize, 32, 64, 128];
     eprintln!("running Table 3 at 1/{scale} scale (this sweeps 10 kernels x 6 versions x 5 processor counts)...");
     let entries = run_table3(scale, &procs);
@@ -42,7 +45,7 @@ fn main() {
     println!("(cells show measured speedup | paper speedup vs the same version on 1 node)");
 
     if let Ok(path) = std::env::var("TABLE3_JSON") {
-        let json = serde_json::to_string_pretty(&entries).expect("serialize");
+        let json = ooc_bench::json::table3_json(&entries);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }

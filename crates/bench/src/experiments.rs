@@ -3,10 +3,9 @@
 use ooc_core::{simulate, ExecConfig};
 use ooc_kernels::{all_kernels, compile, Kernel, Version};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// One version's measurement within a kernel row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Cell {
     /// Version label (`col`, `row`, ...).
     pub version: String,
@@ -19,7 +18,7 @@ pub struct Table2Cell {
 }
 
 /// One kernel row of Table 2.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Kernel name.
     pub kernel: String,
@@ -90,7 +89,7 @@ pub fn run_table2(procs: usize, scale: i64) -> Vec<Table2Row> {
 }
 
 /// One (kernel, version, procs) speedup entry of Table 3.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Entry {
     /// Kernel name.
     pub kernel: String,

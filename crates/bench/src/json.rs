@@ -1,0 +1,185 @@
+//! Dependency-free JSON emission for the machine-readable table dumps.
+//!
+//! Replaces `serde_json` (unavailable offline) with a tiny value tree
+//! and pretty-printer producing the same 2-space-indented layout, so
+//! previously generated `table*_results.json` files stay diffable.
+
+use crate::experiments::{Table2Row, Table3Entry};
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A string.
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (shortest round-trip formatting).
+    F64(f64),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered keys.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Pretty-prints with 2-space indentation.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        let close = "  ".repeat(depth);
+        match self {
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    let _ = write!(out, "\"{k}\": ");
+                    v.write(out, depth + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Serializes Table 2 rows in the historical `serde_json` layout.
+#[must_use]
+pub fn table2_json(rows: &[Table2Row]) -> String {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("kernel", Json::Str(r.kernel.clone())),
+                    (
+                        "params",
+                        Json::Arr(r.params.iter().map(|&p| Json::I64(p)).collect()),
+                    ),
+                    (
+                        "cells",
+                        Json::Arr(
+                            r.cells
+                                .iter()
+                                .map(|c| {
+                                    Json::Obj(vec![
+                                        ("version", Json::Str(c.version.clone())),
+                                        ("seconds", Json::F64(c.seconds)),
+                                        ("io_calls", Json::U64(c.io_calls)),
+                                        ("io_bytes", Json::U64(c.io_bytes)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+    .pretty()
+}
+
+/// Serializes Table 3 entries in the historical `serde_json` layout.
+#[must_use]
+pub fn table3_json(entries: &[Table3Entry]) -> String {
+    Json::Arr(
+        entries
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("kernel", Json::Str(e.kernel.clone())),
+                    ("version", Json::Str(e.version.clone())),
+                    ("procs", Json::U64(e.procs as u64)),
+                    ("seconds", Json::F64(e.seconds)),
+                    ("speedup", Json::F64(e.speedup)),
+                ])
+            })
+            .collect(),
+    )
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_serde_json_layout() {
+        let v = Json::Obj(vec![
+            ("name", Json::Str("a\"b".into())),
+            ("xs", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+            ("t", Json::F64(2.0)),
+            ("u", Json::F64(2.5)),
+        ]);
+        assert_eq!(
+            v.pretty(),
+            "{\n  \"name\": \"a\\\"b\",\n  \"xs\": [\n    1,\n    2\n  ],\n  \"t\": 2.0,\n  \"u\": 2.5\n}"
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+}

@@ -217,7 +217,11 @@ mod tests {
         let s1 = Statement::assign(
             ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
             Expr::Add(
-                Box::new(Expr::Ref(ArrayRef::new(v, &[vec![0, 1], vec![1, 0]], vec![0, 0]))),
+                Box::new(Expr::Ref(ArrayRef::new(
+                    v,
+                    &[vec![0, 1], vec![1, 0]],
+                    vec![0, 0],
+                ))),
                 Box::new(Expr::Const(1.0)),
             ),
         );
@@ -246,7 +250,10 @@ mod tests {
         let read_pos = text.find("< read").expect("read");
         let stmt_pos = text.find("U(u'").expect("stmt");
         let write_pos = text.find("< write").expect("write");
-        assert!(read_pos < stmt_pos && stmt_pos < write_pos, "ordering:\n{text}");
+        assert!(
+            read_pos < stmt_pos && stmt_pos < write_pos,
+            "ordering:\n{text}"
+        );
     }
 
     #[test]
@@ -257,11 +264,14 @@ mod tests {
         let cfg = ExecConfig::new(vec![64], 1);
         let text = render_tiled_nest(&tp, 0, &cfg);
         // Only the outer tile loop appears; no VT loop for the innermost.
-        assert!(!text.contains("do VT ="), "innermost must stay untiled:\n{text}");
+        assert!(
+            !text.contains("do VT ="),
+            "innermost must stay untiled:\n{text}"
+        );
     }
 
     #[test]
-    fn whole_program_render_includes_layout_legend(){
+    fn whole_program_render_includes_layout_legend() {
         let prog = worked_example();
         let opt = optimize(&prog, &OptimizeOptions::default());
         let tp = TiledProgram::from_optimized(&opt, TilingStrategy::OutOfCore);

@@ -57,7 +57,11 @@ pub fn order_by_cost(
         .iter()
         .map(|&n| (nest_cost(prog.nest(n), layouts, params), n))
         .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN costs").then(a.1.cmp(&b.1)));
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("no NaN costs")
+            .then(a.1.cmp(&b.1))
+    });
     scored.into_iter().map(|(_, n)| n).collect()
 }
 
@@ -107,7 +111,11 @@ mod tests {
     fn layout_changes_cost() {
         let p = prog_two_nests();
         let col = default_layouts(&p);
-        let row: Vec<FileLayout> = p.arrays.iter().map(|a| FileLayout::row_major(a.rank())).collect();
+        let row: Vec<FileLayout> = p
+            .arrays
+            .iter()
+            .map(|a| FileLayout::row_major(a.rank()))
+            .collect();
         let nest = p.nest(NestId(0));
         // The i-j traversal with innermost j favors row-major.
         assert!(nest_cost(nest, &row, &[64]) < nest_cost(nest, &col, &[64]));

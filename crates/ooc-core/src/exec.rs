@@ -19,11 +19,17 @@
 //! polyhedron restricted to the tile); for the affine kernels of the
 //! paper every transformed nest is rectangular, making the walk exact.
 
-use crate::tiling::{access_classes, array_region, class_region, plan_spans, IoWeights, TiledProgram};
+use crate::tiling::{
+    access_classes, array_region, class_region, plan_spans, IoWeights, TiledProgram,
+};
 use ooc_ir::{ArrayId, Expr, GuardAt, LoopNest, Statement};
-use ooc_runtime::{InterleavedGroup, MemoryBudget, OocArray, Region, RuntimeConfig, Tile, ELEM_BYTES};
+use ooc_runtime::{
+    InterleavedGroup, IoStats, MeasuredIo, MemStore, MemoryBudget, OocArray, Region, RuntimeConfig,
+    Store, Tile, TracingStore, ELEM_BYTES,
+};
 use pfs_sim::{FileId, MachineConfig, Op, PfsSim, SimResult, Workload};
 use std::collections::BTreeMap;
+use std::io;
 
 /// Execution configuration shared by both modes.
 #[derive(Debug, Clone)]
@@ -60,7 +66,7 @@ impl ExecConfig {
 pub struct SimReport {
     /// Discrete-event simulation result (wall-clock etc.).
     pub result: SimResult,
-    /// Total I/O calls across processors.
+    /// Total I/O calls across processors (analytic run accounting).
     pub io_calls: u64,
     /// Total bytes moved.
     pub io_bytes: u64,
@@ -68,6 +74,21 @@ pub struct SimReport {
     pub flops: f64,
     /// Total tile steps walked.
     pub tile_steps: u64,
+    /// Store-level measured I/O from a companion functional run, when
+    /// one was attached with [`SimReport::with_measured`]. Simulation
+    /// itself moves no data, so this stays `None` unless a caller runs
+    /// the program for real (usually at a smaller size) and attaches
+    /// the observation for side-by-side reporting.
+    pub measured: Option<MeasuredIo>,
+}
+
+impl SimReport {
+    /// Attaches measured I/O observed by a functional run.
+    #[must_use]
+    pub fn with_measured(mut self, measured: MeasuredIo) -> Self {
+        self.measured = Some(measured);
+        self
+    }
 }
 
 /// Per-level inclusive ranges of a nest at given parameters, taking
@@ -309,12 +330,18 @@ pub fn build_workload(tp: &TiledProgram, cfg: &ExecConfig) -> (PfsSim, Workload,
         let mut write_classes: Vec<(ArrayId, usize, ooc_linalg::Matrix)> = Vec::new();
         for st in &nest.body {
             let cid = class_id(&st.lhs.access, &mut class_table);
-            if !write_classes.iter().any(|(a, c, _)| *a == st.lhs.array && *c == cid) {
+            if !write_classes
+                .iter()
+                .any(|(a, c, _)| *a == st.lhs.array && *c == cid)
+            {
                 write_classes.push((st.lhs.array, cid, st.lhs.access.clone()));
             }
             for r in st.reads() {
                 let cid = class_id(&r.access, &mut class_table);
-                if !read_classes.iter().any(|(a, c, _)| *a == r.array && *c == cid) {
+                if !read_classes
+                    .iter()
+                    .any(|(a, c, _)| *a == r.array && *c == cid)
+                {
                     read_classes.push((r.array, cid, r.access.clone()));
                 }
             }
@@ -333,84 +360,92 @@ pub fn build_workload(tp: &TiledProgram, cfg: &ExecConfig) -> (PfsSim, Workload,
             let mut calls_acc = 0u64;
             let mut bytes_acc = 0u64;
             let mut flops_acc = 0f64;
-            walk_tiles_at(&ranges, &tnest.tiled_levels, &spans, chunk_level, chunk, &mut |lo, hi| {
-                tile_steps += 1;
-                let mut emit = |array: ArrayId,
-                                cidx: usize,
-                                class: &ooc_linalg::Matrix,
-                                is_write: bool,
-                                trace: &mut Vec<Op>,
-                                cached: &mut BTreeMap<(usize, usize), Region>| {
-                    let Some(region) = class_region(nest, array, class, lo, hi) else {
-                        return;
-                    };
-                    let dims = dims_of(array.0);
-                    let region = region.clamped(&dims);
-                    if let Some(&gi) = group_of.get(&array) {
-                        // Interleaved group: one staged op fetches every
-                        // member's slice; cache per (group, class).
-                        let key = (tp.program.arrays.len() + gi, cidx);
-                        if cached.get(&key) == Some(&region) {
-                            return;
-                        }
-                        let (g, file, _) = &groups[gi];
-                        let cost = g.group_io_cost(&region, max_call_elems);
-                        cached.insert(key, region);
-                        if cost.calls == 0 {
-                            return;
-                        }
-                        calls_acc += cost.calls;
-                        bytes_acc += cost.elements * ELEM_BYTES;
-                        trace.push(Op::Io {
-                            file: *file,
-                            offset: cost.start_byte,
-                            bytes: cost.elements * ELEM_BYTES,
-                            span: cost.span_bytes,
-                            calls: cost.calls,
-                            is_write,
-                        });
-                        return;
+            walk_tiles_at(
+                &ranges,
+                &tnest.tiled_levels,
+                &spans,
+                chunk_level,
+                chunk,
+                &mut |lo, hi| {
+                    tile_steps += 1;
+                    let mut emit =
+                        |array: ArrayId,
+                         cidx: usize,
+                         class: &ooc_linalg::Matrix,
+                         is_write: bool,
+                         trace: &mut Vec<Op>,
+                         cached: &mut BTreeMap<(usize, usize), Region>| {
+                            let Some(region) = class_region(nest, array, class, lo, hi) else {
+                                return;
+                            };
+                            let dims = dims_of(array.0);
+                            let region = region.clamped(&dims);
+                            if let Some(&gi) = group_of.get(&array) {
+                                // Interleaved group: one staged op fetches every
+                                // member's slice; cache per (group, class).
+                                let key = (tp.program.arrays.len() + gi, cidx);
+                                if cached.get(&key) == Some(&region) {
+                                    return;
+                                }
+                                let (g, file, _) = &groups[gi];
+                                let cost = g.group_io_cost(&region, max_call_elems);
+                                cached.insert(key, region);
+                                if cost.calls == 0 {
+                                    return;
+                                }
+                                calls_acc += cost.calls;
+                                bytes_acc += cost.elements * ELEM_BYTES;
+                                trace.push(Op::Io {
+                                    file: *file,
+                                    offset: cost.start_byte,
+                                    bytes: cost.elements * ELEM_BYTES,
+                                    span: cost.span_bytes,
+                                    calls: cost.calls,
+                                    is_write,
+                                });
+                                return;
+                            }
+                            let key = (array.0, cidx);
+                            if cached.get(&key) == Some(&region) {
+                                return;
+                            }
+                            let layout = &tp.layouts[array.0];
+                            let summary = layout.region_run_summary(&dims, &region);
+                            let cost = ooc_runtime::summary_cost(summary, max_call_elems);
+                            cached.insert(key, region);
+                            if cost.calls == 0 {
+                                return;
+                            }
+                            calls_acc += cost.calls;
+                            bytes_acc += cost.elements * ELEM_BYTES;
+                            trace.push(Op::Io {
+                                file: file_of[&array],
+                                offset: cost.start_byte,
+                                bytes: cost.elements * ELEM_BYTES,
+                                span: cost.span_bytes,
+                                calls: cost.calls,
+                                is_write,
+                            });
+                        };
+                    for (a, cidx, class) in &read_classes {
+                        emit(*a, *cidx, class, false, &mut trace, &mut cached_read);
                     }
-                    let key = (array.0, cidx);
-                    if cached.get(&key) == Some(&region) {
-                        return;
-                    }
-                    let layout = &tp.layouts[array.0];
-                    let summary = layout.region_run_summary(&dims, &region);
-                    let cost = ooc_runtime::summary_cost(summary, max_call_elems);
-                    cached.insert(key, region);
-                    if cost.calls == 0 {
-                        return;
-                    }
-                    calls_acc += cost.calls;
-                    bytes_acc += cost.elements * ELEM_BYTES;
-                    trace.push(Op::Io {
-                        file: file_of[&array],
-                        offset: cost.start_byte,
-                        bytes: cost.elements * ELEM_BYTES,
-                        span: cost.span_bytes,
-                        calls: cost.calls,
-                        is_write,
+                    // Compute phase between reads and write-back.
+                    let points: f64 = lo
+                        .iter()
+                        .zip(hi)
+                        .map(|(&l, &h)| (h - l + 1).max(0) as f64)
+                        .product();
+                    let flops = points * per_stmt as f64;
+                    flops_acc += flops;
+                    trace.push(Op::Compute {
+                        seconds: flops * spf,
                     });
-                };
-                for (a, cidx, class) in &read_classes {
-                    emit(*a, *cidx, class, false, &mut trace, &mut cached_read);
-                }
-                // Compute phase between reads and write-back.
-                let points: f64 = lo
-                    .iter()
-                    .zip(hi)
-                    .map(|(&l, &h)| (h - l + 1).max(0) as f64)
-                    .product();
-                let flops = points * per_stmt as f64;
-                flops_acc += flops;
-                trace.push(Op::Compute {
-                    seconds: flops * spf,
-                });
-                for (a, cidx, class) in &write_classes {
-                    emit(*a, *cidx, class, true, &mut trace, &mut cached_write);
-                }
-            });
+                    for (a, cidx, class) in &write_classes {
+                        emit(*a, *cidx, class, true, &mut trace, &mut cached_write);
+                    }
+                },
+            );
             // The outer timing loop repeats the whole nest (tiles are not
             // cached across repetitions: the working set was recycled).
             io_calls += calls_acc * u64::from(nest.iterations);
@@ -437,6 +472,7 @@ pub fn build_workload(tp: &TiledProgram, cfg: &ExecConfig) -> (PfsSim, Workload,
         io_bytes,
         flops: flops_total,
         tile_steps,
+        measured: None,
     };
     (sim, workload, report)
 }
@@ -447,6 +483,87 @@ pub fn simulate(tp: &TiledProgram, cfg: &ExecConfig) -> SimReport {
     let (sim, workload, mut report) = build_workload(tp, cfg);
     report.result = sim.simulate(&workload);
     report
+}
+
+/// Configuration of a functional execution.
+#[derive(Debug, Clone, Copy)]
+pub struct FunctionalConfig {
+    /// Runtime parameters: call splitting and the retry policy for
+    /// transient store failures.
+    pub runtime: RuntimeConfig,
+    /// Memory = total out-of-core data / this fraction (paper: 128).
+    pub memory_fraction: u64,
+}
+
+impl Default for FunctionalConfig {
+    fn default() -> Self {
+        FunctionalConfig {
+            runtime: RuntimeConfig::default(),
+            memory_fraction: 128,
+        }
+    }
+}
+
+impl FunctionalConfig {
+    /// The default runtime over `1/fraction` of the data as memory.
+    #[must_use]
+    pub fn with_fraction(memory_fraction: u64) -> Self {
+        FunctionalConfig {
+            runtime: RuntimeConfig::default(),
+            memory_fraction,
+        }
+    }
+}
+
+/// The I/O profile of one array over a functional run's compute phase
+/// (seeding and the final dump are excluded).
+#[derive(Debug, Clone)]
+pub struct ArrayProfile {
+    /// Array name.
+    pub name: String,
+    /// Analytic tile accounting: calls as counted by the runtime's run
+    /// model (runs split by `max_call_elems`).
+    pub stats: IoStats,
+    /// Measured store-level I/O, when the backing store is
+    /// instrumented (a [`TracingStore`] anywhere in the stack).
+    pub measured: Option<MeasuredIo>,
+}
+
+/// Result of [`run_functional_on`]: computed contents plus per-array
+/// I/O profiles.
+#[derive(Debug, Clone)]
+pub struct FunctionalRun {
+    /// Each array's contents in canonical row-major order.
+    pub data: Vec<Vec<f64>>,
+    /// Per-array I/O profiles, in array-declaration order.
+    pub profiles: Vec<ArrayProfile>,
+}
+
+impl FunctionalRun {
+    /// Analytic stats summed across arrays.
+    #[must_use]
+    pub fn total_stats(&self) -> IoStats {
+        let mut total = IoStats::default();
+        for p in &self.profiles {
+            total.merge(&p.stats);
+        }
+        total
+    }
+
+    /// Measured I/O merged across arrays; `None` when no store was
+    /// instrumented.
+    #[must_use]
+    pub fn total_measured(&self) -> Option<MeasuredIo> {
+        let mut total = MeasuredIo::default();
+        let mut any = false;
+        for p in &self.profiles {
+            if let Some(m) = &p.measured {
+                total.merge(m);
+                any = true;
+            }
+        }
+        any.then_some(total)
+    }
 }
 
 /// Functionally executes a tiled program against real out-of-core
@@ -462,21 +579,71 @@ pub fn run_functional(
     params: &[i64],
     init: &dyn Fn(ArrayId, &[i64]) -> f64,
 ) -> Vec<Vec<f64>> {
-    let mut arrays: Vec<OocArray<ooc_runtime::MemStore>> = tp
-        .program
-        .arrays
-        .iter()
-        .enumerate()
-        .map(|(a, decl)| {
-            let dims: Vec<i64> = decl.dims.iter().map(|d| d.resolve(params)).collect();
-            let mut arr = OocArray::in_memory(&decl.name, &dims, tp.layouts[a].clone());
-            arr.initialize(|idx| init(ArrayId(a), idx)).expect("init");
-            arr
-        })
-        .collect();
+    run_functional_on(
+        tp,
+        params,
+        init,
+        &FunctionalConfig::default(),
+        |_, _, len| Ok(MemStore::new(len)),
+    )
+    .expect("in-memory functional execution")
+    .data
+}
+
+/// [`run_functional`] over traced in-memory stores, so the result
+/// carries measured I/O alongside the analytic accounting.
+///
+/// # Panics
+/// Panics on internal inconsistencies (see [`run_functional`]).
+#[must_use]
+pub fn measure_functional(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &FunctionalConfig,
+) -> FunctionalRun {
+    run_functional_on(tp, params, init, cfg, |_, _, len| {
+        Ok(TracingStore::new(MemStore::new(len)))
+    })
+    .expect("in-memory measured execution")
+}
+
+/// Functionally executes a tiled program over caller-supplied stores:
+/// `make_store(array_index, name, len)` builds the backing store of
+/// each array — in-memory, file-backed, traced, fault-injecting, or
+/// any composition. Array contents are returned in canonical
+/// row-major order together with per-array I/O profiles covering the
+/// compute phase (metrics are reset after seeding, captured before the
+/// final dump).
+///
+/// # Errors
+/// Propagates store construction and seeding errors.
+///
+/// # Panics
+/// Panics on internal inconsistencies (regions outside arrays etc.) —
+/// these indicate compiler bugs and must surface in tests — and on
+/// tile-staging I/O errors the configured retry policy cannot recover.
+pub fn run_functional_on<S: Store>(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &FunctionalConfig,
+    mut make_store: impl FnMut(usize, &str, u64) -> io::Result<S>,
+) -> io::Result<FunctionalRun> {
+    let mut arrays: Vec<OocArray<S>> = Vec::with_capacity(tp.program.arrays.len());
+    for (a, decl) in tp.program.arrays.iter().enumerate() {
+        let dims: Vec<i64> = decl.dims.iter().map(|d| d.resolve(params)).collect();
+        let len: i64 = dims.iter().product();
+        let store = make_store(a, &decl.name, u64::try_from(len).expect("positive size"))?;
+        let mut arr = OocArray::new(&decl.name, &dims, tp.layouts[a].clone(), store, cfg.runtime);
+        arr.initialize(|idx| init(ArrayId(a), idx))?;
+        // Profile the compute phase only.
+        arr.reset_all_metrics();
+        arrays.push(arr);
+    }
 
     let total_elems = u64::try_from(tp.program.total_elements(params)).expect("size");
-    let budget = MemoryBudget::paper_fraction(total_elems, 128);
+    let budget = MemoryBudget::paper_fraction(total_elems, cfg.memory_fraction);
 
     for tnest in &tp.nests {
         let nest = &tnest.nest;
@@ -492,7 +659,7 @@ pub fn run_functional(
             &ranges,
             &budget,
             IoWeights::default(),
-            RuntimeConfig::default().max_call_elems,
+            cfg.runtime.max_call_elems,
         );
         let (reads, writes) = rw_arrays(nest);
         let touched: Vec<ArrayId> = {
@@ -531,15 +698,14 @@ pub fn run_functional(
                                     arrays[a.0].write_tile(&old).expect("evict tile");
                                 }
                             }
-                            tiles.insert(
-                                key,
-                                arrays[a.0].read_tile(&region).expect("read tile"),
-                            );
+                            tiles.insert(key, arrays[a.0].read_tile(&region).expect("read tile"));
                         }
                     }
                     // Element loops: every polyhedron point inside the box.
                     let mut iter: Vec<i64> = Vec::with_capacity(nest.depth);
-                    exec_box(nest, &bounds, params, lo, hi, &mut iter, &mut tiles, &staging);
+                    exec_box(
+                        nest, &bounds, params, lo, hi, &mut iter, &mut tiles, &staging,
+                    );
                 },
             );
             // Flush written tiles.
@@ -551,14 +717,26 @@ pub fn run_functional(
         }
     }
 
+    // Capture profiles before the final dump so the dump's sequential
+    // sweep does not pollute the compute-phase measurement.
+    let profiles: Vec<ArrayProfile> = arrays
+        .iter()
+        .map(|arr| ArrayProfile {
+            name: arr.name().to_string(),
+            stats: arr.stats(),
+            measured: arr.measured(),
+        })
+        .collect();
+
     // Dump canonical contents.
-    arrays
+    let data = arrays
         .iter_mut()
         .map(|arr| {
             let region = Region::full(arr.dims());
             arr.read_tile(&region).expect("final read").data().to_vec()
         })
-        .collect()
+        .collect();
+    Ok(FunctionalRun { data, profiles })
 }
 
 /// The functional staging plan of one nest: which tile slot each
@@ -620,12 +798,7 @@ impl Staging {
     }
 
     /// All (slot key, region) pairs to stage for a tile box.
-    fn regions(
-        &self,
-        nest: &LoopNest,
-        lo: &[i64],
-        hi: &[i64],
-    ) -> Vec<((ArrayId, usize), Region)> {
+    fn regions(&self, nest: &LoopNest, lo: &[i64], hi: &[i64]) -> Vec<((ArrayId, usize), Region)> {
         let mut out = Vec::new();
         for (&a, classes) in &self.plan {
             match classes {
@@ -666,10 +839,7 @@ fn exec_box(
                 let v = eval_expr(&stmt.rhs, iter, tiles, staging);
                 let subs = stmt.lhs.subscripts(iter);
                 let key = staging.slot_of(&stmt.lhs);
-                tiles
-                    .get_mut(&key)
-                    .expect("lhs tile staged")
-                    .set(&subs, v);
+                tiles.get_mut(&key).expect("lhs tile staged").set(&subs, v);
             }
         }
         return;
@@ -786,7 +956,11 @@ mod tests {
         let s1 = Statement::assign(
             ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
             Expr::Add(
-                Box::new(Expr::Ref(ArrayRef::new(v, &[vec![0, 1], vec![1, 0]], vec![0, 0]))),
+                Box::new(Expr::Ref(ArrayRef::new(
+                    v,
+                    &[vec![0, 1], vec![1, 0]],
+                    vec![0, 0],
+                ))),
                 Box::new(Expr::Const(1.0)),
             ),
         );
@@ -794,7 +968,11 @@ mod tests {
         let s2 = Statement::assign(
             ArrayRef::new(v, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
             Expr::Add(
-                Box::new(Expr::Ref(ArrayRef::new(w, &[vec![0, 1], vec![1, 0]], vec![0, 0]))),
+                Box::new(Expr::Ref(ArrayRef::new(
+                    w,
+                    &[vec![0, 1], vec![1, 0]],
+                    vec![0, 0],
+                ))),
                 Box::new(Expr::Const(2.0)),
             ),
         );
@@ -881,8 +1059,12 @@ mod tests {
         let p = paper_example();
         let opt = optimize(&p, &OptimizeOptions::default());
         let tp = TiledProgram::from_optimized(&opt, TilingStrategy::OutOfCore);
-        let t1 = simulate(&tp, &ExecConfig::new(vec![128], 1)).result.total_time;
-        let t4 = simulate(&tp, &ExecConfig::new(vec![128], 4)).result.total_time;
+        let t1 = simulate(&tp, &ExecConfig::new(vec![128], 1))
+            .result
+            .total_time;
+        let t4 = simulate(&tp, &ExecConfig::new(vec![128], 4))
+            .result
+            .total_time;
         assert!(t4 < t1, "t1={t1} t4={t4}");
     }
 

@@ -16,7 +16,9 @@
 //! algorithm (returning its result unchanged).
 
 use crate::cost::default_layouts;
-use crate::optimizer::{best_transform_for, modeled_program_cost, OptimizeOptions, OptimizedProgram};
+use crate::optimizer::{
+    best_transform_for, modeled_program_cost, OptimizeOptions, OptimizedProgram,
+};
 use ooc_ir::Program;
 use ooc_linalg::Matrix;
 use ooc_runtime::FileLayout;
@@ -236,12 +238,18 @@ mod tests {
     fn fallback_on_huge_spaces() {
         let mut prog = Program::new(&["N"]);
         // 31 two-candidate arrays -> 2^31 assignments > the default cap.
-        let ids: Vec<_> = (0..31).map(|i| prog.declare_array(&format!("A{i}"), 2, 0)).collect();
+        let ids: Vec<_> = (0..31)
+            .map(|i| prog.declare_array(&format!("A{i}"), 2, 0))
+            .collect();
         let mut rhs = Expr::Const(1.0);
         for &a in &ids[1..] {
             rhs = Expr::Add(
                 Box::new(rhs),
-                Box::new(Expr::Ref(ArrayRef::new(a, &[vec![1, 0], vec![0, 1]], vec![0, 0]))),
+                Box::new(Expr::Ref(ArrayRef::new(
+                    a,
+                    &[vec![1, 0], vec![0, 1]],
+                    vec![0, 0],
+                ))),
             );
         }
         let s = Statement::assign(

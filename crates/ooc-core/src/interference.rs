@@ -161,7 +161,9 @@ mod tests {
     #[test]
     fn fully_disjoint_nests() {
         let mut p = Program::new(&["N"]);
-        let ids: Vec<ArrayId> = (0..4).map(|i| p.declare_array(&format!("A{i}"), 2, 0)).collect();
+        let ids: Vec<ArrayId> = (0..4)
+            .map(|i| p.declare_array(&format!("A{i}"), 2, 0))
+            .collect();
         for (i, a) in ids.iter().enumerate() {
             nest_over(&mut p, &format!("n{i}"), &[*a]);
         }

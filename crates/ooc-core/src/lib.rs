@@ -63,20 +63,22 @@ pub mod tiling;
 
 pub use codegen::{render_tiled_nest, render_tiled_program};
 pub use cost::{default_layouts, nest_cost, order_by_cost};
+pub use exec::{
+    build_workload, max_divergence_from_reference, measure_functional, run_functional,
+    run_functional_on, simulate, ArrayProfile, ExecConfig, FunctionalConfig, FunctionalRun,
+    SimReport,
+};
+pub use global::{layout_candidates, optimize_global, GlobalOptions, GlobalResult};
 pub use interference::{Component, InterferenceGraph};
 pub use locality::{
     dim_order_for, innermost_candidates, layouts_for_2d, locality_under, loop_constraint_rows,
     movement, movement_i64, Locality,
 };
-pub use exec::{
-    build_workload, max_divergence_from_reference, run_functional, simulate, ExecConfig, SimReport,
-};
-pub use global::{layout_candidates, optimize_global, GlobalOptions, GlobalResult};
 pub use optimizer::{
     best_transform_for, modeled_program_cost, optimize, optimize_data_only, optimize_loop_only,
     OptimizeOptions, OptimizedProgram,
 };
-pub use report::{optimization_report, NestReport, OptimizationReport, RefReport};
+pub use report::{optimization_report, IoComparison, NestReport, OptimizationReport, RefReport};
 pub use storage::{bounding_box, reduce_storage, StorageReduction};
 pub use tiling::{
     access_classes, array_region, choose_tile_span, class_region, level_spans, plan_spans,

@@ -19,11 +19,11 @@
 
 use crate::cost::{default_layouts, order_by_cost};
 use crate::interference::InterferenceGraph;
-use crate::tiling::{plan_spans, spans_io_cost, IoWeights, TilingStrategy};
 use crate::locality::{
     dim_order_for, innermost_candidates, layouts_for_2d, locality_under, loop_constraint_rows,
     movement_i64,
 };
+use crate::tiling::{plan_spans, spans_io_cost, IoWeights, TilingStrategy};
 use ooc_ir::{nest_dependences, transformation_preserves, LoopNest, Program};
 use ooc_linalg::{completion_candidates, Matrix};
 use ooc_runtime::FileLayout;
@@ -134,8 +134,10 @@ fn run(prog: &Program, opts: &OptimizeOptions, mode: Mode) -> OptimizedProgram {
             let transformed = if is_identity(&q) {
                 nest
             } else {
-                out.log
-                    .push(format!("{}: applied loop transformation Q = {q:?}", nest.name));
+                out.log.push(format!(
+                    "{}: applied loop transformation Q = {q:?}",
+                    nest.name
+                ));
                 nest.transformed(&q)
             };
             fix_layouts_checked(prog, &transformed, &mut fixed, opts, &mut out.log);
@@ -172,8 +174,10 @@ fn run_loop_only(
     for (i, nest) in prog.nests.iter().enumerate() {
         let q = choose_transform(prog, nest, &fixed, &weights, opts, &mut out.log);
         if !is_identity(&q) {
-            out.log
-                .push(format!("{}: applied loop transformation Q = {q:?}", nest.name));
+            out.log.push(format!(
+                "{}: applied loop transformation Q = {q:?}",
+                nest.name
+            ));
             out.program.nests[i] = nest.transformed(&q);
         }
         out.transforms[i] = q;
@@ -380,7 +384,16 @@ fn modeled_nest_cost(
         weights,
         max_call_elems,
     );
-    spans_io_cost(nest, layouts, prog, &params, &ranges, &spans, weights, max_call_elems)
+    spans_io_cost(
+        nest,
+        layouts,
+        prog,
+        &params,
+        &ranges,
+        &spans,
+        weights,
+        max_call_elems,
+    )
 }
 
 /// Scores an innermost-column candidate: fixed-layout references score
@@ -447,11 +460,7 @@ fn fix_layouts_checked(
 /// Total modeled I/O time of an optimized program: the sum of its
 /// (transformed, tiled) nests' modeled costs under its layouts.
 #[must_use]
-pub fn modeled_program_cost(
-    prog: &Program,
-    opt: &OptimizedProgram,
-    opts: &OptimizeOptions,
-) -> f64 {
+pub fn modeled_program_cost(prog: &Program, opt: &OptimizedProgram, opts: &OptimizeOptions) -> f64 {
     let _ = prog;
     opt.program
         .nests
@@ -643,8 +652,11 @@ mod tests {
             Expr::Ref(ArrayRef::new(a, &[vec![1, 0], vec![0, 1]], vec![-1, 1])),
         );
         p.add_nest(LoopNest::rectangular("n", 2, 1, 0, vec![s]));
-        let opt =
-            optimize_loop_only(&p, &OptimizeOptions::default(), Some(vec![FileLayout::col_major(2)]));
+        let opt = optimize_loop_only(
+            &p,
+            &OptimizeOptions::default(),
+            Some(vec![FileLayout::col_major(2)]),
+        );
         let t = opt.transforms[0].inverse().expect("invertible");
         let deps = nest_dependences(&p.nests[0]);
         assert!(transformation_preserves(&t, &deps));

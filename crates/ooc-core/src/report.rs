@@ -9,9 +9,11 @@
 //! mechanically checkable.
 
 use crate::cost::default_layouts;
+use crate::exec::FunctionalRun;
 use crate::locality::{locality_under, movement_i64, Locality};
 use crate::optimizer::OptimizedProgram;
 use ooc_ir::Program;
+use ooc_runtime::MeasuredIo;
 use std::fmt;
 
 /// Locality of one reference, before and after optimization.
@@ -87,7 +89,11 @@ impl fmt::Display for OptimizationReport {
                 f,
                 "  {} ({}): {} -> {} of {}",
                 n.nest,
-                if n.transformed { "transformed" } else { "loops kept" },
+                if n.transformed {
+                    "transformed"
+                } else {
+                    "loops kept"
+                },
                 n.good_before(),
                 n.good_after(),
                 n.refs.len()
@@ -97,6 +103,58 @@ impl fmt::Display for OptimizationReport {
             }
         }
         Ok(())
+    }
+}
+
+/// Side-by-side analytic vs measured I/O of one program version.
+///
+/// The *analytic* counters come from the runtime's run accounting
+/// (contiguous runs split by the call-size cap); the *measured*
+/// counters are what an instrumented store actually observed. The two
+/// agree when the run model is exact; divergence localizes modeling
+/// bugs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoComparison {
+    /// Version label (e.g. `c-opt`).
+    pub label: String,
+    /// Analytic I/O calls (tile accounting).
+    pub analytic_calls: u64,
+    /// Analytic bytes moved.
+    pub analytic_bytes: u64,
+    /// Store-level observation.
+    pub measured: MeasuredIo,
+}
+
+impl IoComparison {
+    /// Extracts the comparison from a functional run; `None` when no
+    /// store in the run was instrumented.
+    #[must_use]
+    pub fn from_run(label: &str, run: &FunctionalRun) -> Option<Self> {
+        let stats = run.total_stats();
+        run.total_measured().map(|measured| IoComparison {
+            label: label.to_string(),
+            analytic_calls: stats.total_calls(),
+            analytic_bytes: stats.total_bytes(),
+            measured,
+        })
+    }
+}
+
+impl fmt::Display for IoComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: analytic {} calls / {} B; measured {} calls / {} B, \
+             {} seeks ({} elems apart), mean run {:.1}",
+            self.label,
+            self.analytic_calls,
+            self.analytic_bytes,
+            self.measured.total_calls(),
+            self.measured.total_elems() * ooc_runtime::ELEM_BYTES,
+            self.measured.seeks,
+            self.measured.seek_elems,
+            self.measured.mean_run_len()
+        )
     }
 }
 
@@ -111,11 +169,7 @@ pub fn optimization_report(original: &Program, opt: &OptimizedProgram) -> Optimi
     let defaults = default_layouts(original);
     assert_eq!(original.nests.len(), opt.program.nests.len());
     let mut nests = Vec::with_capacity(original.nests.len());
-    for (i, (before_nest, after_nest)) in original
-        .nests
-        .iter()
-        .zip(&opt.program.nests)
-        .enumerate()
+    for (i, (before_nest, after_nest)) in original.nests.iter().zip(&opt.program.nests).enumerate()
     {
         let depth = before_nest.depth;
         let mut ek = vec![0i64; depth];

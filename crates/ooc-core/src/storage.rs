@@ -183,7 +183,10 @@ mod tests {
     fn zero_structure_never_violated() {
         let access = Matrix::from_i64(2, 2, &[4, 2, 3, 0]);
         let r = reduce_storage(&access, &[(1, 20), (1, 5)]);
-        assert!(r.new_access[(1, 1)].is_zero(), "locality-critical zero kept");
+        assert!(
+            r.new_access[(1, 1)].is_zero(),
+            "locality-critical zero kept"
+        );
     }
 
     #[test]

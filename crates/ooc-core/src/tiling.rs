@@ -16,10 +16,9 @@
 use ooc_ir::{ArrayId, LoopNest, Program};
 use ooc_linalg::Rational;
 use ooc_runtime::{FileLayout, MemoryBudget, Region};
-use serde::{Deserialize, Serialize};
 
 /// Which loops of a nest get tiled, and how tile shapes are chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TilingStrategy {
     /// Tile all but the innermost loop (the paper's out-of-core rule,
     /// §3.3) and shape the remaining spans to minimize modeled I/O
@@ -50,9 +49,9 @@ impl TilingStrategy {
     #[must_use]
     pub fn tiled_levels(&self, depth: usize) -> Vec<usize> {
         match self {
-            TilingStrategy::OutOfCore
-            | TilingStrategy::OutOfCorePinned
-            | TilingStrategy::Slab => (0..depth.saturating_sub(1)).collect(),
+            TilingStrategy::OutOfCore | TilingStrategy::OutOfCorePinned | TilingStrategy::Slab => {
+                (0..depth.saturating_sub(1)).collect()
+            }
             TilingStrategy::Optimized | TilingStrategy::Traditional => (0..depth).collect(),
         }
     }
@@ -189,10 +188,7 @@ pub fn ref_region(r: &ooc_ir::ArrayRef, lo: &[i64], hi: &[i64]) -> Region {
             if c.is_zero() {
                 continue;
             }
-            let (a, b) = (
-                c * Rational::from(lo[j]),
-                c * Rational::from(hi[j]),
-            );
+            let (a, b) = (c * Rational::from(lo[j]), c * Rational::from(hi[j]));
             min += if a < b { a } else { b };
             max += if a < b { b } else { a };
         }
@@ -251,12 +247,7 @@ pub fn class_region(
 /// over the given iteration box, or `None` if the nest does not touch
 /// the array.
 #[must_use]
-pub fn array_region(
-    nest: &LoopNest,
-    array: ArrayId,
-    lo: &[i64],
-    hi: &[i64],
-) -> Option<Region> {
+pub fn array_region(nest: &LoopNest, array: ArrayId, lo: &[i64], hi: &[i64]) -> Option<Region> {
     let mut hull: Option<Region> = None;
     for r in nest.all_refs() {
         if r.array != array {
@@ -277,12 +268,7 @@ pub fn array_region(
 /// Estimated in-memory footprint (elements) of one tile of every
 /// array referenced by the nest, for the given per-level spans.
 #[must_use]
-pub fn tile_footprint(
-    nest: &LoopNest,
-    program: &Program,
-    params: &[i64],
-    spans: &[i64],
-) -> u64 {
+pub fn tile_footprint(nest: &LoopNest, program: &Program, params: &[i64], spans: &[i64]) -> u64 {
     let lo: Vec<i64> = vec![1; nest.depth];
     let hi: Vec<i64> = spans.to_vec();
     let mut total = 0u64;
@@ -402,7 +388,10 @@ pub fn spans_io_cost(
                 Some(d) => trips[..=d].iter().product(),
             };
             let is_written = written.contains(&array)
-                && nest.body.iter().any(|st| st.lhs.array == array && st.lhs.access == class);
+                && nest
+                    .body
+                    .iter()
+                    .any(|st| st.lhs.array == array && st.lhs.access == class);
             let accesses = if is_written { 2.0 } else { 1.0 };
             total += restages
                 * accesses
@@ -438,7 +427,10 @@ pub fn plan_spans(
     if depth == 0 {
         return Vec::new();
     }
-    let extents: Vec<i64> = ranges.iter().map(|&(lo, hi)| (hi - lo + 1).max(1)).collect();
+    let extents: Vec<i64> = ranges
+        .iter()
+        .map(|&(lo, hi)| (hi - lo + 1).max(1))
+        .collect();
     let tiled = strategy.tiled_levels(depth);
     if matches!(strategy, TilingStrategy::Traditional | TilingStrategy::Slab) {
         let span = choose_tile_span(nest, &tiled, program, params, &extents, budget);
@@ -471,8 +463,26 @@ pub fn plan_spans(
             weights,
             max_call_elems,
         );
-        let cp = spans_io_cost(nest, layouts, program, params, ranges, &pinned, weights, max_call_elems);
-        let cf = spans_io_cost(nest, layouts, program, params, ranges, &free, weights, max_call_elems);
+        let cp = spans_io_cost(
+            nest,
+            layouts,
+            program,
+            params,
+            ranges,
+            &pinned,
+            weights,
+            max_call_elems,
+        );
+        let cf = spans_io_cost(
+            nest,
+            layouts,
+            program,
+            params,
+            ranges,
+            &free,
+            weights,
+            max_call_elems,
+        );
         return if cp <= cf { pinned } else { free };
     }
     // Searchable levels: tiled levels; pinned levels get full extent.
@@ -496,7 +506,16 @@ pub fn plan_spans(
         v
     };
     let cost = |spans: &[i64]| -> f64 {
-        spans_io_cost(nest, layouts, program, params, ranges, spans, weights, max_call_elems)
+        spans_io_cost(
+            nest,
+            layouts,
+            program,
+            params,
+            ranges,
+            spans,
+            weights,
+            max_call_elems,
+        )
     };
     // Exhaustive enumeration over power-of-two spans per searchable
     // level (≤ 13 candidates per level, nest depth ≤ 4 in practice):
@@ -515,21 +534,16 @@ pub fn plan_spans(
     let mut best_cost = f64::INFINITY;
     let mut best = spans.clone();
     let mut current = spans.clone();
-    enumerate_spans(
-        &cand_lists,
-        0,
-        &mut current,
-        &mut |trial| {
-            if !fits(trial) {
-                return;
-            }
-            let c = cost(trial);
-            if c < best_cost {
-                best_cost = c;
-                best = trial.to_vec();
-            }
-        },
-    );
+    enumerate_spans(&cand_lists, 0, &mut current, &mut |trial| {
+        if !fits(trial) {
+            return;
+        }
+        let c = cost(trial);
+        if c < best_cost {
+            best_cost = c;
+            best = trial.to_vec();
+        }
+    });
     if best_cost.is_finite() {
         best
     } else {
@@ -577,7 +591,10 @@ mod tests {
         assert_eq!(TilingStrategy::OutOfCore.tiled_levels(3), vec![0, 1]);
         assert_eq!(TilingStrategy::Traditional.tiled_levels(3), vec![0, 1, 2]);
         assert_eq!(TilingStrategy::Slab.tiled_levels(2), vec![0]);
-        assert_eq!(TilingStrategy::OutOfCore.tiled_levels(1), Vec::<usize>::new());
+        assert_eq!(
+            TilingStrategy::OutOfCore.tiled_levels(1),
+            Vec::<usize>::new()
+        );
         assert_eq!(TilingStrategy::Traditional.tiled_levels(1), vec![0]);
     }
 
@@ -657,11 +674,7 @@ mod tests {
     #[test]
     fn ref_region_interval_arithmetic() {
         // A(i+1, j-1) over i in 2..4, j in 1..3: rows 3..5, cols 0..2.
-        let r = ArrayRef::new(
-            ooc_ir::ArrayId(0),
-            &[vec![1, 0], vec![0, 1]],
-            vec![1, -1],
-        );
+        let r = ArrayRef::new(ooc_ir::ArrayId(0), &[vec![1, 0], vec![0, 1]], vec![1, -1]);
         let reg = ref_region(&r, &[2, 1], &[4, 3]);
         assert_eq!(reg.lo, vec![3, 0]);
         assert_eq!(reg.hi, vec![5, 2]);
@@ -707,17 +720,17 @@ mod tests {
         let (p, nest) = simple_nest(2);
         // N=16; OOC tiling (level 0 only): tile = B x 16. Budget 64
         // elements -> B = 4.
+        let b = choose_tile_span(&nest, &[0], &p, &[16], &[16, 16], &MemoryBudget::new(64));
+        assert_eq!(b, 4);
+        // Huge budget: whole array in one tile.
         let b = choose_tile_span(
             &nest,
             &[0],
             &p,
             &[16],
             &[16, 16],
-            &MemoryBudget::new(64),
+            &MemoryBudget::new(1 << 20),
         );
-        assert_eq!(b, 4);
-        // Huge budget: whole array in one tile.
-        let b = choose_tile_span(&nest, &[0], &p, &[16], &[16, 16], &MemoryBudget::new(1 << 20));
         assert_eq!(b, 16);
         // Tiny budget: still progresses with B = 1.
         let b = choose_tile_span(&nest, &[0], &p, &[16], &[16, 16], &MemoryBudget::new(4));

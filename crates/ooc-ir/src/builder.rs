@@ -45,24 +45,28 @@ impl B {
 
     /// `self + rhs`.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: B) -> B {
         B(Expr::Add(Box::new(self.0), Box::new(rhs.0)))
     }
 
     /// `self - rhs`.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: B) -> B {
         B(Expr::Sub(Box::new(self.0), Box::new(rhs.0)))
     }
 
     /// `self * rhs`.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: B) -> B {
         B(Expr::Mul(Box::new(self.0), Box::new(rhs.0)))
     }
 
     /// `self / rhs`.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: B) -> B {
         B(Expr::Div(Box::new(self.0), Box::new(rhs.0)))
     }
@@ -107,9 +111,9 @@ impl NestBuilder {
         for sep in ['+', '-'] {
             if let Some(pos) = token[1..].find(sep).map(|p| p + 1) {
                 let (var, off) = token.split_at(pos);
-                let off: i64 = off.parse().unwrap_or_else(|_| {
-                    panic!("bad subscript offset in `{token}`")
-                });
+                let off: i64 = off
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad subscript offset in `{token}`"));
                 return (Some(self.level_of(var.trim())), off);
             }
         }
@@ -304,7 +308,11 @@ mod tests {
 
     #[test]
     fn expression_combinators() {
-        let e = B::val(2.0).add(B::val(3.0)).mul(B::val(4.0)).sub(B::val(1.0)).div(B::val(2.0));
+        let e = B::val(2.0)
+            .add(B::val(3.0))
+            .mul(B::val(4.0))
+            .sub(B::val(1.0))
+            .div(B::val(2.0));
         // ((2+3)*4 - 1) / 2 = 9.5 — evaluate via a trivial program.
         let mut b = ProgramBuilder::new(&["N"]);
         let a = b.array("A", 1);

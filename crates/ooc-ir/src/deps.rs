@@ -169,12 +169,7 @@ fn pair_dependence(
 
 /// Solves `L·d = rhs` for the distance `d`; classifies the solution
 /// space into a distance/direction vector.
-fn uniform_dependence(
-    l: &Matrix,
-    rhs: &[i64],
-    depth: usize,
-    kind: DepKind,
-) -> Option<Dependence> {
+fn uniform_dependence(l: &Matrix, rhs: &[i64], depth: usize, kind: DepKind) -> Option<Dependence> {
     // Solve the linear system exactly: find any rational solution and the
     // nullspace of L.
     let particular = solve(l, rhs)?;
@@ -447,9 +442,7 @@ mod tests {
         let deps = nest_dependences(&nest_with(vec![s], 2));
         assert!(!deps.is_empty());
         // The summary must contain Stars (unknown distances).
-        assert!(deps
-            .iter()
-            .any(|d| d.vector.contains(&DepElem::Star)));
+        assert!(deps.iter().any(|d| d.vector.contains(&DepElem::Star)));
     }
 
     #[test]
@@ -481,8 +474,14 @@ mod tests {
             vector: vec![DepElem::Exact(1), DepElem::Exact(-1)],
             kind: DepKind::Flow,
         };
-        assert!(transformation_preserves(&interchange, std::slice::from_ref(&d_ok)));
-        assert!(!transformation_preserves(&interchange, std::slice::from_ref(&d_bad)));
+        assert!(transformation_preserves(
+            &interchange,
+            std::slice::from_ref(&d_ok)
+        ));
+        assert!(!transformation_preserves(
+            &interchange,
+            std::slice::from_ref(&d_bad)
+        ));
         assert!(!transformation_preserves(&interchange, &[d_ok, d_bad]));
     }
 
@@ -506,7 +505,10 @@ mod tests {
             vector: vec![DepElem::Exact(0), DepElem::Star],
             kind: DepKind::Flow,
         };
-        assert!(!transformation_preserves(&interchange, std::slice::from_ref(&d3)));
+        assert!(!transformation_preserves(
+            &interchange,
+            std::slice::from_ref(&d3)
+        ));
         // (0, *) under identity: the identity always preserves program
         // order, even when the summary is too coarse to prove it.
         let identity = Matrix::identity(2);
@@ -517,7 +519,10 @@ mod tests {
             vector: vec![DepElem::Exact(0), DepElem::NonNeg],
             kind: DepKind::Flow,
         };
-        assert!(transformation_preserves(&interchange, std::slice::from_ref(&d4)));
+        assert!(transformation_preserves(
+            &interchange,
+            std::slice::from_ref(&d4)
+        ));
         assert!(transformation_preserves(&identity, &[d4]));
     }
 

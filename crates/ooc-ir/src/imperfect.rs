@@ -52,10 +52,7 @@ impl Subscript {
     #[must_use]
     pub fn affine(terms: &[(&str, i64)], constant: i64) -> Self {
         Subscript {
-            terms: terms
-                .iter()
-                .map(|(n, c)| ((*n).to_string(), *c))
-                .collect(),
+            terms: terms.iter().map(|(n, c)| ((*n).to_string(), *c)).collect(),
             constant,
         }
     }

@@ -19,7 +19,9 @@
 //!   into that loop, guarded to execute only on the first (or last)
 //!   iteration; it is used when distribution is rejected.
 
-use crate::imperfect::{LoopNode, Node, Subscript, SurfaceExpr, SurfaceProgram, SurfaceRef, SurfaceStmt};
+use crate::imperfect::{
+    LoopNode, Node, Subscript, SurfaceExpr, SurfaceProgram, SurfaceRef, SurfaceStmt,
+};
 use crate::program::{
     ArrayId, ArrayRef, DimSize, Expr, Guard, GuardAt, LoopNest, Program, Statement,
 };
@@ -211,7 +213,9 @@ fn fuse_adjacent(children: &[Node]) -> Vec<Node> {
             false
         };
         if fused {
-            let Node::Loop(cur) = child else { unreachable!() };
+            let Node::Loop(cur) = child else {
+                unreachable!()
+            };
             let Some(Node::Loop(prev)) = out.last_mut() else {
                 unreachable!()
             };
@@ -459,7 +463,11 @@ fn rename_var_nodes(nodes: &[Node], from: &str, to: &str) -> Vec<Node> {
 fn rename_ref(r: &SurfaceRef, from: &str, to: &str) -> SurfaceRef {
     SurfaceRef {
         array: r.array,
-        subs: r.subs.iter().map(|s| rename_subscript(s, from, to)).collect(),
+        subs: r
+            .subs
+            .iter()
+            .map(|s| rename_subscript(s, from, to))
+            .collect(),
     }
 }
 
@@ -747,7 +755,11 @@ mod tests {
         sp.top = vec![Node::Loop(LoopNode::new(
             "i",
             DimSize::Param(0),
-            vec![Node::Loop(LoopNode::new("i", DimSize::Param(0), vec![Node::Stmt(s)]))],
+            vec![Node::Loop(LoopNode::new(
+                "i",
+                DimSize::Param(0),
+                vec![Node::Stmt(s)],
+            ))],
         ))];
         assert_eq!(
             normalize(&sp).err(),
@@ -763,7 +775,11 @@ mod tests {
             lhs: SurfaceRef::vars(u, &["z"]),
             rhs: SurfaceExpr::Const(0.0),
         };
-        sp.top = vec![Node::Loop(LoopNode::new("i", DimSize::Param(0), vec![Node::Stmt(s)]))];
+        sp.top = vec![Node::Loop(LoopNode::new(
+            "i",
+            DimSize::Param(0),
+            vec![Node::Stmt(s)],
+        ))];
         assert_eq!(
             normalize(&sp).err(),
             Some(NormalizeError::UnknownVariable("z".into()))
@@ -778,7 +794,11 @@ mod tests {
             lhs: SurfaceRef::vars(u, &["i"]),
             rhs: SurfaceExpr::Const(0.0),
         };
-        sp.top = vec![Node::Loop(LoopNode::new("i", DimSize::Const(4), vec![Node::Stmt(s)]))];
+        sp.top = vec![Node::Loop(LoopNode::new(
+            "i",
+            DimSize::Const(4),
+            vec![Node::Stmt(s)],
+        ))];
         let p = normalize(&sp).expect("normalizes");
         assert_eq!(p.nests[0].bounds.enumerate(&[]).len(), 4);
     }
@@ -801,7 +821,11 @@ mod tests {
         sp.top = vec![Node::Loop(LoopNode::new(
             "i",
             DimSize::Param(0),
-            vec![Node::Loop(LoopNode::new("j", DimSize::Param(0), vec![Node::Stmt(s)]))],
+            vec![Node::Loop(LoopNode::new(
+                "j",
+                DimSize::Param(0),
+                vec![Node::Stmt(s)],
+            ))],
         ))];
         let p = normalize(&sp).expect("normalizes");
         let r = &p.nests[0].body[0].lhs;

@@ -97,8 +97,16 @@ fn expr_str(e: &Expr, array_names: &[String]) -> String {
     match e {
         Expr::Const(c) => format!("{c:?}"),
         Expr::Ref(r) => ref_str(r, array_names),
-        Expr::Add(a, b) => format!("{} + {}", expr_str(a, array_names), expr_str(b, array_names)),
-        Expr::Sub(a, b) => format!("{} - {}", expr_str(a, array_names), expr_str(b, array_names)),
+        Expr::Add(a, b) => format!(
+            "{} + {}",
+            expr_str(a, array_names),
+            expr_str(b, array_names)
+        ),
+        Expr::Sub(a, b) => format!(
+            "{} - {}",
+            expr_str(a, array_names),
+            expr_str(b, array_names)
+        ),
         Expr::Mul(a, b) => format!(
             "({}) * ({})",
             expr_str(a, array_names),

@@ -89,7 +89,11 @@ impl ArrayRef {
     #[must_use]
     pub fn new(array: ArrayId, rows: &[Vec<i64>], offset: Vec<i64>) -> Self {
         let m = Matrix::from_rows(rows);
-        assert_eq!(m.rows(), offset.len(), "offset length must equal array rank");
+        assert_eq!(
+            m.rows(),
+            offset.len(),
+            "offset length must equal array rank"
+        );
         ArrayRef {
             array,
             access: m,

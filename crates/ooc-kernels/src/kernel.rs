@@ -74,7 +74,9 @@ mod tests {
         let names: Vec<&str> = ks.iter().map(|k| k.name).collect();
         assert_eq!(
             names,
-            vec!["mat", "mxm", "adi", "vpenta", "btrix", "emit", "syr2k", "htribk", "gfunp", "trans"]
+            vec![
+                "mat", "mxm", "adi", "vpenta", "btrix", "emit", "syr2k", "htribk", "gfunp", "trans"
+            ]
         );
         // Table 1 iteration counts.
         let iters: Vec<u32> = ks.iter().map(|k| k.iterations).collect();

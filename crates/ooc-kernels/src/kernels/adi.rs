@@ -37,7 +37,14 @@ pub fn build() -> Kernel {
             rf(aref(u1, &[&[0, 0, 1], &[0, 1, 0], &[1, 0, 0]], &[0, 0, 0])),
         ),
     );
-    p.add_nest(nest_with_margins("adi_x", 1, 0, &[1, 1, 2], &[0, 0, 0], vec![s1]));
+    p.add_nest(nest_with_margins(
+        "adi_x",
+        1,
+        0,
+        &[1, 1, 2],
+        &[0, 0, 0],
+        vec![s1],
+    ));
 
     // y-sweep: do k / do i / do j(2..N):
     //   U3(i,j,k) = U3(i,j-1,k)*DU2(j) + U2(i,j,k)
@@ -52,7 +59,14 @@ pub fn build() -> Kernel {
             rf(aref(u2, &[&[0, 1, 0], &[0, 0, 1], &[1, 0, 0]], &[0, 0, 0])),
         ),
     );
-    p.add_nest(nest_with_margins("adi_y", 1, 0, &[1, 1, 2], &[0, 0, 0], vec![s2]));
+    p.add_nest(nest_with_margins(
+        "adi_y",
+        1,
+        0,
+        &[1, 1, 2],
+        &[0, 0, 0],
+        vec![s2],
+    ));
 
     // z-sweep: do i / do j / do k(2..N):
     //   U1(i,j,k) = U1(i,j,k-1)*DU3(k) + U3(i,j,k)
@@ -65,7 +79,14 @@ pub fn build() -> Kernel {
             rf(aref(u3, &[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]], &[0, 0, 0])),
         ),
     );
-    p.add_nest(nest_with_margins("adi_z", 1, 0, &[1, 1, 2], &[0, 0, 0], vec![s3]));
+    p.add_nest(nest_with_margins(
+        "adi_z",
+        1,
+        0,
+        &[1, 1, 2],
+        &[0, 0, 0],
+        vec![s3],
+    ));
 
     set_iterations(&mut p, 5);
     Kernel {
@@ -95,9 +116,7 @@ mod tests {
                 &cv.tiled,
                 &k.program,
                 &k.small_params,
-                &|a, idx| {
-                    0.5 + (a.0 as f64) * 0.125 + idx.iter().sum::<i64>() as f64 * 1e-3
-                },
+                &|a, idx| 0.5 + (a.0 as f64) * 0.125 + idx.iter().sum::<i64>() as f64 * 1e-3,
             );
             assert_eq!(d, 0.0, "{v:?} diverges");
         }
@@ -109,10 +128,18 @@ mod tests {
         // < col (100), on the paper's 16-processor configuration.
         let k = build();
         let cfg = ooc_core::ExecConfig::new(vec![64], 16);
-        let l = ooc_core::simulate(&compile(&k, Version::LOpt).tiled, &cfg).result.total_time;
-        let d = ooc_core::simulate(&compile(&k, Version::DOpt).tiled, &cfg).result.total_time;
-        let c = ooc_core::simulate(&compile(&k, Version::COpt).tiled, &cfg).result.total_time;
-        let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg).result.total_time;
+        let l = ooc_core::simulate(&compile(&k, Version::LOpt).tiled, &cfg)
+            .result
+            .total_time;
+        let d = ooc_core::simulate(&compile(&k, Version::DOpt).tiled, &cfg)
+            .result
+            .total_time;
+        let c = ooc_core::simulate(&compile(&k, Version::COpt).tiled, &cfg)
+            .result
+            .total_time;
+        let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg)
+            .result
+            .total_time;
         assert!(l < d, "l {l} vs d {d}");
         assert!(c < d, "c {c} vs d {d}");
         assert!(l < 0.5 * col, "l {l} far below col {col}");

@@ -37,11 +37,21 @@ pub fn build() -> Kernel {
             mul(rf(grid(e1)), rf(ci(coef[0]))),
             mul(
                 rf(grid(e2)),
-                mul(rf(cj(coef[1])), mul(rf(ck(coef[2])), mul(rf(ci(coef[3])), rf(cj(coef[4]))))),
+                mul(
+                    rf(cj(coef[1])),
+                    mul(rf(ck(coef[2])), mul(rf(ci(coef[3])), rf(cj(coef[4])))),
+                ),
             ),
         ),
     );
-    p.add_nest(nest_with_margins("emit_field", 1, 0, &[1, 1, 1], &[0, 0, 0], vec![s1]));
+    p.add_nest(nest_with_margins(
+        "emit_field",
+        1,
+        0,
+        &[1, 1, 1],
+        &[0, 0, 0],
+        vec![s1],
+    ));
 
     // Nest 2: E2/E3 exchange with the other five weights.
     let s2 = Statement::assign(
@@ -50,11 +60,21 @@ pub fn build() -> Kernel {
             mul(rf(grid(e3)), rf(ck(coef[5]))),
             mul(
                 rf(grid(e2)),
-                mul(rf(ci(coef[6])), mul(rf(cj(coef[7])), mul(rf(ck(coef[8])), rf(ci(coef[9]))))),
+                mul(
+                    rf(ci(coef[6])),
+                    mul(rf(cj(coef[7])), mul(rf(ck(coef[8])), rf(ci(coef[9])))),
+                ),
             ),
         ),
     );
-    p.add_nest(nest_with_margins("emit_exchange", 1, 0, &[1, 1, 1], &[0, 0, 0], vec![s2]));
+    p.add_nest(nest_with_margins(
+        "emit_exchange",
+        1,
+        0,
+        &[1, 1, 1],
+        &[0, 0, 0],
+        vec![s2],
+    ));
 
     set_iterations(&mut p, 2);
     Kernel {

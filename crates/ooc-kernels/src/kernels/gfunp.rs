@@ -27,27 +27,49 @@ pub fn build() -> Kernel {
     let tr = |arr| aref(arr, &[&[0, 1], &[1, 0]], &[0, 0]);
 
     // Nest 1: G1(i,j) = G2(j,i) + P(i)   (P is innermost-invariant)
-    let s1 = Statement::assign(
-        id(g1),
-        add(rf(tr(g2)), rf(aref(pv, &[&[1, 0]], &[0]))),
-    );
-    p.add_nest(nest_with_margins("gfunp_eval", 1, 0, &[1, 1], &[0, 0], vec![s1]));
+    let s1 = Statement::assign(id(g1), add(rf(tr(g2)), rf(aref(pv, &[&[1, 0]], &[0]))));
+    p.add_nest(nest_with_margins(
+        "gfunp_eval",
+        1,
+        0,
+        &[1, 1],
+        &[0, 0],
+        vec![s1],
+    ));
 
     // Nest 2: G2(i,j) = G3(j,i) * 2
     let s2 = Statement::assign(id(g2), mul(rf(tr(g3)), Expr::Const(2.0)));
-    p.add_nest(nest_with_margins("gfunp_jac", 1, 0, &[1, 1], &[0, 0], vec![s2]));
+    p.add_nest(nest_with_margins(
+        "gfunp_jac",
+        1,
+        0,
+        &[1, 1],
+        &[0, 0],
+        vec![s2],
+    ));
 
     // Nest 3 (costliest: three streaming references):
     //   G4(i,j) = G4(i,j)*0.5 + G5(j,i)
-    let s3 = Statement::assign(
-        id(g4),
-        add(mul(rf(id(g4)), Expr::Const(0.5)), rf(tr(g5))),
-    );
-    p.add_nest(nest_with_margins("gfunp_homotopy", 1, 0, &[1, 1], &[0, 0], vec![s3]));
+    let s3 = Statement::assign(id(g4), add(mul(rf(id(g4)), Expr::Const(0.5)), rf(tr(g5))));
+    p.add_nest(nest_with_margins(
+        "gfunp_homotopy",
+        1,
+        0,
+        &[1, 1],
+        &[0, 0],
+        vec![s3],
+    ));
 
     // Nest 4: G3(j,i) = G3(j,i) + 3  — reinforces G3's transposed use.
     let s4 = Statement::assign(tr(g3), add(rf(tr(g3)), Expr::Const(3.0)));
-    p.add_nest(nest_with_margins("gfunp_norm", 1, 0, &[1, 1], &[0, 0], vec![s4]));
+    p.add_nest(nest_with_margins(
+        "gfunp_norm",
+        1,
+        0,
+        &[1, 1],
+        &[0, 0],
+        vec![s4],
+    ));
 
     set_iterations(&mut p, 3);
     Kernel {
@@ -88,10 +110,18 @@ mod tests {
         // c-opt (46.9) < d-opt (68.0) < l-opt (73.3) < col (100).
         let k = build();
         let cfg = ooc_core::ExecConfig::new(vec![256], 16);
-        let c = ooc_core::simulate(&compile(&k, Version::COpt).tiled, &cfg).result.total_time;
-        let d = ooc_core::simulate(&compile(&k, Version::DOpt).tiled, &cfg).result.total_time;
-        let l = ooc_core::simulate(&compile(&k, Version::LOpt).tiled, &cfg).result.total_time;
-        let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg).result.total_time;
+        let c = ooc_core::simulate(&compile(&k, Version::COpt).tiled, &cfg)
+            .result
+            .total_time;
+        let d = ooc_core::simulate(&compile(&k, Version::DOpt).tiled, &cfg)
+            .result
+            .total_time;
+        let l = ooc_core::simulate(&compile(&k, Version::LOpt).tiled, &cfg)
+            .result
+            .total_time;
+        let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg)
+            .result
+            .total_time;
         assert!(c < d, "c {c} vs d {d}");
         assert!(d < l, "d {d} vs l {l}");
         // l-opt helps at most scales; at worst it ties the baseline.

@@ -34,18 +34,29 @@ pub fn build() -> Kernel {
             mul(rf(id(ar, -1, 1)), rf(id(ai, 0, 0))),
         ),
     );
-    p.add_nest(nest_with_margins("htribk_accum", 1, 0, &[2, 2], &[0, -1], vec![s1]));
+    p.add_nest(nest_with_margins(
+        "htribk_accum",
+        1,
+        0,
+        &[2, 2],
+        &[0, -1],
+        vec![s1],
+    ));
 
     // Back-transformation copy-out: do i / do j:  ZR(i,j) = AR(j,i)*2
     // — a transpose: ZR wants row-major, AR column... but AR is locked
     // row-major by the sweep; only the free ZR side is winnable.
-    let s2 = Statement::assign(
-        id(zr, 0, 0),
-        mul(rf(tr(ar)), ooc_ir::Expr::Const(2.0)),
-    );
+    let s2 = Statement::assign(id(zr, 0, 0), mul(rf(tr(ar)), ooc_ir::Expr::Const(2.0)));
     // And the imaginary part the other way round: ZI(j,i) = AI(i,j).
     let s3 = Statement::assign(tr(zi), rf(id(ai, 0, 0)));
-    p.add_nest(nest_with_margins("htribk_backt", 1, 0, &[1, 1], &[0, 0], vec![s2, s3]));
+    p.add_nest(nest_with_margins(
+        "htribk_backt",
+        1,
+        0,
+        &[1, 1],
+        &[0, 0],
+        vec![s2, s3],
+    ));
 
     set_iterations(&mut p, 3);
     Kernel {
@@ -87,8 +98,18 @@ mod tests {
         let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg);
         let row = ooc_core::simulate(&compile(&k, Version::Row).tiled, &cfg);
         let d = ooc_core::simulate(&compile(&k, Version::DOpt).tiled, &cfg);
-        assert!(d.io_calls < col.io_calls, "d {} vs col {}", d.io_calls, col.io_calls);
-        assert!(d.io_calls < row.io_calls, "d {} vs row {}", d.io_calls, row.io_calls);
+        assert!(
+            d.io_calls < col.io_calls,
+            "d {} vs col {}",
+            d.io_calls,
+            col.io_calls
+        );
+        assert!(
+            d.io_calls < row.io_calls,
+            "d {} vs row {}",
+            d.io_calls,
+            row.io_calls
+        );
     }
 
     #[test]
@@ -97,8 +118,7 @@ mod tests {
         for v in [Version::LOpt, Version::COpt] {
             let cv = compile(&k, v);
             assert_eq!(
-                cv.tiled.nests[0].nest.body[0].lhs.access,
-                k.program.nests[0].body[0].lhs.access,
+                cv.tiled.nests[0].nest.body[0].lhs.access, k.program.nests[0].body[0].lhs.access,
                 "{v:?} illegally transformed the sweep"
             );
         }

@@ -26,10 +26,7 @@ pub fn build() -> Kernel {
     let c_ref = aref(cc, &[&[1, 0, 0], &[0, 1, 0]], &[0, 0]);
     let a_ref = aref(a, &[&[1, 0, 0], &[0, 0, 1]], &[0, 0]);
     let b_ref = aref(b, &[&[0, 0, 1], &[0, 1, 0]], &[0, 0]);
-    let s = Statement::assign(
-        c_ref.clone(),
-        add(rf(c_ref), mul(rf(a_ref), rf(b_ref))),
-    );
+    let s = Statement::assign(c_ref.clone(), add(rf(c_ref), mul(rf(a_ref), rf(b_ref))));
     p.add_nest(LoopNest::rectangular("matmul", 3, 1, 0, vec![s]));
     let _ = c(0.0);
 
@@ -68,8 +65,12 @@ mod tests {
         // solid improvement — Table 2 l-opt = 65.1.
         let k = build();
         let cfg = ooc_core::ExecConfig::new(vec![256], 16);
-        let l = ooc_core::simulate(&compile(&k, Version::LOpt).tiled, &cfg).result.total_time;
-        let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg).result.total_time;
+        let l = ooc_core::simulate(&compile(&k, Version::LOpt).tiled, &cfg)
+            .result
+            .total_time;
+        let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg)
+            .result
+            .total_time;
         assert!(l < 0.8 * col, "l-opt {l} vs col {col}");
     }
 

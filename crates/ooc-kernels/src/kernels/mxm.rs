@@ -105,9 +105,15 @@ mod tests {
         // even more).
         let k = build();
         let cfg = ooc_core::ExecConfig::new(vec![256], 16);
-        let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg).result.total_time;
-        let c = ooc_core::simulate(&compile(&k, Version::COpt).tiled, &cfg).result.total_time;
-        let d = ooc_core::simulate(&compile(&k, Version::DOpt).tiled, &cfg).result.total_time;
+        let col = ooc_core::simulate(&compile(&k, Version::Col).tiled, &cfg)
+            .result
+            .total_time;
+        let c = ooc_core::simulate(&compile(&k, Version::COpt).tiled, &cfg)
+            .result
+            .total_time;
+        let d = ooc_core::simulate(&compile(&k, Version::DOpt).tiled, &cfg)
+            .result
+            .total_time;
         assert!(c < 0.5 * col, "c-opt {c} vs col {col}");
         // d-opt cannot untangle the cross-nest conflicts: within 2x of col.
         assert!(d < 2.0 * col && d > 0.5 * col, "d-opt {d} vs col {col}");

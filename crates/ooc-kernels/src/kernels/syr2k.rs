@@ -93,7 +93,17 @@ mod tests {
         let c = ooc_core::simulate(&compile(&k, Version::COpt).tiled, &cfg);
         let h = ooc_core::simulate(&compile(&k, Version::HOpt).tiled, &cfg);
         // The §3.3 tiling plus combined layouts cut the call count.
-        assert!(c.io_calls < col.io_calls, "c {} vs col {}", c.io_calls, col.io_calls);
-        assert!(h.io_calls <= c.io_calls, "h {} vs c {}", h.io_calls, c.io_calls);
+        assert!(
+            c.io_calls < col.io_calls,
+            "c {} vs col {}",
+            c.io_calls,
+            col.io_calls
+        );
+        assert!(
+            h.io_calls <= c.io_calls,
+            "h {} vs c {}",
+            h.io_calls,
+            c.io_calls
+        );
     }
 }

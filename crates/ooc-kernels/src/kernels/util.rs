@@ -83,10 +83,7 @@ mod tests {
     fn margins_shrink_ranges() {
         let mut p = Program::new(&["N"]);
         let a = p.declare_array("A", 2, 0);
-        let s = Statement::assign(
-            aref(a, &[&[1, 0], &[0, 1]], &[0, 0]),
-            c(0.0),
-        );
+        let s = Statement::assign(aref(a, &[&[1, 0], &[0, 1]], &[0, 0]), c(0.0));
         let nest = nest_with_margins("n", 1, 0, &[2, 1], &[0, -1], vec![s]);
         let pts = nest.bounds.enumerate(&[5]);
         // i in 2..=5, j in 1..=4.

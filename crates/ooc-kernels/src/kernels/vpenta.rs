@@ -25,8 +25,14 @@ pub fn build() -> Kernel {
     // Fortran convention for the small plane index: it comes FIRST so
     // the column-major default keeps planes interleaved at stride 3
     // and the large dimensions contiguous.
-    let y = p.declare_array_dims("Y", vec![DimSize::Const(3), DimSize::Param(0), DimSize::Param(0)]);
-    let z = p.declare_array_dims("Z", vec![DimSize::Const(3), DimSize::Param(0), DimSize::Param(0)]);
+    let y = p.declare_array_dims(
+        "Y",
+        vec![DimSize::Const(3), DimSize::Param(0), DimSize::Param(0)],
+    );
+    let z = p.declare_array_dims(
+        "Z",
+        vec![DimSize::Const(3), DimSize::Param(0), DimSize::Param(0)],
+    );
 
     let id = |arr, di, dj| aref(arr, &[&[1, 0], &[0, 1]], &[di, dj]);
 
@@ -43,7 +49,14 @@ pub fn build() -> Kernel {
             rf(id(cc, 0, 0)),
         ),
     );
-    p.add_nest(nest_with_margins("vpenta_fwd1", 1, 0, &[2, 2], &[0, -1], vec![s1]));
+    p.add_nest(nest_with_margins(
+        "vpenta_fwd1",
+        1,
+        0,
+        &[2, 2],
+        &[0, -1],
+        vec![s1],
+    ));
 
     // Elimination sweep 2 over the factor arrays:
     //   D(i,j) = D(i-1,j-1)*E(i,j) + D(i-1,j+1)*F(i,j) + X(i,j)
@@ -57,7 +70,14 @@ pub fn build() -> Kernel {
             rf(id(x, 0, 0)),
         ),
     );
-    p.add_nest(nest_with_margins("vpenta_fwd2", 1, 0, &[2, 2], &[0, -1], vec![s2]));
+    p.add_nest(nest_with_margins(
+        "vpenta_fwd2",
+        1,
+        0,
+        &[2, 2],
+        &[0, -1],
+        vec![s2],
+    ));
 
     // Pack the smoothed solution planes into the 3-D workspaces — the
     // smoothing recurrences carry the same (1,±1) distances as the
@@ -80,7 +100,14 @@ pub fn build() -> Kernel {
             mul(rf(z3(-1, -1)), ooc_ir::Expr::Const(0.5)),
         ),
     );
-    p.add_nest(nest_with_margins("vpenta_pack", 1, 0, &[2, 2], &[0, -1], vec![s3, s4]));
+    p.add_nest(nest_with_margins(
+        "vpenta_pack",
+        1,
+        0,
+        &[2, 2],
+        &[0, -1],
+        vec![s3, s4],
+    ));
 
     set_iterations(&mut p, 3);
     Kernel {
@@ -124,8 +151,7 @@ mod tests {
         let cv = compile(&k, Version::LOpt);
         for (i, nest) in cv.tiled.nests.iter().take(2).enumerate() {
             assert_eq!(
-                nest.nest.body[0].lhs.access,
-                k.program.nests[i].body[0].lhs.access,
+                nest.nest.body[0].lhs.access, k.program.nests[i].body[0].lhs.access,
                 "sweep {i} was transformed"
             );
         }

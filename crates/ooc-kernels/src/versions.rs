@@ -25,11 +25,10 @@ use ooc_core::{
 use ooc_ir::{ArrayId, Program};
 use ooc_linalg::Matrix;
 use ooc_runtime::FileLayout;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The six versions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Version {
     /// Fixed column-major layouts, original loops.
     Col,
@@ -56,6 +55,13 @@ impl Version {
         Version::HOpt,
     ];
 
+    /// The naive fixed-layout baselines.
+    pub const BASELINES: [Version; 2] = [Version::Col, Version::Row];
+
+    /// The compiler-optimized versions.
+    pub const OPTIMIZED: [Version; 4] =
+        [Version::LOpt, Version::DOpt, Version::COpt, Version::HOpt];
+
     /// Table column label.
     #[must_use]
     pub fn label(&self) -> &'static str {
@@ -68,6 +74,26 @@ impl Version {
             Version::HOpt => "h-opt",
         }
     }
+
+    /// `true` for the compiler-optimized versions, `false` for the
+    /// fixed-layout baselines.
+    #[must_use]
+    pub fn is_optimized(&self) -> bool {
+        Version::OPTIMIZED.contains(self)
+    }
+}
+
+/// Every (naive baseline, optimized) version pair, for differential
+/// testing: each optimized version against each fixed-layout baseline.
+#[must_use]
+pub fn differential_pairs() -> Vec<(Version, Version)> {
+    let mut out = Vec::new();
+    for baseline in Version::BASELINES {
+        for optimized in Version::OPTIMIZED {
+            out.push((baseline, optimized));
+        }
+    }
+    out
 }
 
 /// A compiled kernel version ready for execution.
@@ -186,7 +212,10 @@ mod tests {
     #[test]
     fn labels_match_paper() {
         let labels: Vec<&str> = Version::ALL.iter().map(Version::label).collect();
-        assert_eq!(labels, vec!["col", "row", "l-opt", "d-opt", "c-opt", "h-opt"]);
+        assert_eq!(
+            labels,
+            vec!["col", "row", "l-opt", "d-opt", "c-opt", "h-opt"]
+        );
     }
 
     #[test]
@@ -211,7 +240,12 @@ mod tests {
         for k in all_kernels() {
             for v in Version::ALL {
                 let c = compile(&k, v);
-                assert_eq!(c.tiled.nests.len(), k.program.nests.len(), "{} {v:?}", k.name);
+                assert_eq!(
+                    c.tiled.nests.len(),
+                    k.program.nests.len(),
+                    "{} {v:?}",
+                    k.name
+                );
             }
         }
     }
@@ -242,7 +276,13 @@ mod tests {
     #[test]
     fn only_hopt_interleaves() {
         let k = crate::kernels::mat::build();
-        for v in [Version::Col, Version::Row, Version::LOpt, Version::DOpt, Version::COpt] {
+        for v in [
+            Version::Col,
+            Version::Row,
+            Version::LOpt,
+            Version::DOpt,
+            Version::COpt,
+        ] {
             assert!(compile(&k, v).interleave.is_empty());
         }
     }

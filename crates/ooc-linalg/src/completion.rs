@@ -175,7 +175,11 @@ mod tests {
             let m = extend_to_unimodular_first_col(&v);
             assert!(m.is_unimodular(), "not unimodular for {v:?}:\n{m}");
             for (i, &x) in v.iter().enumerate() {
-                assert_eq!(m[(i, 0)], Rational::from(x), "first column mismatch for {v:?}");
+                assert_eq!(
+                    m[(i, 0)],
+                    Rational::from(x),
+                    "first column mismatch for {v:?}"
+                );
             }
         }
     }

@@ -239,16 +239,12 @@ impl LoopBounds {
         let lo = self
             .lowers
             .iter()
-            .map(|a| {
-                i64::try_from(a.eval(&point, params).ceil()).expect("bound overflow")
-            })
+            .map(|a| i64::try_from(a.eval(&point, params).ceil()).expect("bound overflow"))
             .max()?;
         let hi = self
             .uppers
             .iter()
-            .map(|a| {
-                i64::try_from(a.eval(&point, params).floor()).expect("bound overflow")
-            })
+            .map(|a| i64::try_from(a.eval(&point, params).floor()).expect("bound overflow"))
             .min()?;
         if lo <= hi {
             Some((lo, hi))

@@ -123,8 +123,7 @@ mod tests {
         // Lower triangular: entries right of the staircase are zero.
         let mut max_pivot_col: isize = -1;
         for r in 0..h.rows() {
-            let nonzero: Vec<usize> =
-                (0..h.cols()).filter(|&c| !h[(r, c)].is_zero()).collect();
+            let nonzero: Vec<usize> = (0..h.cols()).filter(|&c| !h[(r, c)].is_zero()).collect();
             if let Some(&last) = nonzero.last() {
                 assert!(
                     last as isize <= max_pivot_col + 1,

@@ -84,7 +84,13 @@ mod tests {
 
     #[test]
     fn i64_variants_agree() {
-        for v in [vec![1, -5], vec![0, 0], vec![-1, 3], vec![0, 2], vec![0, -2]] {
+        for v in [
+            vec![1, -5],
+            vec![0, 0],
+            vec![-1, 3],
+            vec![0, 2],
+            vec![0, -2],
+        ] {
             assert_eq!(lex_positive_i64(&v), lex_positive(&r(&v)));
             assert_eq!(lex_nonnegative_i64(&v), lex_nonnegative(&r(&v)));
         }

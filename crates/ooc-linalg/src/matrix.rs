@@ -88,7 +88,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend(row.iter().map(|&e| Rational::from(e)));
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -154,9 +158,7 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[Rational]) -> Vec<Rational> {
         assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
         (0..self.rows)
-            .map(|i| {
-                (0..self.cols).fold(Rational::ZERO, |acc, j| acc + self[(i, j)] * v[j])
-            })
+            .map(|i| (0..self.cols).fold(Rational::ZERO, |acc, j| acc + self[(i, j)] * v[j]))
             .collect()
     }
 
@@ -175,9 +177,7 @@ impl Matrix {
     pub fn vec_mul(&self, v: &[Rational]) -> Vec<Rational> {
         assert_eq!(v.len(), self.rows, "dimension mismatch in vec_mul");
         (0..self.cols)
-            .map(|j| {
-                (0..self.rows).fold(Rational::ZERO, |acc, i| acc + v[i] * self[(i, j)])
-            })
+            .map(|j| (0..self.rows).fold(Rational::ZERO, |acc, i| acc + v[i] * self[(i, j)]))
             .collect()
     }
 
@@ -323,9 +323,9 @@ impl Matrix {
         self.nullspace()
             .into_iter()
             .map(|v| {
-                let scale = v
-                    .iter()
-                    .fold(1i64, |acc, r| lcm(acc, i64::try_from(r.den()).expect("den overflow")));
+                let scale = v.iter().fold(1i64, |acc, r| {
+                    lcm(acc, i64::try_from(r.den()).expect("den overflow"))
+                });
                 let ints: Vec<i64> = v
                     .iter()
                     .map(|r| {
@@ -384,14 +384,20 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = Rational;
     fn index(&self, (r, c): (usize, usize)) -> &Rational {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Rational {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -584,8 +590,14 @@ mod tests {
     fn vec_products() {
         let a = m(2, 2, &[0, 1, 1, 0]);
         let v = [Rational::from(3i64), Rational::from(7i64)];
-        assert_eq!(a.mul_vec(&v), vec![Rational::from(7i64), Rational::from(3i64)]);
-        assert_eq!(a.vec_mul(&v), vec![Rational::from(7i64), Rational::from(3i64)]);
+        assert_eq!(
+            a.mul_vec(&v),
+            vec![Rational::from(7i64), Rational::from(3i64)]
+        );
+        assert_eq!(
+            a.vec_mul(&v),
+            vec![Rational::from(7i64), Rational::from(3i64)]
+        );
     }
 
     #[test]

@@ -318,7 +318,10 @@ mod tests {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::new(-1, 3));
         assert!(Rational::new(7, 4) > Rational::ONE);
-        assert_eq!(Rational::new(3, 6).cmp(&Rational::new(1, 2)), Ordering::Equal);
+        assert_eq!(
+            Rational::new(3, 6).cmp(&Rational::new(1, 2)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the exact linear algebra kernel.
 
 use ooc_linalg::{
-    complete_last_column, column_hnf, extended_gcd, gcd, gcd_slice, lex_positive_i64, primitive,
+    column_hnf, complete_last_column, extended_gcd, gcd, gcd_slice, lex_positive_i64, primitive,
     Affine, Matrix, Polyhedron, Rational,
 };
 use proptest::prelude::*;
@@ -15,8 +15,7 @@ fn rational() -> impl Strategy<Value = Rational> {
 }
 
 fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(small_int(), n * n)
-        .prop_map(move |v| Matrix::from_i64(n, n, &v))
+    proptest::collection::vec(small_int(), n * n).prop_map(move |v| Matrix::from_i64(n, n, &v))
 }
 
 proptest! {

@@ -11,6 +11,7 @@
 use crate::layout::{FileLayout, Region, RunSummary};
 use crate::store::{MemStore, Store, ELEM_BYTES};
 use std::io;
+use std::time::Duration;
 
 /// Runtime parameters for I/O call accounting.
 #[derive(Debug, Clone, Copy)]
@@ -18,12 +19,80 @@ pub struct RuntimeConfig {
     /// Maximum elements a single I/O call may move (runs longer than
     /// this are split). Mirrors `PfsConfig::max_call_bytes / 8`.
     pub max_call_elems: u64,
+    /// Recovery policy for transient store failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
         RuntimeConfig {
             max_call_elems: 4 * 1024 * 1024 / ELEM_BYTES,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Retry-with-backoff policy for transient store errors
+/// ([`io::ErrorKind::Interrupted`], `WouldBlock`, `TimedOut`): a
+/// failed run is re-issued up to `max_attempts` total tries, sleeping
+/// `base_backoff * 2^(attempt-1)` between tries. Non-transient errors
+/// (out-of-range, corrupt files) propagate immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per run, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// First backoff; doubles per retry. `Duration::ZERO` (the
+    /// default) never sleeps — right for tests and in-memory stores.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Whether `e` is worth retrying.
+    #[must_use]
+    pub fn is_transient(e: &io::Error) -> bool {
+        matches!(
+            e.kind(),
+            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    }
+
+    /// Runs `op` under this policy; `retries` counts re-issues.
+    ///
+    /// # Errors
+    /// Returns the last error once attempts are exhausted, and
+    /// non-transient errors immediately.
+    pub fn run(&self, retries: &mut u64, mut op: impl FnMut() -> io::Result<()>) -> io::Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt + 1 < self.max_attempts.max(1) && Self::is_transient(&e) => {
+                    if !self.base_backoff.is_zero() {
+                        std::thread::sleep(self.base_backoff * 2u32.saturating_pow(attempt));
+                    }
+                    attempt += 1;
+                    *retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 }
@@ -43,6 +112,8 @@ pub struct IoStats {
     pub read_elems: u64,
     /// Elements transferred by writes.
     pub write_elems: u64,
+    /// Transient store failures recovered by retry.
+    pub retries: u64,
 }
 
 impl IoStats {
@@ -62,6 +133,17 @@ impl IoStats {
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
         self.total_elems() * ELEM_BYTES
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_calls += other.read_calls;
+        self.write_calls += other.write_calls;
+        self.read_elems += other.read_elems;
+        self.write_elems += other.write_elems;
+        self.retries += other.retries;
     }
 }
 
@@ -164,7 +246,13 @@ impl<S: Store> OocArray<S> {
     /// # Panics
     /// Panics if the store size does not match the array shape.
     #[must_use]
-    pub fn new(name: &str, dims: &[i64], layout: FileLayout, store: S, config: RuntimeConfig) -> Self {
+    pub fn new(
+        name: &str,
+        dims: &[i64],
+        layout: FileLayout,
+        store: S,
+        config: RuntimeConfig,
+    ) -> Self {
         let len: i64 = dims.iter().product();
         assert_eq!(
             store.len(),
@@ -210,6 +298,25 @@ impl<S: Store> OocArray<S> {
         self.stats = IoStats::default();
     }
 
+    /// Resets tile statistics *and* any store-level measurement
+    /// (e.g. a [`TracingStore`](crate::trace::TracingStore) trace).
+    pub fn reset_all_metrics(&mut self) {
+        self.reset_stats();
+        self.store.reset_metrics();
+    }
+
+    /// The store's measured I/O, when the store is instrumented.
+    #[must_use]
+    pub fn measured(&self) -> Option<crate::trace::MeasuredIo> {
+        self.store.metrics()
+    }
+
+    /// The backing store.
+    #[must_use]
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
     /// The I/O cost of accessing `region` under the array's layout —
     /// no data is moved.
     #[must_use]
@@ -231,9 +338,13 @@ impl<S: Store> OocArray<S> {
         // Pull every run, then scatter into the tile by element lookup.
         let mut run_data: Vec<(u64, Vec<f64>)> = Vec::with_capacity(runs.len());
         let mut calls = 0u64;
+        let retry = self.config.retry;
         for run in &runs {
             let mut buf = vec![0.0; usize::try_from(run.len).expect("run len")];
-            self.store.read_run(run.start, &mut buf)?;
+            let store = &self.store;
+            retry.run(&mut self.stats.retries, || {
+                store.read_run(run.start, &mut buf)
+            })?;
             calls += run.len.div_ceil(self.config.max_call_elems);
             run_data.push((run.start, buf));
         }
@@ -265,8 +376,10 @@ impl<S: Store> OocArray<S> {
             store_into(&mut run_data, off, tile.get(idx));
         });
         let mut calls = 0u64;
+        let retry = self.config.retry;
         for (start, buf) in &run_data {
-            self.store.write_run(*start, buf)?;
+            let store = &mut self.store;
+            retry.run(&mut self.stats.retries, || store.write_run(*start, buf))?;
             calls += (buf.len() as u64).div_ceil(self.config.max_call_elems);
         }
         self.stats.writes += 1;
@@ -372,7 +485,10 @@ mod tests {
     use super::*;
 
     fn small_config() -> RuntimeConfig {
-        RuntimeConfig { max_call_elems: 8 }
+        RuntimeConfig {
+            max_call_elems: 8,
+            ..RuntimeConfig::default()
+        }
     }
 
     #[test]
@@ -385,7 +501,8 @@ mod tests {
             FileLayout::Blocked2D { br: 2, bc: 2 },
         ] {
             let mut a = OocArray::in_memory("A", &[4, 4], layout.clone());
-            a.initialize(|idx| (idx[0] * 10 + idx[1]) as f64).expect("init");
+            a.initialize(|idx| (idx[0] * 10 + idx[1]) as f64)
+                .expect("init");
             let tile = a
                 .read_tile(&Region::new(vec![2, 2], vec![3, 4]))
                 .expect("read");
@@ -412,7 +529,9 @@ mod tests {
             small_config(),
         );
         a.reset_stats();
-        let _ = a.read_tile(&Region::new(vec![1, 1], vec![4, 4])).expect("read");
+        let _ = a
+            .read_tile(&Region::new(vec![1, 1], vec![4, 4]))
+            .expect("read");
         assert_eq!(a.stats().read_calls, 4);
 
         // Figure 3(b): 2 full rows of a row-major array, max 8 elements
@@ -424,7 +543,9 @@ mod tests {
             MemStore::new(64),
             small_config(),
         );
-        let _ = b.read_tile(&Region::new(vec![1, 1], vec![2, 8])).expect("read");
+        let _ = b
+            .read_tile(&Region::new(vec![1, 1], vec![2, 8]))
+            .expect("read");
         assert_eq!(b.stats().read_calls, 2);
     }
 
@@ -441,7 +562,9 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut a = OocArray::in_memory("A", &[4, 4], FileLayout::row_major(2));
-        let t = a.read_tile(&Region::new(vec![1, 1], vec![2, 4])).expect("r");
+        let t = a
+            .read_tile(&Region::new(vec![1, 1], vec![2, 4]))
+            .expect("r");
         a.write_tile(&t).expect("w");
         let s = a.stats();
         assert_eq!(s.reads, 1);
@@ -455,7 +578,9 @@ mod tests {
     #[test]
     fn out_of_bounds_regions_clamped() {
         let mut a = OocArray::in_memory("A", &[4, 4], FileLayout::row_major(2));
-        let tile = a.read_tile(&Region::new(vec![3, 3], vec![9, 9])).expect("r");
+        let tile = a
+            .read_tile(&Region::new(vec![3, 3], vec![9, 9]))
+            .expect("r");
         assert_eq!(tile.region().len(), 4);
     }
 

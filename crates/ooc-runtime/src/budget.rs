@@ -89,7 +89,11 @@ impl MemoryBudget {
     /// # Panics
     /// Panics on releasing more than is allocated (a runtime bug).
     pub fn free(&mut self, n: u64) {
-        assert!(n <= self.in_use, "freeing {n} with only {} in use", self.in_use);
+        assert!(
+            n <= self.in_use,
+            "freeing {n} with only {} in use",
+            self.in_use
+        );
         self.in_use -= n;
     }
 

@@ -1,0 +1,251 @@
+//! Deterministic fault injection: [`FaultStore`] makes a fraction of
+//! store calls fail with *transient* [`io::Error`]s (kind
+//! [`io::ErrorKind::Interrupted`]), driven by a seeded PRNG so every
+//! failure sequence replays exactly.
+//!
+//! Paired with the retry policy in
+//! [`RuntimeConfig`](crate::array::RuntimeConfig), this proves the
+//! runtime's read/write paths survive flaky backing storage without
+//! changing results — the robustness half of the instrumented store
+//! layer.
+
+use crate::store::Store;
+use crate::trace::MeasuredIo;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// Configuration of a [`FaultStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// PRNG seed; equal seeds give identical failure sequences.
+    pub seed: u64,
+    /// Probability of failing a call, in parts per 1000.
+    pub fail_per_mille: u32,
+    /// Total failures to inject before going permanently quiet
+    /// (`u64::MAX` = unbounded).
+    pub max_faults: u64,
+    /// Cap on back-to-back failures, so a bounded retry loop always
+    /// makes progress.
+    pub max_consecutive: u32,
+}
+
+impl FaultConfig {
+    /// Fails roughly `per_mille`/1000 of calls under `seed`.
+    #[must_use]
+    pub fn transient(seed: u64, per_mille: u32) -> Self {
+        FaultConfig {
+            seed,
+            fail_per_mille: per_mille,
+            max_faults: u64::MAX,
+            max_consecutive: 2,
+        }
+    }
+
+    /// Injects exactly `n` failures (spread by `seed`), then stops.
+    #[must_use]
+    pub fn first_n(seed: u64, n: u64) -> Self {
+        FaultConfig {
+            seed,
+            fail_per_mille: 333,
+            max_faults: n,
+            max_consecutive: 1,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    rng: u64,
+    injected: u64,
+    consecutive: u32,
+}
+
+/// A [`Store`] wrapper injecting seeded transient failures.
+#[derive(Debug)]
+pub struct FaultStore<S> {
+    inner: S,
+    config: FaultConfig,
+    state: Arc<Mutex<FaultState>>,
+}
+
+/// A cheap shared handle counting the failures a [`FaultStore`] has
+/// injected so far.
+#[derive(Debug, Clone)]
+pub struct FaultHandle(Arc<Mutex<FaultState>>);
+
+impl FaultHandle {
+    /// Failures injected so far.
+    ///
+    /// # Panics
+    /// Panics if the fault mutex was poisoned.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.0.lock().expect("fault lock").injected
+    }
+}
+
+impl<S: Store> FaultStore<S> {
+    /// Wraps `inner` under `config`.
+    #[must_use]
+    pub fn new(inner: S, config: FaultConfig) -> Self {
+        FaultStore {
+            inner,
+            config,
+            state: Arc::new(Mutex::new(FaultState {
+                // Scrambled so nearby seeds give unrelated sequences
+                // (`seed | 1` alone maps 42 and 43 to the same state).
+                rng: config.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+                injected: 0,
+                consecutive: 0,
+            })),
+        }
+    }
+
+    /// A shared handle onto the injection counter.
+    #[must_use]
+    pub fn handle(&self) -> FaultHandle {
+        FaultHandle(Arc::clone(&self.state))
+    }
+
+    /// Failures injected so far.
+    ///
+    /// # Panics
+    /// Panics if the fault mutex was poisoned.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.state.lock().expect("fault lock").injected
+    }
+
+    /// Unwraps the backing store.
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Decides (and records) whether the next call fails.
+    fn roll(&self) -> bool {
+        let mut s = self.state.lock().expect("fault lock");
+        // xorshift64*.
+        let mut x = s.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        s.rng = x;
+        let draw = x.wrapping_mul(0x2545_f491_4f6c_dd1d) % 1000;
+        let fail = draw < u64::from(self.config.fail_per_mille)
+            && s.injected < self.config.max_faults
+            && s.consecutive < self.config.max_consecutive;
+        if fail {
+            s.injected += 1;
+            s.consecutive += 1;
+        } else {
+            s.consecutive = 0;
+        }
+        fail
+    }
+
+    fn transient_error() -> io::Error {
+        io::Error::new(io::ErrorKind::Interrupted, "injected transient I/O failure")
+    }
+}
+
+impl<S: Store> Store for FaultStore<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_run(&self, offset: u64, buf: &mut [f64]) -> io::Result<()> {
+        if self.roll() {
+            return Err(Self::transient_error());
+        }
+        self.inner.read_run(offset, buf)
+    }
+
+    fn write_run(&mut self, offset: u64, buf: &[f64]) -> io::Result<()> {
+        if self.roll() {
+            return Err(Self::transient_error());
+        }
+        self.inner.write_run(offset, buf)
+    }
+
+    fn reset_metrics(&mut self) {
+        self.inner.reset_metrics();
+    }
+
+    fn metrics(&self) -> Option<MeasuredIo> {
+        self.inner.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let run = |seed: u64| -> Vec<bool> {
+            let s = FaultStore::new(MemStore::new(8), FaultConfig::transient(seed, 300));
+            (0..100)
+                .map(|_| {
+                    let mut buf = [0.0; 1];
+                    s.read_run(0, &mut buf).is_err()
+                })
+                .collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds must differ");
+    }
+
+    #[test]
+    fn respects_max_faults_and_consecutive_cap() {
+        let mut s = FaultStore::new(MemStore::new(8), FaultConfig::first_n(7, 3));
+        let mut failures = 0;
+        let mut consecutive: u32 = 0;
+        for i in 0..200u64 {
+            let r = s.write_run(i % 4, &[1.0]);
+            if r.is_err() {
+                failures += 1;
+                consecutive += 1;
+                assert!(consecutive <= 1, "max_consecutive=1 violated");
+            } else {
+                consecutive = 0;
+            }
+        }
+        assert_eq!(failures, 3, "exactly max_faults injected");
+        assert_eq!(s.injected(), 3);
+        assert_eq!(s.handle().injected(), 3);
+    }
+
+    #[test]
+    fn failures_are_transient_and_side_effect_free() {
+        let mut s = FaultStore::new(MemStore::new(4), FaultConfig::first_n(1, 1));
+        // Drive calls until the single failure fires; retrying the same
+        // write must then succeed and take effect.
+        let mut failed_once = false;
+        for _ in 0..50 {
+            match s.write_run(0, &[9.0]) {
+                Ok(()) => {}
+                Err(e) => {
+                    assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+                    failed_once = true;
+                    s.write_run(0, &[9.0]).expect("retry succeeds");
+                }
+            }
+        }
+        assert!(failed_once, "the injected failure fired");
+        let mut buf = [0.0; 1];
+        s.read_run(0, &mut buf).expect("read");
+        assert_eq!(buf[0], 9.0);
+    }
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let s = FaultStore::new(MemStore::new(8), FaultConfig::transient(1, 0));
+        for _ in 0..100 {
+            let mut buf = [0.0; 2];
+            s.read_run(0, &mut buf).expect("no faults at rate 0");
+        }
+        assert_eq!(s.injected(), 0);
+    }
+}

@@ -127,9 +127,9 @@ mod tests {
         let s = g.group_run_summary(&region);
         assert_eq!(s.runs, 1);
         assert_eq!(s.elements, 32); // both members
-        // With max 8 elements/call: 4 calls fetch BOTH tiles — versus
-        // 2 + 2 = 4 for separate files; the win appears when the fixed
-        // per-run cost dominates (strided layouts).
+                                    // With max 8 elements/call: 4 calls fetch BOTH tiles — versus
+                                    // 2 + 2 = 4 for separate files; the win appears when the fixed
+                                    // per-run cost dominates (strided layouts).
         let c = g.group_io_cost(&region, 8);
         assert_eq!(c.calls, 4);
     }

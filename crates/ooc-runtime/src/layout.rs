@@ -20,11 +20,10 @@
 //! unit the PASSION-like runtime turns into I/O calls.
 
 use ooc_linalg::gcd;
-use serde::{Deserialize, Serialize};
 
 /// A rectangular region of an array: 1-based inclusive bounds per
 /// dimension.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Region {
     /// Lower bounds (1-based, inclusive).
     pub lo: Vec<i64>,
@@ -88,12 +87,7 @@ impl Region {
     pub fn clamped(&self, dims: &[i64]) -> Region {
         Region {
             lo: self.lo.iter().map(|&l| l.max(1)).collect(),
-            hi: self
-                .hi
-                .iter()
-                .zip(dims)
-                .map(|(&h, &n)| h.min(n))
-                .collect(),
+            hi: self.hi.iter().zip(dims).map(|(&h, &n)| h.min(n)).collect(),
         }
     }
 }
@@ -122,7 +116,7 @@ pub struct RunSummary {
 }
 
 /// The supported file layouts.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum FileLayout {
     /// Dimension-order layout: `perm` lists dimensions from outermost
     /// (slowest-varying) to innermost (fastest-varying, contiguous).
@@ -723,9 +717,18 @@ mod tests {
 
     #[test]
     fn from_hyperplane_routes_axis_aligned() {
-        assert_eq!(FileLayout::from_hyperplane(&[1, 0]), FileLayout::row_major(2));
-        assert_eq!(FileLayout::from_hyperplane(&[0, 1]), FileLayout::col_major(2));
-        assert_eq!(FileLayout::from_hyperplane(&[0, -3]), FileLayout::col_major(2));
+        assert_eq!(
+            FileLayout::from_hyperplane(&[1, 0]),
+            FileLayout::row_major(2)
+        );
+        assert_eq!(
+            FileLayout::from_hyperplane(&[0, 1]),
+            FileLayout::col_major(2)
+        );
+        assert_eq!(
+            FileLayout::from_hyperplane(&[0, -3]),
+            FileLayout::col_major(2)
+        );
         assert_eq!(
             FileLayout::from_hyperplane(&[2, -2]),
             FileLayout::Hyperplane2D(1, -1)

@@ -14,17 +14,28 @@
 //! * [`budget`] — the paper's 1/128 memory rule and tile sizing.
 //! * [`interleave`] — chunking/interleaving used by the hand-optimized
 //!   `h-opt` program versions.
+//! * [`trace`] — [`TracingStore`]: measured per-store I/O (calls,
+//!   volume, seek distance, run-length histogram).
+//! * [`fault`] — [`FaultStore`]: deterministic seeded transient-fault
+//!   injection, recovered by [`RetryPolicy`].
+//! * [`testing`] — store factories and temp-dir plumbing for
+//!   differential tests.
 
 #![warn(missing_docs)]
 
 pub mod array;
 pub mod budget;
+pub mod fault;
 pub mod interleave;
 pub mod layout;
 pub mod store;
+pub mod testing;
+pub mod trace;
 
-pub use array::{summary_cost, IoCost, IoStats, OocArray, RuntimeConfig, Tile};
+pub use array::{summary_cost, IoCost, IoStats, OocArray, RetryPolicy, RuntimeConfig, Tile};
 pub use budget::{square_tile_edge, tile_span, BudgetExceeded, MemoryBudget};
+pub use fault::{FaultConfig, FaultHandle, FaultStore};
 pub use interleave::InterleavedGroup;
 pub use layout::{FileLayout, Region, Run, RunSummary};
 pub use store::{FileStore, MemStore, Store, ELEM_BYTES};
+pub use trace::{MeasuredIo, TraceHandle, TracingStore, RUN_HIST_BUCKETS};

@@ -8,6 +8,7 @@
 //!   for fast deterministic tests and for simulation-mode executions
 //!   that never touch data at all.
 
+use crate::trace::MeasuredIo;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::Path;
@@ -37,6 +38,39 @@ pub trait Store {
     /// # Errors
     /// Fails on I/O errors or out-of-range writes.
     fn write_run(&mut self, offset: u64, buf: &[f64]) -> io::Result<()>;
+
+    /// Zeroes any measurement this store collects (no-op for plain
+    /// stores; [`TracingStore`](crate::trace::TracingStore) resets its
+    /// trace). Wrappers forward to their inner store.
+    fn reset_metrics(&mut self) {}
+
+    /// Measured I/O collected so far, when this store (or a wrapped
+    /// one) is instrumented.
+    fn metrics(&self) -> Option<MeasuredIo> {
+        None
+    }
+}
+
+impl<S: Store + ?Sized> Store for Box<S> {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn read_run(&self, offset: u64, buf: &mut [f64]) -> io::Result<()> {
+        (**self).read_run(offset, buf)
+    }
+
+    fn write_run(&mut self, offset: u64, buf: &[f64]) -> io::Result<()> {
+        (**self).write_run(offset, buf)
+    }
+
+    fn reset_metrics(&mut self) {
+        (**self).reset_metrics();
+    }
+
+    fn metrics(&self) -> Option<MeasuredIo> {
+        (**self).metrics()
+    }
 }
 
 /// In-memory store.

@@ -23,7 +23,8 @@ fn dims_strategy() -> impl Strategy<Value = [i64; 2]> {
 
 fn region_in(dims: [i64; 2]) -> impl Strategy<Value = Region> {
     (1..=dims[0], 1..=dims[1]).prop_flat_map(move |(l0, l1)| {
-        (l0..=dims[0], l1..=dims[1]).prop_map(move |(h0, h1)| Region::new(vec![l0, l1], vec![h0, h1]))
+        (l0..=dims[0], l1..=dims[1])
+            .prop_map(move |(h0, h1)| Region::new(vec![l0, l1], vec![h0, h1]))
     })
 }
 
@@ -90,7 +91,7 @@ proptest! {
             &dims,
             layout,
             MemStore::new((dims[0] * dims[1]) as u64),
-            RuntimeConfig { max_call_elems: 4 },
+            RuntimeConfig { max_call_elems: 4, ..RuntimeConfig::default() },
         );
         arr.initialize(|idx| (idx[0] * 1000 + idx[1]) as f64 + seed as f64)
             .expect("init");
@@ -136,7 +137,7 @@ proptest! {
             &dims,
             layout.clone(),
             MemStore::new((dims[0] * dims[1]) as u64),
-            RuntimeConfig { max_call_elems: cap },
+            RuntimeConfig { max_call_elems: cap, ..RuntimeConfig::default() },
         );
         let _ = arr.read_tile(&region).expect("read");
         let expected: u64 = layout

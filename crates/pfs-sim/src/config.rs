@@ -12,10 +12,8 @@
 //! ten kernels land in the paper's magnitude range (tens to a few
 //! hundred seconds on 16 processors); see `EXPERIMENTS.md`.
 
-use serde::{Deserialize, Serialize};
-
 /// Timing parameters of one I/O node (disk + service software).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DiskParams {
     /// Fixed cost charged per I/O call served by a node, in seconds.
     /// Covers request processing, seek, and rotational components —
@@ -45,7 +43,7 @@ impl Default for DiskParams {
 }
 
 /// Configuration of the parallel file system.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PfsConfig {
     /// Number of I/O nodes files are striped over (Paragon PFS: 64).
     pub io_nodes: usize,
@@ -93,7 +91,7 @@ impl PfsConfig {
 }
 
 /// Compute-side parameters of the machine.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ComputeParams {
     /// Seconds per floating-point operation on one compute node.
     /// (Paragon i860: ~10 MFLOPS sustained on real code.)
@@ -126,7 +124,7 @@ impl Default for ComputeParams {
 }
 
 /// Complete machine description: PFS plus compute nodes.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MachineConfig {
     /// Parallel file system parameters.
     pub pfs: PfsConfig,

@@ -13,16 +13,15 @@
 //! is an exact simulation at op granularity.
 
 use crate::config::MachineConfig;
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Identifies a file registered with the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FileId(pub usize);
 
 /// One step in a processor's execution trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Op {
     /// Pure computation for the given number of seconds.
     Compute {
@@ -56,7 +55,7 @@ pub enum Op {
 pub type Trace = Vec<Op>;
 
 /// The workload of a simulated run: one trace per compute processor.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Workload {
     /// `per_proc[p]` is processor `p`'s op sequence.
     pub per_proc: Vec<Trace>,
@@ -102,7 +101,7 @@ impl Workload {
 }
 
 /// Aggregated results of a simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Wall-clock: when the last processor finished.
     pub total_time: f64,
@@ -127,10 +126,7 @@ impl SimResult {
         if self.total_time == 0.0 {
             return 0.0;
         }
-        self.node_busy
-            .iter()
-            .fold(0.0f64, |a, &b| a.max(b))
-            / self.total_time
+        self.node_busy.iter().fold(0.0f64, |a, &b| a.max(b)) / self.total_time
     }
 }
 

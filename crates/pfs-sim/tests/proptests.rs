@@ -1,6 +1,8 @@
 //! Property-based tests of the parallel file system simulator.
 
-use pfs_sim::{lower_bound, ComputeParams, DiskParams, FileId, MachineConfig, Op, PfsSim, PfsConfig, Workload};
+use pfs_sim::{
+    lower_bound, ComputeParams, DiskParams, FileId, MachineConfig, Op, PfsConfig, PfsSim, Workload,
+};
 use proptest::prelude::*;
 
 fn machine(nodes: usize) -> MachineConfig {

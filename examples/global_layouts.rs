@@ -39,7 +39,11 @@ fn main() {
              ({} assignments{})",
             global.modeled_cost,
             global.assignments_searched,
-            if global.fell_back { ", fell back to greedy" } else { "" },
+            if global.fell_back {
+                ", fell back to greedy"
+            } else {
+                ""
+            },
         );
 
         // Simulate both at a reduced scale on 16 processors.

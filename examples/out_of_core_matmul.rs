@@ -28,7 +28,8 @@ fn main() {
     let seed = |a: ArrayId, idx: &[i64]| (a.0 as f64 + 1.0) + idx.iter().sum::<i64>() as f64 * 0.5;
     for v in Version::ALL {
         let cv = compile(&kernel, v);
-        let div = max_divergence_from_reference(&cv.tiled, &kernel.program, &kernel.small_params, &seed);
+        let div =
+            max_divergence_from_reference(&cv.tiled, &kernel.program, &kernel.small_params, &seed);
         println!("  {:6} max |difference| = {div}", v.label());
         assert_eq!(div, 0.0);
     }

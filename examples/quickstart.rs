@@ -14,7 +14,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ooc_opt::core::{optimize, simulate, ExecConfig, OptimizeOptions, TiledProgram, TilingStrategy};
+use ooc_opt::core::{
+    optimize, simulate, ExecConfig, OptimizeOptions, TiledProgram, TilingStrategy,
+};
 use ooc_opt::core::{optimize_data_only, optimize_loop_only};
 use ooc_opt::ir::{program_to_string, ArrayRef, Expr, LoopNest, Program, Statement};
 
@@ -26,7 +28,11 @@ fn paper_example() -> Program {
     let s1 = Statement::assign(
         ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
         Expr::Add(
-            Box::new(Expr::Ref(ArrayRef::new(v, &[vec![0, 1], vec![1, 0]], vec![0, 0]))),
+            Box::new(Expr::Ref(ArrayRef::new(
+                v,
+                &[vec![0, 1], vec![1, 0]],
+                vec![0, 0],
+            ))),
             Box::new(Expr::Const(1.0)),
         ),
     );
@@ -34,7 +40,11 @@ fn paper_example() -> Program {
     let s2 = Statement::assign(
         ArrayRef::new(v, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
         Expr::Add(
-            Box::new(Expr::Ref(ArrayRef::new(w, &[vec![0, 1], vec![1, 0]], vec![0, 0]))),
+            Box::new(Expr::Ref(ArrayRef::new(
+                w,
+                &[vec![0, 1], vec![1, 0]],
+                vec![0, 0],
+            ))),
             Box::new(Expr::Const(2.0)),
         ),
     );

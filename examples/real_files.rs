@@ -22,6 +22,7 @@ fn main() -> std::io::Result<()> {
     let elems = (n * n) as u64;
     let config = RuntimeConfig {
         max_call_elems: 4096,
+        ..RuntimeConfig::default()
     };
 
     let mut arrays = Vec::new();

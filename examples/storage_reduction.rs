@@ -61,6 +61,9 @@ fn main() {
     // The a < c direction uses the mirrored transformation.
     let access2 = Matrix::from_i64(2, 2, &[2, 1, 3, 0]);
     let r2 = reduce_storage(&access2, &ranges);
-    println!("\nfor a < c (access [[2,1],[3,0]]): shrink to {:.1}% with D =", 100.0 * r2.shrink_factor());
+    println!(
+        "\nfor a < c (access [[2,1],[3,0]]): shrink to {:.1}% with D =",
+        100.0 * r2.shrink_factor()
+    );
     println!("{}", r2.transform);
 }

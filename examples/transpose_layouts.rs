@@ -33,7 +33,9 @@ fn main() {
     // Relation (1): the layouts in the kernel of L·q.
     let g_b = layouts_for_2d(&l_b, &e_inner).expect("2-D").remove(0);
     let g_a = layouts_for_2d(&l_a, &e_inner).expect("2-D").remove(0);
-    println!("relation (1) hyperplanes: B: g = {g_b:?} (row-major), A: g = {g_a:?} (column-major)\n");
+    println!(
+        "relation (1) hyperplanes: B: g = {g_b:?} (row-major), A: g = {g_a:?} (column-major)\n"
+    );
 
     // What each layout costs for a 32x4096 slab of a 4096x4096 array.
     let dims = [4096i64, 4096];

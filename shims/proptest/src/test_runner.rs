@@ -1,0 +1,78 @@
+//! Deterministic RNG and run configuration.
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A deterministic xorshift64* RNG.
+///
+/// Seeded from the test's module path and name (or `PROPTEST_SEED`),
+/// so runs reproduce exactly across machines with no regression files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG seeded from `name`, or from `PROPTEST_SEED` when set.
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or_else(|| {
+                // FNV-1a over the test name.
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in name.bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h
+            });
+        TestRng {
+            state: seed | 1, // xorshift state must be nonzero
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..bound` (`bound` ≥ 1).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    /// Uniform value in `0..bound` for wide (up to 128-bit) spans.
+    pub fn below_wide(&mut self, bound: u128) -> u128 {
+        if bound <= 1 {
+            return 0;
+        }
+        let wide = (u128::from(self.next()) << 64) | u128::from(self.next());
+        wide % bound
+    }
+}

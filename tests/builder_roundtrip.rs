@@ -33,7 +33,11 @@ fn via_surface() -> Program {
     sp.top.push(Node::Loop(LoopNode::new(
         "i",
         DimSize::Param(0),
-        vec![Node::Loop(LoopNode::new("j", DimSize::Param(0), vec![Node::Stmt(s)]))],
+        vec![Node::Loop(LoopNode::new(
+            "j",
+            DimSize::Param(0),
+            vec![Node::Stmt(s)],
+        ))],
     )));
     normalize(&sp).expect("normalizes")
 }
@@ -45,7 +49,11 @@ fn via_matrices() -> Program {
     let s = Statement::assign(
         ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
         Expr::Add(
-            Box::new(Expr::Ref(ArrayRef::new(v, &[vec![0, 1], vec![1, 0]], vec![0, 0]))),
+            Box::new(Expr::Ref(ArrayRef::new(
+                v,
+                &[vec![0, 1], vec![1, 0]],
+                vec![0, 0],
+            ))),
             Box::new(Expr::Const(1.0)),
         ),
     );

@@ -26,9 +26,8 @@ fn access2(depth: usize) -> impl Strategy<Value = (Vec<Vec<i64>>, Vec<i64>)> {
         // A(i, i): diagonal walk.
         Just((vec![unit(d, d - 2), unit(d, d - 2)], vec![0, 0])),
         // Neighbour offsets (kept semantically safe by loop margins).
-        (-1i64..=1, -1i64..=1).prop_map(move |(oi, oj)| {
-            (vec![unit(d, d - 2), unit(d, d - 1)], vec![oi, oj])
-        }),
+        (-1i64..=1, -1i64..=1)
+            .prop_map(move |(oi, oj)| { (vec![unit(d, d - 2), unit(d, d - 1)], vec![oi, oj]) }),
     ]
 }
 
@@ -43,21 +42,22 @@ fn unit(depth: usize, at: usize) -> Vec<i64> {
 /// offset, so flow across iterations and nests is exercised).
 fn program_strategy() -> impl Strategy<Value = Program> {
     let nest = (
-        2usize..=3,                       // depth
-        0usize..4,                        // lhs array
-        0usize..4,                        // rhs array 1
-        0usize..4,                        // rhs array 2
-        any::<bool>(),                    // include second read?
-        2usize..=3,                       // depth is regenerated per nest
+        2usize..=3,    // depth
+        0usize..4,     // lhs array
+        0usize..4,     // rhs array 1
+        0usize..4,     // rhs array 2
+        any::<bool>(), // include second read?
+        2usize..=3,    // depth is regenerated per nest
     );
-    (proptest::collection::vec(nest, 1..=3), 2usize..=4).prop_flat_map(|(nests, n_arrays)| {
-        // Resolve the access patterns per nest with the right depth.
-        let accesses: Vec<_> = nests
-            .iter()
-            .map(|&(depth, ..)| (access2(depth), access2(depth), access2(depth)))
-            .collect();
-        (Just(nests), Just(n_arrays), accesses)
-    })
+    (proptest::collection::vec(nest, 1..=3), 2usize..=4)
+        .prop_flat_map(|(nests, n_arrays)| {
+            // Resolve the access patterns per nest with the right depth.
+            let accesses: Vec<_> = nests
+                .iter()
+                .map(|&(depth, ..)| (access2(depth), access2(depth), access2(depth)))
+                .collect();
+            (Just(nests), Just(n_arrays), accesses)
+        })
         .prop_map(|(nests, n_arrays, accesses)| {
             let mut p = Program::new(&["N"]);
             let ids: Vec<ArrayId> = (0..n_arrays)

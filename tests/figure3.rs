@@ -34,7 +34,9 @@ fn paper_illustration_numbers() {
 /// square tiling for the same program and layouts.
 #[test]
 fn ooc_tiling_beats_traditional_end_to_end() {
-    use ooc_opt::core::{optimize, simulate, ExecConfig, OptimizeOptions, TiledProgram, TilingStrategy};
+    use ooc_opt::core::{
+        optimize, simulate, ExecConfig, OptimizeOptions, TiledProgram, TilingStrategy,
+    };
     use ooc_opt::ir::{ArrayRef, Expr, LoopNest, Program, Statement};
 
     let mut p = Program::new(&["N"]);

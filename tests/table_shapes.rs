@@ -121,9 +121,15 @@ fn table3_speedups_bounded_by_io_subsystem() {
         };
         let (t1, t16, t64) = (t(1), t(16), t(64));
         assert!(t16 < t1, "c-opt: 16 procs faster than 1");
-        assert!(t64 <= t16 * 1.05, "c-opt: 64 ≈ or better than 16 ({t64} vs {t16})");
+        assert!(
+            t64 <= t16 * 1.05,
+            "c-opt: 64 ≈ or better than 16 ({t64} vs {t16})"
+        );
         let s64 = t1 / t64;
-        assert!((3.0..64.0).contains(&s64), "c-opt: sublinear scaling ({s64})");
+        assert!(
+            (3.0..64.0).contains(&s64),
+            "c-opt: sublinear scaling ({s64})"
+        );
     }
     // ...while the strided col baseline gains less: its per-processor
     // row slices shred the column-major runs as P grows.

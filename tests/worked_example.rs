@@ -16,7 +16,11 @@ fn paper_example() -> Program {
     let s1 = Statement::assign(
         ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
         Expr::Add(
-            Box::new(Expr::Ref(ArrayRef::new(v, &[vec![0, 1], vec![1, 0]], vec![0, 0]))),
+            Box::new(Expr::Ref(ArrayRef::new(
+                v,
+                &[vec![0, 1], vec![1, 0]],
+                vec![0, 0],
+            ))),
             Box::new(Expr::Const(1.0)),
         ),
     );
@@ -24,7 +28,11 @@ fn paper_example() -> Program {
     let s2 = Statement::assign(
         ArrayRef::new(v, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
         Expr::Add(
-            Box::new(Expr::Ref(ArrayRef::new(w, &[vec![0, 1], vec![1, 0]], vec![0, 0]))),
+            Box::new(Expr::Ref(ArrayRef::new(
+                w,
+                &[vec![0, 1], vec![1, 0]],
+                vec![0, 0],
+            ))),
             Box::new(Expr::Const(2.0)),
         ),
     );
@@ -53,7 +61,11 @@ fn layouts_and_transformations_match_the_paper() {
 fn transformed_program_is_equivalent() {
     let prog = paper_example();
     let opt = optimize(&prog, &OptimizeOptions::default());
-    for strategy in [TilingStrategy::OutOfCore, TilingStrategy::Optimized, TilingStrategy::Traditional] {
+    for strategy in [
+        TilingStrategy::OutOfCore,
+        TilingStrategy::Optimized,
+        TilingStrategy::Traditional,
+    ] {
         let tp = TiledProgram::from_optimized(&opt, strategy);
         let d = max_divergence_from_reference(&tp, &prog, &[13], &|a, idx| {
             (a.0 * 1000) as f64 + (idx[0] * 37 + idx[1]) as f64
