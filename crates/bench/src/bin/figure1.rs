@@ -9,6 +9,8 @@ use ooc_ir::{
 };
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = ooc_bench::trace::TraceScope::from_args(&mut args);
     // The figure's input: two imperfectly nested loop nests over
     // arrays {U, V, W} and {X, Y}.
     let mut sp = SurfaceProgram::new(&["N"]);
@@ -18,15 +20,16 @@ fn main() {
     let x = sp.declare_array("X", 2, 0);
     let y = sp.declare_array("Y", 2, 0);
 
-    // Nest 1 (imperfect; fixed by loop FUSION of the two j-loops):
-    //   do i { do j { U(i,j) = V(j,i) } ; do j { V(i,j) = W(j,i) } }
+    // Nest 1 (imperfect; fixed by loop FUSION of the two j-loops —
+    // both bodies only *read* V, so fusing them is legal):
+    //   do i { do j { U(i,j) = V(j,i) } ; do j { W(i,j) = V(i,j) } }
     let s1 = SurfaceStmt {
         lhs: SurfaceRef::vars(u, &["i", "j"]),
         rhs: SurfaceExpr::Ref(SurfaceRef::vars(v, &["j", "i"])),
     };
     let s2 = SurfaceStmt {
-        lhs: SurfaceRef::vars(v, &["i", "j"]),
-        rhs: SurfaceExpr::Ref(SurfaceRef::vars(w, &["j", "i"])),
+        lhs: SurfaceRef::vars(w, &["i", "j"]),
+        rhs: SurfaceExpr::Ref(SurfaceRef::vars(v, &["i", "j"])),
     };
     sp.top.push(Node::Loop(LoopNode::new(
         "i",
@@ -93,4 +96,5 @@ fn main() {
         );
     }
     println!("\nEach component is optimized independently (Step 3).");
+    let _ = trace.finish();
 }

@@ -4,6 +4,8 @@
 use ooc_runtime::{FileLayout, Region};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = ooc_bench::trace::TraceScope::from_args(&mut args);
     let dims = [8i64, 8];
     let layouts: Vec<(&str, FileLayout)> = vec![
         (
@@ -50,4 +52,5 @@ fn main() {
             s.runs, s.elements
         );
     }
+    let _ = trace.finish();
 }

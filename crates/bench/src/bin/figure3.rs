@@ -7,6 +7,8 @@
 use ooc_runtime::{summary_cost, FileLayout, MemoryBudget, Region};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = ooc_bench::trace::TraceScope::from_args(&mut args);
     println!("Figure 3: different tile access patterns\n");
     let dims = [8i64, 8];
     let budget = MemoryBudget::new(32);
@@ -52,4 +54,5 @@ fn main() {
          layout turns 4 calls of 4 elements into 2 calls of 8 elements -- the\n\
          paper's motivation for never tiling the (stride-1) innermost loop."
     );
+    let _ = trace.finish();
 }

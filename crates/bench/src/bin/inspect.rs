@@ -6,7 +6,13 @@
 //! `TracingStore` instrumentation) — putting the model and the
 //! observation side by side.
 //!
-//! Usage: `inspect <kernel> [procs] [scale-divisor]`
+//! Usage: `inspect <kernel> [procs] [scale-divisor] [--trace out.json] [--explain]`
+//!
+//! `--trace out.json` records every compiler decision and runtime tile
+//! access into a Chrome-trace file (open in <https://ui.perfetto.dev>);
+//! `--explain` prints the optimizer's decision records and the span
+//! tree to stdout.
+use ooc_bench::trace::{render_explain, TraceScope};
 use ooc_core::{measure_functional, simulate, ExecConfig, FunctionalConfig, IoComparison};
 use ooc_ir::ArrayId;
 use ooc_kernels::{compile, kernel_by_name, Version};
@@ -20,15 +26,11 @@ fn seed(a: ArrayId, idx: &[i64]) -> f64 {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "trans".into());
-    let procs: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
-    let scale: i64 = std::env::args()
-        .nth(3)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceScope::from_args(&mut args);
+    let name = args.first().cloned().unwrap_or_else(|| "trans".into());
+    let procs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let scale: i64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
     let k = kernel_by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown kernel `{name}`");
         std::process::exit(2);
@@ -71,6 +73,12 @@ fn main() {
         );
         if let Some(cmp) = IoComparison::from_run(v.label(), &run) {
             println!("       measured at {:?}: {cmp}", k.small_params);
+        }
+    }
+    let explain = trace.explain;
+    if let Some(data) = trace.finish() {
+        if explain {
+            print!("{}", render_explain(&data));
         }
     }
 }

@@ -1,8 +1,11 @@
 //! Regenerates Table 1 of the paper: the benchmark programs and their
 //! array inventories.
+use ooc_bench::trace::TraceScope;
 use ooc_kernels::all_kernels;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceScope::from_args(&mut args);
     println!("Table 1: Programs used in our experiments.");
     println!("{:-<78}", "");
     println!("{:8} {:10} {:>4}  arrays", "program", "source", "iter");
@@ -32,4 +35,5 @@ fn main() {
             k.paper_bytes() as f64 / 1e6
         );
     }
+    let _ = trace.finish();
 }

@@ -3,21 +3,18 @@
 //! rest as a percentage of col), side by side with the published
 //! numbers.
 //!
-//! Usage: `table2 [scale] [procs]`
+//! Usage: `table2 [scale] [procs] [--trace out.json]`
 //!   scale — divide every paper array extent by this (default 1 =
 //!           full paper scale; use 4 for a quick run)
 //!   procs — compute processors (default 16, the paper's Table 2)
+use ooc_bench::trace::TraceScope;
 use ooc_bench::{paper_table2, run_table2};
 
 fn main() {
-    let scale: i64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    let procs: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceScope::from_args(&mut args);
+    let scale: i64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let procs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     eprintln!("running Table 2 at 1/{scale} scale on {procs} simulated processors...");
     let rows = run_table2(procs, scale);
     let paper = paper_table2();
@@ -62,4 +59,5 @@ fn main() {
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }
+    let _ = trace.finish();
 }

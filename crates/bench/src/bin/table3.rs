@@ -2,14 +2,14 @@
 //! every kernel on 16/32/64/128 processors, relative to the same
 //! version on a single node.
 //!
-//! Usage: `table3 [scale]`
+//! Usage: `table3 [scale] [--trace out.json]`
+use ooc_bench::trace::TraceScope;
 use ooc_bench::{paper_table3_entry, run_table3, PAPER_TABLE3_KERNELS};
 
 fn main() {
-    let scale: i64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceScope::from_args(&mut args);
+    let scale: i64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
     let procs = [16usize, 32, 64, 128];
     eprintln!("running Table 3 at 1/{scale} scale (this sweeps 10 kernels x 6 versions x 5 processor counts)...");
     let entries = run_table3(scale, &procs);
@@ -49,4 +49,5 @@ fn main() {
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }
+    let _ = trace.finish();
 }

@@ -1,108 +1,15 @@
-//! Dependency-free JSON emission for the machine-readable table dumps.
+//! Machine-readable table dumps, built on the shared JSON value tree.
 //!
-//! Replaces `serde_json` (unavailable offline) with a tiny value tree
-//! and pretty-printer producing the same 2-space-indented layout, so
-//! previously generated `table*_results.json` files stay diffable.
+//! The hand-rolled writer that used to live here moved to
+//! [`ooc_trace::json`] so the trace exporter and the table dumps share
+//! one escaping implementation; [`Json`] is re-exported so existing
+//! callers keep working. The pretty-printer still produces the same
+//! 2-space-indented `serde_json` layout, so previously generated
+//! `table*_results.json` files stay diffable.
 
 use crate::experiments::{Table2Row, Table3Entry};
-use std::fmt::Write as _;
 
-/// A JSON value.
-#[derive(Debug, Clone)]
-pub enum Json {
-    /// A string.
-    Str(String),
-    /// An unsigned integer.
-    U64(u64),
-    /// A signed integer.
-    I64(i64),
-    /// A float (shortest round-trip formatting).
-    F64(f64),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with ordered keys.
-    Obj(Vec<(&'static str, Json)>),
-}
-
-impl Json {
-    /// Pretty-prints with 2-space indentation.
-    #[must_use]
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, depth: usize) {
-        let pad = "  ".repeat(depth + 1);
-        let close = "  ".repeat(depth);
-        match self {
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::U64(n) => {
-                let _ = write!(out, "{n}");
-            }
-            Json::I64(n) => {
-                let _ = write!(out, "{n}");
-            }
-            Json::F64(x) => {
-                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
-                    let _ = write!(out, "{x:.1}");
-                } else {
-                    let _ = write!(out, "{x}");
-                }
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    out.push_str(&pad);
-                    item.write(out, depth + 1);
-                    if i + 1 < items.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                out.push_str(&close);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    out.push_str(&pad);
-                    let _ = write!(out, "\"{k}\": ");
-                    v.write(out, depth + 1);
-                    if i + 1 < fields.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                out.push_str(&close);
-                out.push('}');
-            }
-        }
-    }
-}
+pub use ooc_trace::json::Json;
 
 /// Serializes Table 2 rows in the historical `serde_json` layout.
 #[must_use]
@@ -110,7 +17,7 @@ pub fn table2_json(rows: &[Table2Row]) -> String {
     Json::Arr(
         rows.iter()
             .map(|r| {
-                Json::Obj(vec![
+                Json::obj([
                     ("kernel", Json::Str(r.kernel.clone())),
                     (
                         "params",
@@ -122,7 +29,7 @@ pub fn table2_json(rows: &[Table2Row]) -> String {
                             r.cells
                                 .iter()
                                 .map(|c| {
-                                    Json::Obj(vec![
+                                    Json::obj([
                                         ("version", Json::Str(c.version.clone())),
                                         ("seconds", Json::F64(c.seconds)),
                                         ("io_calls", Json::U64(c.io_calls)),
@@ -146,7 +53,7 @@ pub fn table3_json(entries: &[Table3Entry]) -> String {
         entries
             .iter()
             .map(|e| {
-                Json::Obj(vec![
+                Json::obj([
                     ("kernel", Json::Str(e.kernel.clone())),
                     ("version", Json::Str(e.version.clone())),
                     ("procs", Json::U64(e.procs as u64)),
@@ -164,8 +71,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn pretty_matches_serde_json_layout() {
-        let v = Json::Obj(vec![
+    fn reexported_json_keeps_serde_layout() {
+        let v = Json::obj([
             ("name", Json::Str("a\"b".into())),
             ("xs", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
             ("t", Json::F64(2.0)),
@@ -175,11 +82,5 @@ mod tests {
             v.pretty(),
             "{\n  \"name\": \"a\\\"b\",\n  \"xs\": [\n    1,\n    2\n  ],\n  \"t\": 2.0,\n  \"u\": 2.5\n}"
         );
-    }
-
-    #[test]
-    fn empty_containers() {
-        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
-        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
     }
 }

@@ -1,0 +1,156 @@
+//! `--trace out.json` support for the experiment binaries.
+//!
+//! [`TraceScope::from_args`] pulls `--trace PATH` (or `--trace=PATH`)
+//! and `--explain` out of an argument list and, when tracing was
+//! requested, starts a process-wide [`ooc_trace::Session`] so every
+//! instrumented layer (compiler, runtime, simulator) records into it.
+//! [`TraceScope::finish`] exports the session as Chrome-trace JSON,
+//! validates it with the library's own structural validator (so CI can
+//! trust the file opens in Perfetto), and writes it to the requested
+//! path.
+
+use ooc_trace::chrome::{chrome_trace_json, validate_chrome_trace};
+use ooc_trace::{Session, TraceData};
+
+/// A started (or inert) tracing scope for one binary invocation.
+pub struct TraceScope {
+    session: Option<Session>,
+    path: Option<String>,
+    /// `true` when `--explain` was passed: the caller should render
+    /// decision records after the run.
+    pub explain: bool,
+}
+
+/// Removes `--flag VALUE` / `--flag=VALUE` from `args`, returning the
+/// value if present.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            args.remove(i);
+            if i < args.len() {
+                value = Some(args.remove(i));
+            }
+        } else if let Some(v) = args[i].strip_prefix(&prefix) {
+            value = Some(v.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    value
+}
+
+/// Removes every occurrence of the bare `flag` from `args`; `true` if
+/// it appeared.
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+impl TraceScope {
+    /// Parses and removes `--trace PATH` and `--explain` from `args`
+    /// (so positional argument handling stays untouched), starting a
+    /// trace session when either was requested.
+    #[must_use]
+    pub fn from_args(args: &mut Vec<String>) -> TraceScope {
+        let path = take_value_flag(args, "--trace");
+        let explain = take_bool_flag(args, "--explain");
+        let session = (path.is_some() || explain).then(Session::start);
+        TraceScope {
+            session,
+            path,
+            explain,
+        }
+    }
+
+    /// `true` when a session is live.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// Ends the session; exports, validates, and writes the Chrome
+    /// trace when a path was given. Returns the collected data (for
+    /// explain-mode rendering), `None` when tracing was off.
+    ///
+    /// # Panics
+    /// Panics if the exported JSON fails structural validation (a bug
+    /// in the exporter — CI runs this path on purpose) or the output
+    /// file cannot be written.
+    pub fn finish(self) -> Option<TraceData> {
+        let data = self.session?.finish();
+        if let Some(path) = &self.path {
+            let json = chrome_trace_json(&data.events);
+            let summary = validate_chrome_trace(&json)
+                .unwrap_or_else(|e| panic!("emitted trace is structurally invalid: {e}"));
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
+            eprintln!(
+                "trace: wrote {path} ({} events: {} spans, {} instants, {} counter samples) \
+                 — open in https://ui.perfetto.dev or chrome://tracing",
+                summary.events, summary.spans, summary.instants, summary.counters
+            );
+        }
+        Some(data)
+    }
+}
+
+/// Renders a finished trace's decision records and span tree for
+/// terminal consumption (the `--explain` mode of `inspect`).
+#[must_use]
+pub fn render_explain(data: &TraceData) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "decision records ({}):", data.explains.len());
+    for e in &data.explains {
+        let _ = writeln!(out, "  {e}");
+    }
+    let _ = writeln!(out, "span tree:");
+    for line in ooc_trace::tree::render_tree(&data.events).lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_are_extracted_and_positionals_survive() {
+        let mut args = vec![
+            "trans".to_string(),
+            "--trace".to_string(),
+            "/tmp/out.json".to_string(),
+            "16".to_string(),
+            "--explain".to_string(),
+        ];
+        let path = take_value_flag(&mut args, "--trace");
+        let explain = take_bool_flag(&mut args, "--explain");
+        assert_eq!(path.as_deref(), Some("/tmp/out.json"));
+        assert!(explain);
+        assert_eq!(args, vec!["trans".to_string(), "16".to_string()]);
+    }
+
+    #[test]
+    fn equals_form_works() {
+        let mut args = vec!["--trace=/tmp/t.json".to_string(), "8".to_string()];
+        assert_eq!(
+            take_value_flag(&mut args, "--trace").as_deref(),
+            Some("/tmp/t.json")
+        );
+        assert_eq!(args, vec!["8".to_string()]);
+    }
+
+    #[test]
+    fn inert_scope_returns_none() {
+        let mut args = vec!["trans".to_string()];
+        let scope = TraceScope::from_args(&mut args);
+        assert!(!scope.active());
+        assert!(scope.finish().is_none());
+    }
+}

@@ -217,6 +217,14 @@ fn chunks(lo: i64, hi: i64, procs: usize) -> Vec<(i64, i64)> {
 /// processor) and the simulator holding the arrays' striped files.
 #[must_use]
 pub fn build_workload(tp: &TiledProgram, cfg: &ExecConfig) -> (PfsSim, Workload, SimReport) {
+    let _span = ooc_trace::span_with(
+        "runtime",
+        "build-workload",
+        vec![
+            ("procs", (cfg.procs as u64).into()),
+            ("nests", (tp.nests.len() as u64).into()),
+        ],
+    );
     let mut sim = PfsSim::new(cfg.machine);
     let params = &cfg.params;
     let dims_of = |a: usize| -> Vec<i64> {
@@ -457,6 +465,11 @@ pub fn build_workload(tp: &TiledProgram, cfg: &ExecConfig) -> (PfsSim, Workload,
         }
     }
 
+    if ooc_trace::enabled() {
+        ooc_trace::counter("analytic-io-calls", io_calls as f64);
+        ooc_trace::counter("analytic-io-bytes", io_bytes as f64);
+        ooc_trace::counter("tile-steps", tile_steps as f64);
+    }
     let workload = Workload { per_proc };
     let report = SimReport {
         result: SimResult {
@@ -480,6 +493,7 @@ pub fn build_workload(tp: &TiledProgram, cfg: &ExecConfig) -> (PfsSim, Workload,
 /// Simulates a tiled program on the modeled machine.
 #[must_use]
 pub fn simulate(tp: &TiledProgram, cfg: &ExecConfig) -> SimReport {
+    let _span = ooc_trace::span("runtime", "simulate");
     let (sim, workload, mut report) = build_workload(tp, cfg);
     report.result = sim.simulate(&workload);
     report
@@ -630,6 +644,14 @@ pub fn run_functional_on<S: Store>(
     cfg: &FunctionalConfig,
     mut make_store: impl FnMut(usize, &str, u64) -> io::Result<S>,
 ) -> io::Result<FunctionalRun> {
+    let _span = ooc_trace::span_with(
+        "runtime",
+        "run-functional",
+        vec![
+            ("nests", (tp.nests.len() as u64).into()),
+            ("arrays", (tp.program.arrays.len() as u64).into()),
+        ],
+    );
     let mut arrays: Vec<OocArray<S>> = Vec::with_capacity(tp.program.arrays.len());
     for (a, decl) in tp.program.arrays.iter().enumerate() {
         let dims: Vec<i64> = decl.dims.iter().map(|d| d.resolve(params)).collect();
@@ -677,6 +699,10 @@ pub fn run_functional_on<S: Store>(
         let staging = Staging::for_nest(nest, &writes, &touched);
         let bounds = nest.bounds.loop_bounds();
 
+        // Per-nest span; the per-tile spans below allocate names, so
+        // they are built only when a trace session is live (the
+        // disabled path stays a single atomic load per tile step).
+        let _nest_span = ooc_trace::span("runtime", &format!("nest:{}", nest.name));
         for _ in 0..nest.iterations {
             // Cached tiles (hoisting, mirroring the simulation): a tile
             // stays resident while consecutive tile steps touch the same
@@ -688,6 +714,17 @@ pub fn run_functional_on<S: Store>(
                 &spans,
                 ranges[0],
                 &mut |lo, hi| {
+                    let traced = ooc_trace::enabled();
+                    let _tile_span = traced.then(|| {
+                        ooc_trace::span_with(
+                            "runtime",
+                            &format!("tile:{}", nest.name),
+                            vec![
+                                ("lo", format!("{lo:?}").into()),
+                                ("hi", format!("{hi:?}").into()),
+                            ],
+                        )
+                    });
                     for ((a, slot), region) in staging.regions(nest, lo, hi) {
                         let region = region.clamped(arrays[a.0].dims());
                         let key = (a, slot);
@@ -695,13 +732,27 @@ pub fn run_functional_on<S: Store>(
                         if stale {
                             if let Some(old) = tiles.remove(&key) {
                                 if staging.slot_written(a, slot) {
+                                    let _s = traced.then(|| {
+                                        ooc_trace::span(
+                                            "runtime",
+                                            &format!("write-tile:{}", arrays[a.0].name()),
+                                        )
+                                    });
                                     arrays[a.0].write_tile(&old).expect("evict tile");
                                 }
                             }
+                            let _s = traced.then(|| {
+                                ooc_trace::span_with(
+                                    "runtime",
+                                    &format!("read-tile:{}", arrays[a.0].name()),
+                                    vec![("region", format!("{region:?}").into())],
+                                )
+                            });
                             tiles.insert(key, arrays[a.0].read_tile(&region).expect("read tile"));
                         }
                     }
                     // Element loops: every polyhedron point inside the box.
+                    let _compute_span = traced.then(|| ooc_trace::span("runtime", "compute"));
                     let mut iter: Vec<i64> = Vec::with_capacity(nest.depth);
                     exec_box(
                         nest, &bounds, params, lo, hi, &mut iter, &mut tiles, &staging,
@@ -711,6 +762,9 @@ pub fn run_functional_on<S: Store>(
             // Flush written tiles.
             for ((a, slot), tile) in tiles {
                 if staging.slot_written(a, slot) {
+                    let _s = ooc_trace::enabled().then(|| {
+                        ooc_trace::span("runtime", &format!("write-tile:{}", arrays[a.0].name()))
+                    });
                     arrays[a.0].write_tile(&tile).expect("final flush");
                 }
             }
@@ -727,6 +781,34 @@ pub fn run_functional_on<S: Store>(
             measured: arr.measured(),
         })
         .collect();
+    // Correlate the analytic run accounting with store-level
+    // measurement in the trace's counter track.
+    if ooc_trace::enabled() {
+        let mut stats = IoStats::default();
+        for p in &profiles {
+            stats.merge(&p.stats);
+        }
+        ooc_trace::counter(
+            "analytic-io-calls",
+            (stats.read_calls + stats.write_calls) as f64,
+        );
+        ooc_trace::counter("io-retries", stats.retries as f64);
+        let mut measured = MeasuredIo::default();
+        let mut any = false;
+        for p in &profiles {
+            if let Some(m) = &p.measured {
+                measured.merge(m);
+                any = true;
+            }
+        }
+        if any {
+            ooc_trace::counter(
+                "measured-io-calls",
+                (measured.read_calls + measured.write_calls) as f64,
+            );
+            ooc_trace::counter("io-faults", measured.failed_calls as f64);
+        }
+    }
 
     // Dump canonical contents.
     let data = arrays

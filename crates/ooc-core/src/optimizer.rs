@@ -17,7 +17,7 @@
 //! [`optimize_data_only`] (`d-opt`) never transforms loops and
 //! [`optimize_loop_only`] (`l-opt`) never changes layouts.
 
-use crate::cost::{default_layouts, order_by_cost};
+use crate::cost::{default_layouts, nest_cost, order_by_cost};
 use crate::interference::InterferenceGraph;
 use crate::locality::{
     dim_order_for, innermost_candidates, layouts_for_2d, locality_under, loop_constraint_rows,
@@ -105,6 +105,22 @@ enum Mode {
 }
 
 fn run(prog: &Program, opts: &OptimizeOptions, mode: Mode) -> OptimizedProgram {
+    let _opt_span = ooc_trace::span_with(
+        "compiler",
+        "optimize",
+        vec![
+            (
+                "mode",
+                match mode {
+                    Mode::Combined => "c-opt",
+                    Mode::DataOnly => "d-opt",
+                }
+                .into(),
+            ),
+            ("nests", (prog.nests.len() as u64).into()),
+            ("arrays", (prog.arrays.len() as u64).into()),
+        ],
+    );
     let mut out = OptimizedProgram {
         program: prog.clone(),
         layouts: default_layouts(prog),
@@ -118,12 +134,63 @@ fn run(prog: &Program, opts: &OptimizeOptions, mode: Mode) -> OptimizedProgram {
     let mut fixed: Vec<Option<FileLayout>> = vec![None; prog.arrays.len()];
     let weights = array_weights(prog, &opts.cost_params);
 
-    let graph = InterferenceGraph::build(prog);
-    for comp in graph.connected_components() {
+    let graph = {
+        let _s = ooc_trace::span("compiler", "interference-graph");
+        InterferenceGraph::build(prog)
+    };
+    let components = graph.connected_components();
+    for (ci, comp) in components.iter().enumerate() {
+        let _comp_span = ooc_trace::span_with(
+            "compiler",
+            &format!("component-{ci}"),
+            vec![
+                ("nests", (comp.nests.len() as u64).into()),
+                ("arrays", (comp.arrays.len() as u64).into()),
+            ],
+        );
         let defaults = default_layouts(prog);
-        let order = order_by_cost(prog, &comp.nests, &defaults, &opts.cost_params);
+        let order = {
+            let _s = ooc_trace::span("compiler", "cost-rank");
+            order_by_cost(prog, &comp.nests, &defaults, &opts.cost_params)
+        };
+        if ooc_trace::enabled() {
+            if let Some(&costliest) = order.first() {
+                let ranking = order
+                    .iter()
+                    .map(|&n| {
+                        format!(
+                            "{}({:.0})",
+                            prog.nest(n).name,
+                            nest_cost(prog.nest(n), &defaults, &opts.cost_params)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" > ");
+                ooc_trace::explain(
+                    ooc_trace::Explain::new(
+                        "component",
+                        format!("component-{ci}"),
+                        format!("{} nests, {} arrays", comp.nests.len(), comp.arrays.len()),
+                    )
+                    .detail("nests", ranking.clone()),
+                );
+                ooc_trace::explain(
+                    ooc_trace::Explain::new(
+                        "cost-rank",
+                        prog.nest(costliest).name.clone(),
+                        "costliest nest: optimized first, data transformations only",
+                    )
+                    .detail("order", ranking),
+                );
+            }
+        }
         for (rank, &nid) in order.iter().enumerate() {
             let nest = out.program.nests[nid.0].clone();
+            let _nest_span = ooc_trace::span_with(
+                "compiler",
+                &format!("nest:{}", nest.name),
+                vec![("rank", (rank as u64).into())],
+            );
             let q = if rank == 0 || mode == Mode::DataOnly {
                 // Costliest nest (or d-opt everywhere): data
                 // transformations only.
@@ -138,9 +205,18 @@ fn run(prog: &Program, opts: &OptimizeOptions, mode: Mode) -> OptimizedProgram {
                     "{}: applied loop transformation Q = {q:?}",
                     nest.name
                 ));
+                ooc_trace::explain(
+                    ooc_trace::Explain::new(
+                        "transform",
+                        nest.name.clone(),
+                        format!("applied loop transformation Q = {q:?}"),
+                    )
+                    .detail("rank", rank.to_string())
+                    .detail("rule", "kernel relation (2) + Bik-Wijshoff completion"),
+                );
                 nest.transformed(&q)
             };
-            fix_layouts_checked(prog, &transformed, &mut fixed, opts, &mut out.log);
+            fix_layouts_checked(prog, &transformed, &mut fixed, opts, rank, &mut out.log);
             out.transforms[nid.0] = q;
             out.program.nests[nid.0] = transformed;
         }
@@ -221,6 +297,7 @@ fn choose_transform(
     if depth == 0 {
         return Matrix::identity(0);
     }
+    let _span = ooc_trace::span("compiler", &format!("choose-transform:{}", nest.name));
     let deps = nest_dependences(nest);
     let refs = nest.all_refs();
 
@@ -272,6 +349,8 @@ fn choose_transform(
             .then(b.1.cmp(&a.1))
     });
 
+    let n_candidates = scored.len();
+
     // First legal completion per candidate column; identity always last
     // (it needs no completion and never fails legality).
     let mut legal: Vec<Matrix> = Vec::new();
@@ -282,6 +361,16 @@ fn choose_transform(
         for q in completion_candidates(q_last, opts.completion_limit) {
             let t = q.inverse().expect("unimodular Q is invertible");
             if transformation_preserves(&t, &deps) {
+                if ooc_trace::enabled() {
+                    ooc_trace::explain(
+                        ooc_trace::Explain::new(
+                            "completion",
+                            nest.name.clone(),
+                            format!("completed innermost column {q_last:?} to unimodular Q"),
+                        )
+                        .detail("rule", "Bik-Wijshoff, dependence-legal"),
+                    );
+                }
                 legal.push(q);
                 break;
             }
@@ -289,6 +378,19 @@ fn choose_transform(
     }
     legal.truncate(6);
     legal.push(Matrix::identity(depth));
+    if ooc_trace::enabled() {
+        ooc_trace::explain(
+            ooc_trace::Explain::new(
+                "kernel-relation",
+                nest.name.clone(),
+                format!(
+                    "{n_candidates} innermost-column candidates from fixed layouts, {} legal completions",
+                    legal.len() - 1
+                ),
+            )
+            .detail("rule", "relation (2): layout rows constrain q_k"),
+        );
+    }
 
     // Evaluate each legal transformation under the full modeled I/O
     // cost of the transformed, tiled nest; take the cheapest (identity
@@ -436,12 +538,13 @@ fn fix_layouts_checked(
     nest: &LoopNest,
     fixed: &mut [Option<FileLayout>],
     opts: &OptimizeOptions,
+    rank: usize,
     log: &mut Vec<String>,
 ) {
     let before = modeled_nest_cost(prog, nest, &concrete_layouts(prog, fixed), opts);
     let mut trial = fixed.to_vec();
     let mut trial_log = Vec::new();
-    fix_layouts(nest, &mut trial, &mut trial_log);
+    let newly = fix_layouts(nest, &mut trial, &mut trial_log);
     let after = modeled_nest_cost(prog, nest, &concrete_layouts(prog, &trial), opts);
     // Reject only gross losses: relation (1) encodes locality knowledge
     // the tile-shape cost model cannot fully see (within-call stride,
@@ -449,11 +552,42 @@ fn fix_layouts_checked(
     if after <= before * 1.10 + 1e-12 {
         log.extend(trial_log);
         fixed.clone_from_slice(&trial);
+        if ooc_trace::enabled() {
+            // rank 0 = the component's costliest nest fixing layouts
+            // directly; later ranks receive them via propagation.
+            let kind = if rank == 0 {
+                "layout-fixed"
+            } else {
+                "layout-propagated"
+            };
+            for (a, layout) in &newly {
+                ooc_trace::explain(
+                    ooc_trace::Explain::new(
+                        kind,
+                        prog.arrays[*a].name.clone(),
+                        format!("{layout:?}"),
+                    )
+                    .detail("nest", nest.name.clone())
+                    .detail("rank", rank.to_string())
+                    .detail("rule", "relation (1)"),
+                );
+            }
+        }
     } else {
         log.push(format!(
             "{}: relation-(1) layouts rejected by the cost model ({after:.3} > {before:.3})",
             nest.name
         ));
+        if ooc_trace::enabled() {
+            ooc_trace::explain(
+                ooc_trace::Explain::new(
+                    "layout-rejected",
+                    nest.name.clone(),
+                    format!("relation-(1) layouts rejected ({after:.3} > {before:.3})"),
+                )
+                .detail("rank", rank.to_string()),
+            );
+        }
     }
 }
 
@@ -505,11 +639,18 @@ fn concrete_layouts(prog: &Program, fixed: &[Option<FileLayout>]) -> Vec<FileLay
 
 /// Relation (1): fixes layouts for the still-free arrays of a
 /// (possibly transformed) nest, using the identity innermost column of
-/// the nest's own iteration space.
-fn fix_layouts(nest: &LoopNest, fixed: &mut [Option<FileLayout>], log: &mut Vec<String>) {
+/// the nest's own iteration space. Returns the newly fixed
+/// `(array index, layout)` pairs so the committing caller can record
+/// the decisions (trial callers drop them).
+fn fix_layouts(
+    nest: &LoopNest,
+    fixed: &mut [Option<FileLayout>],
+    log: &mut Vec<String>,
+) -> Vec<(usize, FileLayout)> {
+    let mut newly = Vec::new();
     let depth = nest.depth;
     if depth == 0 {
-        return;
+        return newly;
     }
     let mut ek = vec![0i64; depth];
     ek[depth - 1] = 1;
@@ -531,9 +672,11 @@ fn fix_layouts(nest: &LoopNest, fixed: &mut [Option<FileLayout>], log: &mut Vec<
                 "{}: fixed layout of array {} to {layout:?}",
                 nest.name, r.array.0
             ));
+            newly.push((r.array.0, layout.clone()));
             fixed[r.array.0] = Some(layout);
         }
     }
+    newly
 }
 
 /// Chooses among kernel basis vectors: axis-aligned hyperplanes first

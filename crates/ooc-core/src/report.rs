@@ -121,6 +121,9 @@ pub struct IoComparison {
     pub analytic_calls: u64,
     /// Analytic bytes moved.
     pub analytic_bytes: u64,
+    /// Transient store failures recovered by the retry policy
+    /// (`IoStats.retries` summed across arrays).
+    pub retries: u64,
     /// Store-level observation.
     pub measured: MeasuredIo,
 }
@@ -135,6 +138,7 @@ impl IoComparison {
             label: label.to_string(),
             analytic_calls: stats.total_calls(),
             analytic_bytes: stats.total_bytes(),
+            retries: stats.retries,
             measured,
         })
     }
@@ -154,7 +158,17 @@ impl fmt::Display for IoComparison {
             self.measured.seeks,
             self.measured.seek_elems,
             self.measured.mean_run_len()
-        )
+        )?;
+        // Fault-injected runs: show recovery work next to the traffic
+        // it caused, so retry storms are visible in inspect output.
+        if self.retries > 0 || self.measured.failed_calls > 0 {
+            write!(
+                f,
+                "; {} faults, {} retries",
+                self.measured.failed_calls, self.retries
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -67,6 +67,14 @@ struct Chain {
 /// Returns an error if subscripts use unknown variables or a structure
 /// cannot be legalized by fusion/distribution/sinking.
 pub fn normalize(sp: &SurfaceProgram) -> Result<Program, NormalizeError> {
+    let _span = ooc_trace::span_with(
+        "compiler",
+        "normalize",
+        vec![
+            ("arrays", (sp.arrays.len() as u64).into()),
+            ("top-nodes", (sp.top.len() as u64).into()),
+        ],
+    );
     let mut prog = Program {
         params: sp.params.clone(),
         arrays: sp
@@ -88,6 +96,20 @@ pub fn normalize(sp: &SurfaceProgram) -> Result<Program, NormalizeError> {
     for (idx, chain) in chains.iter().enumerate() {
         let nest = chain_to_nest(sp, chain, idx)?;
         prog.add_nest(nest);
+    }
+    if ooc_trace::enabled() {
+        ooc_trace::explain(
+            ooc_trace::Explain::new(
+                "normalize",
+                "program",
+                format!(
+                    "{} surface nodes lowered to {} perfect nests",
+                    sp.top.len(),
+                    prog.nests.len()
+                ),
+            )
+            .detail("rule", "fusion / code sinking / loop distribution"),
+        );
     }
     Ok(prog)
 }

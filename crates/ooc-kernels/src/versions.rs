@@ -136,6 +136,21 @@ fn fixed_layout_program(prog: &Program, row_major: bool) -> OptimizedProgram {
 /// Compiles one version of a kernel.
 #[must_use]
 pub fn compile(kernel: &Kernel, version: Version) -> CompiledVersion {
+    let _span = ooc_trace::span_with(
+        "compiler",
+        &format!("compile:{}", kernel.name),
+        vec![("version", format!("{version:?}").into())],
+    );
+    if ooc_trace::enabled() {
+        ooc_trace::explain(
+            ooc_trace::Explain::new(
+                "compile",
+                kernel.name,
+                format!("compiling version {version:?}"),
+            )
+            .detail("paper-params", format!("{:?}", kernel.paper_params)),
+        );
+    }
     // Model costs at the kernel's paper scale: the compiler's choices
     // (transformations, layout acceptance) target the real deployment.
     let opts = OptimizeOptions {

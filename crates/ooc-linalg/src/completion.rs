@@ -104,6 +104,7 @@ pub fn complete_last_column(v: &[i64]) -> Matrix {
 /// try. At most `limit` candidates are returned.
 #[must_use]
 pub fn completion_candidates(v: &[i64], limit: usize) -> Vec<Matrix> {
+    let _span = ooc_trace::enabled().then(|| ooc_trace::span("compiler", "bik-wijshoff"));
     let base = complete_last_column(v);
     let k = base.rows();
     let free = k - 1;
@@ -136,6 +137,9 @@ pub fn completion_candidates(v: &[i64], limit: usize) -> Vec<Matrix> {
             out.push(m);
         }
     });
+    if ooc_trace::enabled() {
+        ooc_trace::counter("completion-candidates", out.len() as f64);
+    }
     out
 }
 

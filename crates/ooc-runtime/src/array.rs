@@ -85,6 +85,16 @@ impl RetryPolicy {
             match op() {
                 Ok(()) => return Ok(()),
                 Err(e) if attempt + 1 < self.max_attempts.max(1) && Self::is_transient(&e) => {
+                    if ooc_trace::enabled() {
+                        ooc_trace::instant(
+                            "runtime",
+                            "io-retry",
+                            vec![
+                                ("attempt", u64::from(attempt + 1).into()),
+                                ("error", e.kind().to_string().into()),
+                            ],
+                        );
+                    }
                     if !self.base_backoff.is_zero() {
                         std::thread::sleep(self.base_backoff * 2u32.saturating_pow(attempt));
                     }

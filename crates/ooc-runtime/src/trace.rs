@@ -1,6 +1,6 @@
 //! Measured I/O instrumentation: [`TracingStore`] observes every
-//! `read_run`/`write_run` a [`Store`](crate::store::Store) receives
-//! and aggregates it into [`MeasuredIo`].
+//! `read_run`/`write_run` a [`Store`] receives and aggregates it into
+//! [`MeasuredIo`].
 //!
 //! The paper's evaluation reasons about I/O *calls* analytically (run
 //! counting over layouts). This module closes the loop: the runtime's
@@ -168,6 +168,7 @@ impl TraceHandle {
 
     fn record_failure(&self) {
         self.0.lock().expect("trace lock").io.failed_calls += 1;
+        ooc_trace::instant("runtime", "io-fault", Vec::new());
     }
 }
 

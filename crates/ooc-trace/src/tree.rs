@@ -1,0 +1,212 @@
+//! Plain-text rendering of a recorded event stream as a nested tree.
+//!
+//! [`render_tree`] groups events by thread, reconstructs the span
+//! nesting from `Begin`/`End` pairs, and prints one indented line per
+//! span (with its duration), instant, or counter sample — a quick way
+//! to read a trace in a terminal without loading it into Perfetto.
+
+use crate::{ArgValue, Event, EventKind};
+use std::fmt::Write as _;
+
+enum Node<'a> {
+    Span {
+        event: &'a Event,
+        end_ts: u64,
+        children: Vec<Node<'a>>,
+    },
+    Leaf(&'a Event),
+}
+
+fn build_forest<'a>(events: &[&'a Event]) -> Vec<Node<'a>> {
+    let last_ts = events.last().map_or(0, |e| e.ts_us);
+    let mut roots: Vec<Node<'a>> = Vec::new();
+    // Stack of open spans; children accumulate in the innermost frame.
+    let mut open: Vec<(&'a Event, Vec<Node<'a>>)> = Vec::new();
+    let attach =
+        |open: &mut Vec<(&'a Event, Vec<Node<'a>>)>, roots: &mut Vec<Node<'a>>, node: Node<'a>| {
+            match open.last_mut() {
+                Some((_, children)) => children.push(node),
+                None => roots.push(node),
+            }
+        };
+    for e in events {
+        match e.kind {
+            EventKind::Begin => open.push((e, Vec::new())),
+            EventKind::End => {
+                if let Some((begin, children)) = open.pop() {
+                    let node = Node::Span {
+                        event: begin,
+                        end_ts: e.ts_us,
+                        children,
+                    };
+                    attach(&mut open, &mut roots, node);
+                }
+                // A stray End with no open span is dropped; the
+                // exporter-side validator reports it as an error.
+            }
+            EventKind::Instant | EventKind::Counter(_) => {
+                attach(&mut open, &mut roots, Node::Leaf(e));
+            }
+        }
+    }
+    // Unclosed spans (e.g. a snapshot taken mid-run) close at the last
+    // timestamp seen.
+    while let Some((begin, children)) = open.pop() {
+        let node = Node::Span {
+            event: begin,
+            end_ts: last_ts,
+            children,
+        };
+        attach(&mut open, &mut roots, node);
+    }
+    roots
+}
+
+fn arg_text(v: &ArgValue) -> String {
+    match v {
+        ArgValue::Str(s) => s.clone(),
+        ArgValue::U64(n) => n.to_string(),
+        ArgValue::I64(n) => n.to_string(),
+        ArgValue::F64(x) => format!("{x}"),
+    }
+}
+
+fn render_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    for (k, v) in args {
+        let _ = write!(out, " {k}={}", arg_text(v));
+    }
+}
+
+fn render_node(out: &mut String, node: &Node<'_>, depth: usize) {
+    let indent = "  ".repeat(depth);
+    match node {
+        Node::Span {
+            event,
+            end_ts,
+            children,
+        } => {
+            let dur = end_ts.saturating_sub(event.ts_us);
+            let _ = write!(out, "{indent}{} [{}] {dur} us", event.name, event.cat);
+            render_args(out, &event.args);
+            out.push('\n');
+            for child in children {
+                render_node(out, child, depth + 1);
+            }
+        }
+        Node::Leaf(event) => match event.kind {
+            EventKind::Counter(v) => {
+                let _ = writeln!(out, "{indent}* {} = {v}", event.name);
+            }
+            _ => {
+                let _ = write!(out, "{indent}* {} [{}]", event.name, event.cat);
+                render_args(out, &event.args);
+                out.push('\n');
+            }
+        },
+    }
+}
+
+/// Renders the event stream as an indented per-thread tree.
+///
+/// Spans print with their duration in microseconds, instants and
+/// counter samples as `*`-prefixed leaves under their enclosing span.
+/// Threads are separated by `thread N` headers (omitted when the
+/// whole trace is single-threaded).
+#[must_use]
+pub fn render_tree(events: &[Event]) -> String {
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    let mut out = String::new();
+    for tid in &tids {
+        if tids.len() > 1 {
+            let _ = writeln!(out, "thread {tid}");
+        }
+        let thread_events: Vec<&Event> = events.iter().filter(|e| e.tid == *tid).collect();
+        let depth = usize::from(tids.len() > 1);
+        for node in build_forest(&thread_events) {
+            render_node(&mut out, &node, depth);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Session;
+
+    #[test]
+    fn renders_nested_spans_and_leaves() {
+        let session = Session::start();
+        {
+            let _outer = crate::span("compiler", "optimize");
+            {
+                let _inner =
+                    crate::span_with("compiler", "cost-rank", vec![("nests", 2u64.into())]);
+                crate::counter("candidates", 4.0);
+            }
+            crate::instant("compiler", "note", vec![("why", "test".into())]);
+        }
+        let data = session.finish();
+        let text = render_tree(&data.events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "got:\n{text}");
+        assert!(lines[0].starts_with("optimize [compiler]"), "got:\n{text}");
+        assert!(
+            lines[1].starts_with("  cost-rank [compiler]"),
+            "got:\n{text}"
+        );
+        assert!(lines[1].contains("nests=2"), "got:\n{text}");
+        assert_eq!(lines[2].trim_start(), "* candidates = 4");
+        assert!(
+            lines[3].contains("* note [compiler] why=test"),
+            "got:\n{text}"
+        );
+    }
+
+    #[test]
+    fn multi_thread_traces_get_headers() {
+        let session = Session::start();
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let _s = crate::span("runtime", &format!("tile-{i}"));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let data = session.finish();
+        let text = render_tree(&data.events);
+        assert!(text.contains("thread "), "got:\n{text}");
+        assert!(text.contains("tile-0 [runtime]"), "got:\n{text}");
+        assert!(text.contains("tile-1 [runtime]"), "got:\n{text}");
+    }
+
+    #[test]
+    fn unclosed_span_is_rendered_to_last_ts() {
+        let events = vec![
+            Event {
+                ts_us: 1,
+                tid: 0,
+                name: "open".into(),
+                cat: "c",
+                kind: EventKind::Begin,
+                args: Vec::new(),
+            },
+            Event {
+                ts_us: 9,
+                tid: 0,
+                name: "mark".into(),
+                cat: "c",
+                kind: EventKind::Instant,
+                args: Vec::new(),
+            },
+        ];
+        let text = render_tree(&events);
+        assert!(text.contains("open [c] 8 us"), "got:\n{text}");
+        assert!(text.contains("* mark"), "got:\n{text}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the tracing subsystem: well-nested spans,
+//! monotone timestamps, exact counter accounting under concurrent
+//! emitters, and structurally valid Chrome-trace export for
+//! arbitrary (including hostile) event names.
+
+use ooc_trace::chrome::{chrome_trace_json, validate_chrome_trace};
+use ooc_trace::{EventKind, Session};
+use proptest::prelude::*;
+
+/// One scripted emitter action; spans stay well-nested by
+/// construction because `Open` pushes an RAII guard and `Close` pops
+/// the innermost one, mirroring real instrumented code.
+#[derive(Debug, Clone)]
+enum Op {
+    Open(String),
+    Close,
+    Instant(String),
+    Counter(u8, u32),
+}
+
+/// Names drawn from a pool that exercises JSON escaping: quotes,
+/// backslashes, newlines, control characters, and multi-byte UTF-8.
+fn name_strategy() -> impl Strategy<Value = String> {
+    let ch = prop_oneof![
+        Just('a'),
+        Just('Z'),
+        Just('0'),
+        Just(' '),
+        Just('"'),
+        Just('\\'),
+        Just('\n'),
+        Just('\t'),
+        Just('\u{1}'),
+        Just('\u{7f}'),
+        Just('é'),
+        Just('∑'),
+    ];
+    proptest::collection::vec(ch, 0..12).prop_map(|cs| cs.into_iter().collect())
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        name_strategy().prop_map(Op::Open),
+        Just(Op::Close),
+        name_strategy().prop_map(Op::Instant),
+        (any::<u8>(), 0u32..1000).prop_map(|(n, v)| Op::Counter(n % 3, v)),
+    ]
+}
+
+/// Runs a script inside a fresh session and returns the collected
+/// trace. Guards left open when the script ends drop in reverse
+/// order, so the stream is always balanced.
+fn run_script(ops: &[Op]) -> ooc_trace::TraceData {
+    let session = Session::start();
+    {
+        let mut stack = Vec::new();
+        for op in ops {
+            match op {
+                Op::Open(name) => stack.push(ooc_trace::span("prop", name)),
+                Op::Close => {
+                    stack.pop();
+                }
+                Op::Instant(name) => ooc_trace::instant("prop", name, Vec::new()),
+                Op::Counter(n, v) => ooc_trace::counter(&format!("ctr-{n}"), f64::from(*v)),
+            }
+        }
+        // Vec drops front-to-back; pop explicitly so leftover guards
+        // close innermost-first like real scoped code.
+        while stack.pop().is_some() {}
+    }
+    session.finish()
+}
+
+proptest! {
+    /// Any RAII-driven emission script yields balanced, stack-ordered
+    /// B/E events with monotone timestamps, and its Chrome export
+    /// passes structural validation (which re-checks both properties
+    /// after a JSON round trip, exercising name escaping).
+    #[test]
+    fn scripted_sessions_export_valid_chrome_traces(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let data = run_script(&ops);
+
+        // Well-nested per thread (single-threaded script: one stack).
+        let mut stack: Vec<&str> = Vec::new();
+        let mut prev_ts = 0u64;
+        for e in &data.events {
+            prop_assert!(e.ts_us >= prev_ts, "timestamps must be monotone");
+            prev_ts = e.ts_us;
+            match &e.kind {
+                EventKind::Begin => stack.push(&e.name),
+                EventKind::End => {
+                    let top = stack.pop();
+                    prop_assert_eq!(top, Some(e.name.as_str()), "LIFO span order");
+                }
+                EventKind::Instant | EventKind::Counter(_) => {}
+            }
+        }
+        prop_assert!(stack.is_empty(), "every span closed by end of session");
+
+        let json = chrome_trace_json(&data.events);
+        let summary = validate_chrome_trace(&json);
+        prop_assert!(summary.is_ok(), "export must validate: {:?}", summary);
+        prop_assert_eq!(summary.unwrap().events, data.events.len());
+    }
+
+    /// Counter samples emitted concurrently from several threads sum
+    /// exactly (integer-valued samples, so f64 accumulation is exact).
+    #[test]
+    fn concurrent_counters_sum_exactly(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u32..1000, 0..20),
+            1..5,
+        ),
+    ) {
+        let session = Session::start();
+        let handles: Vec<_> = per_thread
+            .iter()
+            .cloned()
+            .map(|values| {
+                std::thread::spawn(move || {
+                    for v in values {
+                        ooc_trace::counter("work", f64::from(v));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("emitter thread");
+        }
+        let data = session.finish();
+        let expected: f64 = per_thread
+            .iter()
+            .flatten()
+            .map(|v| f64::from(*v))
+            .sum();
+        prop_assert_eq!(data.counter_total("work"), expected);
+        let json = chrome_trace_json(&data.events);
+        prop_assert!(validate_chrome_trace(&json).is_ok());
+    }
+}

@@ -264,6 +264,17 @@ impl PfsSim {
     /// Runs the workload to completion.
     #[must_use]
     pub fn simulate(&self, workload: &Workload) -> SimResult {
+        let _span = ooc_trace::span_with(
+            "pfs-sim",
+            "pfs-simulate",
+            vec![
+                ("procs", (workload.per_proc.len() as u64).into()),
+                (
+                    "ops",
+                    (workload.per_proc.iter().map(Vec::len).sum::<usize>() as u64).into(),
+                ),
+            ],
+        );
         let n_nodes = self.config.pfs.io_nodes;
         let mut node_busy_until = vec![0.0f64; n_nodes];
         let mut node_busy = vec![0.0f64; n_nodes];
@@ -344,6 +355,11 @@ impl PfsSim {
         }
 
         let total_time = proc_finish.iter().fold(0.0f64, |a, &b| a.max(b));
+        if ooc_trace::enabled() {
+            ooc_trace::counter("pfs-sim-calls", total_calls as f64);
+            ooc_trace::counter("pfs-sim-bytes", total_bytes as f64);
+            ooc_trace::counter("pfs-sim-seconds", total_time);
+        }
         SimResult {
             total_time,
             io_blocked_time,

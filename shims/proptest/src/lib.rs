@@ -2,10 +2,11 @@
 //!
 //! The build environment has no network access to crates.io, so this
 //! workspace vendors the small subset of the proptest API its test
-//! suites actually use: [`Strategy`] with `prop_map` / `prop_flat_map`,
-//! integer-range and tuple strategies, [`collection::vec`],
-//! [`prop_oneof!`], [`Just`], [`any`], and the [`proptest!`] /
-//! `prop_assert*` / `prop_assume!` macros.
+//! suites actually use: [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, integer-range and tuple strategies,
+//! [`collection::vec`], [`prop_oneof!`], [`strategy::Just`],
+//! [`strategy::any`], and the [`proptest!`] / `prop_assert*` /
+//! `prop_assume!` macros.
 //!
 //! Generation is deterministic: every test function derives its RNG
 //! seed from its own name (override with `PROPTEST_SEED`), so failures

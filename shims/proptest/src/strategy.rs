@@ -129,7 +129,7 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
     }
 }
 
-/// Uniform choice among boxed strategies ([`prop_oneof!`]).
+/// Uniform choice among boxed strategies ([`crate::prop_oneof!`]).
 pub struct Union<T> {
     arms: Vec<BoxedStrategy<T>>,
 }

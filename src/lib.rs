@@ -18,6 +18,8 @@
 //! * [`pfs`] — the striped parallel file system simulator.
 //! * [`kernels`] — the ten Table 1 benchmarks and six program
 //!   versions.
+//! * [`trace`] — structured tracing, decision-explain records, and
+//!   Chrome-trace export.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -26,4 +28,5 @@ pub use ooc_ir as ir;
 pub use ooc_kernels as kernels;
 pub use ooc_linalg as linalg;
 pub use ooc_runtime as runtime;
+pub use ooc_trace as trace;
 pub use pfs_sim as pfs;

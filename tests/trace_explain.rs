@@ -1,0 +1,123 @@
+//! Golden "explain" test: running the paper's §3.1 worked example with
+//! tracing on must produce decision records telling the paper's story —
+//! the costliest nest is optimized first with data transformations
+//! only, its layouts are *fixed*, and a later nest *propagates* a
+//! layout it inherited.
+
+use ooc_opt::core::{optimize, OptimizeOptions};
+use ooc_opt::ir::{ArrayRef, Expr, LoopNest, Program, Statement};
+use ooc_opt::runtime::FileLayout;
+use ooc_opt::trace::chrome::{chrome_trace_json, validate_chrome_trace};
+use ooc_opt::trace::Session;
+
+/// §3.1: nest1 `U(i,j) = V(j,i) + 1`, nest2 `V(i,j) = W(j,i) + 2`.
+fn paper_example() -> Program {
+    let mut p = Program::new(&["N"]);
+    let u = p.declare_array("U", 2, 0);
+    let v = p.declare_array("V", 2, 0);
+    let w = p.declare_array("W", 2, 0);
+    let s1 = Statement::assign(
+        ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+        Expr::Add(
+            Box::new(Expr::Ref(ArrayRef::new(
+                v,
+                &[vec![0, 1], vec![1, 0]],
+                vec![0, 0],
+            ))),
+            Box::new(Expr::Const(1.0)),
+        ),
+    );
+    p.add_nest(LoopNest::rectangular("nest1", 2, 1, 0, vec![s1]));
+    let s2 = Statement::assign(
+        ArrayRef::new(v, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+        Expr::Add(
+            Box::new(Expr::Ref(ArrayRef::new(
+                w,
+                &[vec![0, 1], vec![1, 0]],
+                vec![0, 0],
+            ))),
+            Box::new(Expr::Const(2.0)),
+        ),
+    );
+    p.add_nest(LoopNest::rectangular("nest2", 2, 1, 0, vec![s2]));
+    p
+}
+
+#[test]
+fn explain_records_tell_the_papers_story() {
+    let session = Session::start();
+    let opt = optimize(&paper_example(), &OptimizeOptions::default());
+    let data = session.finish();
+
+    // Sanity: the run itself matched the paper (§3.2.3).
+    assert_eq!(opt.layouts[0], FileLayout::row_major(2), "U");
+    assert_eq!(opt.layouts[1], FileLayout::col_major(2), "V");
+    assert_eq!(opt.layouts[2], FileLayout::row_major(2), "W");
+
+    // The cost ranking names nest1 as the costliest nest (it is
+    // optimized first, before nest2).
+    let ranks = data.explains_of("cost-rank");
+    assert_eq!(ranks.len(), 1, "one component, one ranking");
+    assert_eq!(ranks[0].subject, "nest1", "nest1 ranks costliest");
+    let order = &ranks[0]
+        .details
+        .iter()
+        .find(|(k, _)| *k == "order")
+        .expect("ranking lists the order")
+        .1;
+    assert!(
+        order.find("nest1").unwrap() < order.find("nest2").unwrap(),
+        "nest1 before nest2 in {order}"
+    );
+
+    // nest1 (rank 0, data transformations only) fixes U row-major and
+    // V column-major via relation (1).
+    let fixed = data.explains_of("layout-fixed");
+    let fixed_of = |name: &str| {
+        fixed
+            .iter()
+            .find(|e| e.subject == name)
+            .unwrap_or_else(|| panic!("no layout-fixed record for {name} in {fixed:?}"))
+    };
+    assert_eq!(
+        fixed_of("U").decision,
+        format!("{:?}", FileLayout::row_major(2))
+    );
+    assert_eq!(
+        fixed_of("V").decision,
+        format!("{:?}", FileLayout::col_major(2))
+    );
+    for e in &fixed {
+        assert!(
+            e.details.contains(&("nest", "nest1".to_string())),
+            "rank-0 layouts come from nest1: {e:?}"
+        );
+    }
+
+    // nest2 inherits V's layout and *propagates* one to W (row-major).
+    let propagated = data.explains_of("layout-propagated");
+    assert!(
+        propagated.iter().any(|e| e.subject == "W"
+            && e.decision == format!("{:?}", FileLayout::row_major(2))
+            && e.details.contains(&("nest", "nest2".to_string()))),
+        "W's layout is propagated via nest2: {propagated:?}"
+    );
+
+    // nest2 is the (only) transformed nest: interchange chosen by
+    // kernel relation (2) + completion.
+    let transforms = data.explains_of("transform");
+    assert_eq!(transforms.len(), 1);
+    assert_eq!(transforms[0].subject, "nest2");
+    assert!(!data.explains_of("kernel-relation").is_empty());
+    assert!(!data.explains_of("completion").is_empty());
+
+    // The same session exports a structurally valid Chrome trace, and
+    // every explain record rides along as an instant event.
+    let json = chrome_trace_json(&data.events);
+    let summary = validate_chrome_trace(&json).expect("valid Chrome trace");
+    assert!(summary.spans > 0, "compiler spans present");
+    assert!(
+        summary.instants >= data.explains.len(),
+        "each explain mirrored as an instant"
+    );
+}
