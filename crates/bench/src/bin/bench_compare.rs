@@ -1,0 +1,65 @@
+//! Perf-regression gate: diffs two metrics snapshots.
+//!
+//! Usage:
+//!   `bench-compare <baseline.json> <current.json>` — compare a fresh
+//!     snapshot against a committed baseline. Deterministic counters
+//!     and histograms must match exactly (any change is a hard
+//!     failure — improvements refresh the baseline in the same
+//!     change); wall-clock-like gauges warn beyond ±25%. Exits 1 on
+//!     hard failures.
+//!   `bench-compare --validate <file.json>` — check a snapshot against
+//!     the `ooc-metrics-snapshot/v1` schema. Exits 1 when invalid.
+//!   `bench-compare --prometheus <file.json>` — render a snapshot in
+//!     the Prometheus text exposition format on stdout.
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 hard failure / invalid
+//! input, 2 usage error.
+use ooc_metrics::{diff_snapshots, prometheus_text, DiffPolicy, Snapshot};
+
+fn load(path: &str) -> Snapshot {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-compare: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Snapshot::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench-compare: {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, path] if flag == "--validate" => {
+            let snap = load(path);
+            println!(
+                "{path}: valid snapshot from `{}` with {} series",
+                snap.producer,
+                snap.samples.len()
+            );
+        }
+        [flag, path] if flag == "--prometheus" => {
+            print!("{}", prometheus_text(&load(path)));
+        }
+        [baseline, current] => {
+            let old = load(baseline);
+            let new = load(current);
+            let report = diff_snapshots(&old, &new, &DiffPolicy::default());
+            print!(
+                "comparing {current} (`{}`) against baseline {baseline} (`{}`):\n{report}",
+                new.producer, old.producer
+            );
+            if !report.is_clean() {
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: bench-compare <baseline.json> <current.json>\n\
+                 \x20      bench-compare --validate <file.json>\n\
+                 \x20      bench-compare --prometheus <file.json>"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -11,6 +11,7 @@ use ooc_ir::{
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = ooc_bench::trace::TraceScope::from_args(&mut args);
+    let metrics = ooc_bench::MetricsScope::from_args(&mut args, "figure1");
     // The figure's input: two imperfectly nested loop nests over
     // arrays {U, V, W} and {X, Y}.
     let mut sp = SurfaceProgram::new(&["N"]);
@@ -96,5 +97,15 @@ fn main() {
         );
     }
     println!("\nEach component is optimized independently (Step 3).");
+    let r = metrics.registry();
+    r.counter_add("normalized_nests", &[], prog.nests.len() as u64);
+    r.counter_add("components", &[], comps.len() as u64);
+    for (i, c) in comps.iter().enumerate() {
+        let idx = (i + 1).to_string();
+        let labels = [("component", idx.as_str())];
+        r.counter_add("component_arrays", &labels, c.arrays.len() as u64);
+        r.counter_add("component_nests", &labels, c.nests.len() as u64);
+    }
+    let _ = metrics.finish();
     let _ = trace.finish();
 }

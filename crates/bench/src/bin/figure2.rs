@@ -6,6 +6,7 @@ use ooc_runtime::{FileLayout, Region};
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = ooc_bench::trace::TraceScope::from_args(&mut args);
+    let metrics = ooc_bench::MetricsScope::from_args(&mut args, "figure2");
     let dims = [8i64, 8];
     let layouts: Vec<(&str, FileLayout)> = vec![
         (
@@ -51,6 +52,13 @@ fn main() {
             "   -> a 4x4 tile costs {} contiguous runs ({} elements)\n",
             s.runs, s.elements
         );
+        let short = name.split_whitespace().next().unwrap_or(name);
+        let labels = [("layout", short)];
+        metrics.registry().counter_add("tile_runs", &labels, s.runs);
+        metrics
+            .registry()
+            .counter_add("tile_elements", &labels, s.elements);
     }
+    let _ = metrics.finish();
     let _ = trace.finish();
 }

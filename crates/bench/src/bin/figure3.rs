@@ -9,6 +9,7 @@ use ooc_runtime::{summary_cost, FileLayout, MemoryBudget, Region};
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = ooc_bench::trace::TraceScope::from_args(&mut args);
+    let metrics = ooc_bench::MetricsScope::from_args(&mut args, "figure3");
     println!("Figure 3: different tile access patterns\n");
     let dims = [8i64, 8];
     let budget = MemoryBudget::new(32);
@@ -33,6 +34,10 @@ fn main() {
             "    {name}: reading a 4x4 tile = {} I/O calls for {} elements",
             cost.calls, cost.elements
         );
+        let labels = [("strategy", "traditional"), ("layout", name.trim_end())];
+        metrics
+            .registry()
+            .counter_add("tile_calls", &labels, cost.calls);
     }
 
     // (b) Out-of-core tiling: innermost untiled -> 2x8 slabs.
@@ -47,6 +52,10 @@ fn main() {
             "    {name}: reading a 2x8 tile = {} I/O calls for {} elements",
             cost.calls, cost.elements
         );
+        let labels = [("strategy", "ooc"), ("layout", name.trim_end())];
+        metrics
+            .registry()
+            .counter_add("tile_calls", &labels, cost.calls);
     }
 
     println!(
@@ -54,5 +63,6 @@ fn main() {
          layout turns 4 calls of 4 elements into 2 calls of 8 elements -- the\n\
          paper's motivation for never tiling the (stride-1) innermost loop."
     );
+    let _ = metrics.finish();
     let _ = trace.finish();
 }

@@ -4,18 +4,26 @@
 //! scaled paper size and the *measured* store traffic of a real
 //! functional run at the kernel's functional-test size (through
 //! `TracingStore` instrumentation) — putting the model and the
-//! observation side by side.
+//! observation side by side, with per-array breakdowns (run-length
+//! histograms, seek distance).
 //!
-//! Usage: `inspect <kernel> [procs] [scale-divisor] [--trace out.json] [--explain]`
+//! Usage: `inspect <kernel> [procs] [scale-divisor] [--trace out.json]
+//!         [--explain] [--profile] [--metrics out.json]`
 //!
 //! `--trace out.json` records every compiler decision and runtime tile
 //! access into a Chrome-trace file (open in <https://ui.perfetto.dev>);
 //! `--explain` prints the optimizer's decision records and the span
-//! tree to stdout.
+//! tree to stdout; `--profile` renders each array's access pattern
+//! (seek CDF, sequential bursts, file heatmap) and a disk timeline
+//! priced by the `pfs-sim` cost model; `--metrics out.json` writes a
+//! metrics snapshot for `bench-compare`.
 use ooc_bench::trace::{render_explain, TraceScope};
-use ooc_core::{measure_functional, simulate, ExecConfig, FunctionalConfig, IoComparison};
+use ooc_bench::MetricsScope;
+use ooc_core::{profile_functional, simulate, ExecConfig, FunctionalConfig, IoComparison};
 use ooc_ir::ArrayId;
 use ooc_kernels::{compile, kernel_by_name, Version};
+use ooc_runtime::{heatmap, sequential_stats, AccessRecord, SeekCdf, ELEM_BYTES};
+use pfs_sim::{price_sequence, render_timeline, DiskParams};
 
 fn seed(a: ArrayId, idx: &[i64]) -> f64 {
     let mut h = (a.0 as i64 + 1) * 2654435761;
@@ -25,9 +33,50 @@ fn seed(a: ArrayId, idx: &[i64]) -> f64 {
     ((h % 1009) as f64) / 64.0 + 1.0
 }
 
+/// Renders one array's access-pattern profile (the `--profile` view).
+fn print_profile(name: &str, accesses: &[AccessRecord], file_elems: u64, disk: &DiskParams) {
+    let seq = sequential_stats(accesses);
+    let cdf = SeekCdf::from_records(accesses);
+    println!(
+        "         {name}: {} calls in {} bursts (seq {:.0}%, longest {} elems)",
+        seq.calls,
+        seq.bursts,
+        seq.seq_frac * 100.0,
+        seq.longest_burst_elems
+    );
+    if cdf.seeks() > 0 {
+        println!(
+            "         {name}: seek p50={} p90={} max={} elems ({} seeks)",
+            cdf.quantile(0.5),
+            cdf.quantile(0.9),
+            cdf.max(),
+            cdf.seeks()
+        );
+    }
+    println!(
+        "         {name}: heat |{}|",
+        heatmap(accesses, file_elems, 48)
+    );
+    let priced = price_sequence(
+        accesses
+            .iter()
+            .map(|r| (r.offset, r.len * ELEM_BYTES, r.write)),
+        disk,
+    );
+    println!(
+        "         {name}: disk |{}| {:.1} ms simulated, {:.0}% call overhead",
+        render_timeline(&priced, 48),
+        priced.total_s * 1e3,
+        priced.overhead_frac() * 100.0
+    );
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = TraceScope::from_args(&mut args);
+    let metrics = MetricsScope::from_args(&mut args, "inspect");
+    let profile = args.iter().any(|a| a == "--profile");
+    args.retain(|a| a != "--profile");
     let name = args.first().cloned().unwrap_or_else(|| "trans".into());
     let procs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     let scale: i64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -37,15 +86,16 @@ fn main() {
     });
     let params: Vec<i64> = k.paper_params.iter().map(|&n| (n / scale).max(8)).collect();
     println!("kernel {} params={:?} procs={}", k.name, params, procs);
+    let disk = DiskParams::default();
     for v in Version::ALL {
         let cv = compile(&k, v);
         let mut cfg = ExecConfig::new(params.clone(), procs);
         cfg.interleave = cv.interleave.clone();
 
         // Measured: run the program for real at the functional-test
-        // size over traced in-memory stores, and attach the
+        // size over profiled+traced in-memory stores, and attach the
         // observation to the simulation report.
-        let run = measure_functional(
+        let run = profile_functional(
             &cv.tiled,
             &k.small_params,
             &seed,
@@ -74,7 +124,57 @@ fn main() {
         if let Some(cmp) = IoComparison::from_run(v.label(), &run) {
             println!("       measured at {:?}: {cmp}", k.small_params);
         }
+
+        let reg = metrics.registry();
+        let labels = [("kernel", k.name), ("version", v.label())];
+        reg.counter_add("io_calls", &labels, r.io_calls);
+        reg.counter_add("io_bytes", &labels, r.io_bytes);
+        reg.counter_add("tile_steps", &labels, r.tile_steps);
+
+        // Per-array breakdown, sorted by array name so the output (and
+        // any diff of it) is stable regardless of declaration order.
+        let mut profiles: Vec<_> = run.profiles.iter().collect();
+        profiles.sort_by(|a, b| a.name.cmp(&b.name));
+        for p in &profiles {
+            let Some(m) = &p.measured else { continue };
+            if m.total_calls() == 0 && m.failed_calls == 0 {
+                continue;
+            }
+            println!(
+                "         {}: {} calls / {} elems, {} seeks ({} elems apart), runs {}",
+                p.name,
+                m.total_calls(),
+                m.total_elems(),
+                m.seeks,
+                m.seek_elems,
+                m.run_hist_compact()
+            );
+            let array_labels = [
+                ("kernel", k.name),
+                ("version", v.label()),
+                ("array", p.name.as_str()),
+            ];
+            reg.counter_add("measured_calls", &array_labels, m.total_calls());
+            reg.counter_add("measured_seeks", &array_labels, m.seeks);
+            reg.counter_add("seek_elems", &array_labels, m.seek_elems);
+            reg.record_hist("run_len", &array_labels, &m.run_histogram());
+            if profile {
+                if let Some(accesses) = &p.accesses {
+                    // Heatmap over the array's actual file extent at
+                    // the measured (small) size.
+                    let file_elems = cv
+                        .tiled
+                        .program
+                        .arrays
+                        .iter()
+                        .find(|d| d.name == p.name)
+                        .map_or(0, |d| d.len(&k.small_params).unsigned_abs());
+                    print_profile(&p.name, accesses, file_elems, &disk);
+                }
+            }
+        }
     }
+    let _ = metrics.finish();
     let explain = trace.explain;
     if let Some(data) = trace.finish() {
         if explain {

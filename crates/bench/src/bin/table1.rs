@@ -1,11 +1,13 @@
 //! Regenerates Table 1 of the paper: the benchmark programs and their
 //! array inventories.
 use ooc_bench::trace::TraceScope;
+use ooc_bench::MetricsScope;
 use ooc_kernels::all_kernels;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = TraceScope::from_args(&mut args);
+    let metrics = MetricsScope::from_args(&mut args, "table1");
     println!("Table 1: Programs used in our experiments.");
     println!("{:-<78}", "");
     println!("{:8} {:10} {:>4}  arrays", "program", "source", "iter");
@@ -34,6 +36,16 @@ fn main() {
             k.paper_params,
             k.paper_bytes() as f64 / 1e6
         );
+        let labels = [("kernel", k.name)];
+        let r = metrics.registry();
+        r.counter_add("arrays", &labels, k.program.arrays.len() as u64);
+        r.counter_add("nests", &labels, k.program.nests.len() as u64);
+        r.counter_add("iterations", &labels, u64::from(k.iterations));
+        r.counter_add("paper_bytes", &labels, k.paper_bytes());
     }
+    metrics
+        .registry()
+        .counter_add("kernels", &[], all_kernels().len() as u64);
+    let _ = metrics.finish();
     let _ = trace.finish();
 }

@@ -8,11 +8,12 @@
 //!           full paper scale; use 4 for a quick run)
 //!   procs — compute processors (default 16, the paper's Table 2)
 use ooc_bench::trace::TraceScope;
-use ooc_bench::{paper_table2, run_table2};
+use ooc_bench::{paper_table2, run_table2, table2_register, MetricsScope};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = TraceScope::from_args(&mut args);
+    let metrics = MetricsScope::from_args(&mut args, "table2");
     let scale: i64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1);
     let procs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     eprintln!("running Table 2 at 1/{scale} scale on {procs} simulated processors...");
@@ -59,5 +60,7 @@ fn main() {
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }
+    table2_register(metrics.registry(), &rows);
+    let _ = metrics.finish();
     let _ = trace.finish();
 }

@@ -4,11 +4,14 @@
 //!
 //! Usage: `table3 [scale] [--trace out.json]`
 use ooc_bench::trace::TraceScope;
-use ooc_bench::{paper_table3_entry, run_table3, PAPER_TABLE3_KERNELS};
+use ooc_bench::{
+    paper_table3_entry, run_table3, table3_register, MetricsScope, PAPER_TABLE3_KERNELS,
+};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = TraceScope::from_args(&mut args);
+    let metrics = MetricsScope::from_args(&mut args, "table3");
     let scale: i64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
     let procs = [16usize, 32, 64, 128];
     eprintln!("running Table 3 at 1/{scale} scale (this sweeps 10 kernels x 6 versions x 5 processor counts)...");
@@ -49,5 +52,7 @@ fn main() {
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }
+    table3_register(metrics.registry(), &entries);
+    let _ = metrics.finish();
     let _ = trace.finish();
 }

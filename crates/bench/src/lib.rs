@@ -16,8 +16,10 @@
 
 pub mod experiments;
 pub mod json;
+pub mod metrics;
 pub mod reference;
 pub mod trace;
 
 pub use experiments::{run_table2, run_table3, table2_row, Table2Cell, Table2Row, Table3Entry};
+pub use metrics::{table2_register, table3_register, MetricsScope};
 pub use reference::{paper_table2, paper_table3_entry, PAPER_TABLE3_KERNELS};

@@ -23,7 +23,7 @@ pub struct TraceScope {
 
 /// Removes `--flag VALUE` / `--flag=VALUE` from `args`, returning the
 /// value if present.
-fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+pub(crate) fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let prefix = format!("{flag}=");
     let mut value = None;
     let mut i = 0;
@@ -45,7 +45,7 @@ fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 /// Removes every occurrence of the bare `flag` from `args`; `true` if
 /// it appeared.
-fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+pub(crate) fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
     let before = args.len();
     args.retain(|a| a != flag);
     args.len() != before

@@ -1,0 +1,92 @@
+//! The perf-regression gate, tested against the committed baseline.
+//!
+//! `BENCH_seed.json` at the repo root is what `table2 32 4 --metrics`
+//! wrote at the baseline commit. These tests re-run the same
+//! experiment in-process through the same registration helper and
+//! assert the diff gate's contract both ways: a faithful re-run is
+//! clean, and a deliberately perturbed deterministic counter hard-
+//! fails.
+
+use ooc_bench::{run_table2, table2_register};
+use ooc_metrics::{diff_snapshots, validate_snapshot_json, DiffPolicy, Registry, Snapshot, Value};
+
+fn committed_baseline() -> Snapshot {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_seed.json");
+    let text = std::fs::read_to_string(path).expect("committed BENCH_seed.json");
+    Snapshot::parse(&text).expect("baseline parses against the schema")
+}
+
+fn fresh_table2_snapshot() -> Snapshot {
+    let registry = Registry::new();
+    table2_register(&registry, &run_table2(4, 32));
+    Snapshot::capture("table2", &registry)
+}
+
+#[test]
+fn committed_baseline_is_schema_valid() {
+    let snap = committed_baseline();
+    validate_snapshot_json(&snap.to_json()).expect("schema-valid");
+    assert_eq!(snap.producer, "table2");
+    assert!(
+        snap.samples.len() > 100,
+        "10 kernels x 6 versions x 3 series expected, got {}",
+        snap.samples.len()
+    );
+}
+
+#[test]
+fn fresh_run_matches_committed_baseline() {
+    // The actual regression gate, in-process: a fresh run of the same
+    // experiment must produce exactly the committed deterministic
+    // counters. If this fails, either a real regression slipped in or
+    // an improvement landed without refreshing BENCH_seed.json — both
+    // are states the gate exists to block.
+    let report = diff_snapshots(
+        &committed_baseline(),
+        &fresh_table2_snapshot(),
+        &DiffPolicy::default(),
+    );
+    assert!(
+        report.is_clean(),
+        "fresh table2 run diverges from BENCH_seed.json \
+         (regenerate with `table2 32 4 --metrics BENCH_seed.json` if intended):\n{report}"
+    );
+}
+
+#[test]
+fn self_diff_is_fully_unchanged() {
+    let snap = fresh_table2_snapshot();
+    let report = diff_snapshots(&snap, &snap.clone(), &DiffPolicy::default());
+    assert!(report.is_clean());
+    assert_eq!(report.warnings(), 0);
+    assert_eq!(report.improvements(), 0);
+}
+
+#[test]
+fn perturbed_counter_hard_fails_the_gate() {
+    // Deliberately bump one analytic I/O-call counter: the gate must
+    // report a hard failure (this is what drives bench-compare's
+    // nonzero exit).
+    let baseline = committed_baseline();
+    let mut perturbed = baseline.clone();
+    let tampered = perturbed
+        .samples
+        .iter_mut()
+        .find(|(k, v)| k.name == "io_calls" && matches!(v, Value::Counter(_)))
+        .expect("baseline has io_calls counters");
+    match &mut tampered.1 {
+        Value::Counter(n) => *n += 1,
+        other => panic!("expected counter, got {other:?}"),
+    }
+    let report = diff_snapshots(&baseline, &perturbed, &DiffPolicy::default());
+    assert!(!report.is_clean(), "perturbation must hard-fail");
+    assert_eq!(report.hard_fails(), 1);
+    assert!(report.to_string().contains("counter regressed"));
+}
+
+#[test]
+fn baseline_roundtrips_through_json() {
+    let snap = committed_baseline();
+    let reparsed = Snapshot::parse(&snap.to_json_string()).expect("roundtrip");
+    assert_eq!(snap.samples, reparsed.samples);
+}

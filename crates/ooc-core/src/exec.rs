@@ -24,8 +24,8 @@ use crate::tiling::{
 };
 use ooc_ir::{ArrayId, Expr, GuardAt, LoopNest, Statement};
 use ooc_runtime::{
-    InterleavedGroup, IoStats, MeasuredIo, MemStore, MemoryBudget, OocArray, Region, RuntimeConfig,
-    Store, Tile, TracingStore, ELEM_BYTES,
+    AccessRecord, InterleavedGroup, IoStats, MeasuredIo, MemStore, MemoryBudget, OocArray,
+    ProfilingStore, Region, RuntimeConfig, Store, Tile, TracingStore, ELEM_BYTES,
 };
 use pfs_sim::{FileId, MachineConfig, Op, PfsSim, SimResult, Workload};
 use std::collections::BTreeMap;
@@ -541,6 +541,10 @@ pub struct ArrayProfile {
     /// Measured store-level I/O, when the backing store is
     /// instrumented (a [`TracingStore`] anywhere in the stack).
     pub measured: Option<MeasuredIo>,
+    /// The full access-pattern call trace, when the backing store is a
+    /// [`ProfilingStore`] (e.g. via [`profile_functional`]). Like the
+    /// other fields, covers the compute phase only.
+    pub accesses: Option<Vec<AccessRecord>>,
 }
 
 /// Result of [`run_functional_on`]: computed contents plus per-array
@@ -620,6 +624,26 @@ pub fn measure_functional(
         Ok(TracingStore::new(MemStore::new(len)))
     })
     .expect("in-memory measured execution")
+}
+
+/// [`measure_functional`] over profiled *and* traced in-memory stores,
+/// so each [`ArrayProfile`] additionally carries the full
+/// access-pattern call trace (`accesses`) for seek/run analysis and
+/// heatmap rendering.
+///
+/// # Panics
+/// Panics on internal inconsistencies (see [`run_functional`]).
+#[must_use]
+pub fn profile_functional(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &FunctionalConfig,
+) -> FunctionalRun {
+    run_functional_on(tp, params, init, cfg, |_, _, len| {
+        Ok(ProfilingStore::new(TracingStore::new(MemStore::new(len))))
+    })
+    .expect("in-memory profiled execution")
 }
 
 /// Functionally executes a tiled program over caller-supplied stores:
@@ -779,6 +803,7 @@ pub fn run_functional_on<S: Store>(
             name: arr.name().to_string(),
             stats: arr.stats(),
             measured: arr.measured(),
+            accesses: arr.access_log(),
         })
         .collect();
     // Correlate the analytic run accounting with store-level

@@ -1,0 +1,163 @@
+//! Prometheus text exposition of a snapshot.
+//!
+//! Renders the standard text format (`# TYPE` headers, one sample per
+//! line, histograms as cumulative `_bucket{le="..."}` series plus
+//! `_sum`/`_count`), so a run's metrics can be pushed to a gateway or
+//! served from a file without extra tooling. Metric and label names
+//! are sanitized to the Prometheus charset (`[a-zA-Z0-9_:]`); label
+//! values are escaped per the exposition-format rules.
+
+use crate::registry::{Key, Value};
+use crate::snapshot::Snapshot;
+use crate::{bucket_bounds, LOG2_BUCKETS};
+use std::fmt::Write as _;
+
+/// Replaces characters outside the Prometheus name charset with `_`.
+fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value (backslash, quote, newline).
+fn escape_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(out: &mut String, key: &Key, extra: Option<(&str, &str)>) {
+    if key.labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in &key.labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", sanitize_name(k), escape_value(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+#[must_use]
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<(String, &'static str)> = None;
+    for (key, value) in &snapshot.samples {
+        let family = sanitize_name(&key.name);
+        let ptype = match value {
+            Value::Counter(_) => "counter",
+            Value::Gauge(_) => "gauge",
+            Value::Histogram(_) => "histogram",
+        };
+        // Samples are sorted by key, so a family's series are adjacent:
+        // emit one TYPE header per family.
+        if last_family.as_ref().map(|(f, _)| f.as_str()) != Some(family.as_str()) {
+            let _ = writeln!(out, "# TYPE {family} {ptype}");
+            last_family = Some((family.clone(), ptype));
+        }
+        match value {
+            Value::Counter(n) => {
+                out.push_str(&family);
+                render_labels(&mut out, key, None);
+                let _ = writeln!(out, " {n}");
+            }
+            Value::Gauge(x) => {
+                out.push_str(&family);
+                render_labels(&mut out, key, None);
+                let _ = writeln!(out, " {x}");
+            }
+            Value::Histogram(h) => {
+                let mut cumulative = 0u64;
+                let used = h.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+                for (i, &count) in h.buckets[..used].iter().enumerate() {
+                    cumulative += count;
+                    let le = if i == LOG2_BUCKETS - 1 {
+                        "+Inf".to_string()
+                    } else {
+                        bucket_bounds(i).1.to_string()
+                    };
+                    let _ = write!(out, "{family}_bucket");
+                    render_labels(&mut out, key, Some(("le", &le)));
+                    let _ = writeln!(out, " {cumulative}");
+                }
+                let _ = write!(out, "{family}_bucket");
+                render_labels(&mut out, key, Some(("le", "+Inf")));
+                let _ = writeln!(out, " {}", h.count);
+                let _ = write!(out, "{family}_sum");
+                render_labels(&mut out, key, None);
+                let _ = writeln!(out, " {}", h.sum);
+                let _ = write!(out, "{family}_count");
+                render_labels(&mut out, key, None);
+                let _ = writeln!(out, " {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let r = Registry::new();
+        r.counter_add("io_calls", &[("kernel", "trans")], 7);
+        r.counter_add("io_calls", &[("kernel", "mxm")], 3);
+        r.gauge_set("sim.seconds", &[], 1.5);
+        let text = prometheus_text(&Snapshot::capture("t", &r));
+        assert!(text.contains("# TYPE io_calls counter"));
+        assert!(text.contains("io_calls{kernel=\"trans\"} 7"));
+        assert!(text.contains("io_calls{kernel=\"mxm\"} 3"));
+        // One TYPE header per family, not per series.
+        assert_eq!(text.matches("# TYPE io_calls").count(), 1);
+        // Dots sanitized.
+        assert!(text.contains("# TYPE sim_seconds gauge"));
+        assert!(text.contains("sim_seconds 1.5"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = Registry::new();
+        r.observe("run_len", &[], 1); // bucket 0 (le 1)
+        r.observe("run_len", &[], 2); // bucket 1 (le 3)
+        r.observe("run_len", &[], 3); // bucket 1
+        let text = prometheus_text(&Snapshot::capture("t", &r));
+        assert!(text.contains("run_len_bucket{le=\"1\"} 1"));
+        assert!(text.contains("run_len_bucket{le=\"3\"} 3"));
+        assert!(text.contains("run_len_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("run_len_sum 6"));
+        assert!(text.contains("run_len_count 3"));
+    }
+
+    #[test]
+    fn hostile_names_and_values_escaped() {
+        let r = Registry::new();
+        r.counter_add("weird-name", &[("l", "a\"b\\c\nd")], 1);
+        let text = prometheus_text(&Snapshot::capture("t", &r));
+        assert!(text.contains("weird_name{l=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+}

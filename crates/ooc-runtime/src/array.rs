@@ -321,6 +321,13 @@ impl<S: Store> OocArray<S> {
         self.store.metrics()
     }
 
+    /// The store's full access-pattern call trace, when the store is a
+    /// [`ProfilingStore`](crate::profile::ProfilingStore).
+    #[must_use]
+    pub fn access_log(&self) -> Option<Vec<crate::profile::AccessRecord>> {
+        self.store.access_log()
+    }
+
     /// The backing store.
     #[must_use]
     pub fn store(&self) -> &S {

@@ -175,6 +175,10 @@ impl<S: Store> Store for FaultStore<S> {
     fn metrics(&self) -> Option<MeasuredIo> {
         self.inner.metrics()
     }
+
+    fn access_log(&self) -> Option<Vec<crate::profile::AccessRecord>> {
+        self.inner.access_log()
+    }
 }
 
 #[cfg(test)]

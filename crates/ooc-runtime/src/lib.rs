@@ -16,6 +16,9 @@
 //!   `h-opt` program versions.
 //! * [`trace`] — [`TracingStore`]: measured per-store I/O (calls,
 //!   volume, seek distance, run-length histogram).
+//! * [`profile`] — [`ProfilingStore`]: the full access-pattern call
+//!   trace, with seek-distance CDFs, sequential-run statistics, and
+//!   ASCII file heatmaps.
 //! * [`fault`] — [`FaultStore`]: deterministic seeded transient-fault
 //!   injection, recovered by [`RetryPolicy`].
 //! * [`testing`] — store factories and temp-dir plumbing for
@@ -28,6 +31,7 @@ pub mod budget;
 pub mod fault;
 pub mod interleave;
 pub mod layout;
+pub mod profile;
 pub mod store;
 pub mod testing;
 pub mod trace;
@@ -37,5 +41,8 @@ pub use budget::{square_tile_edge, tile_span, BudgetExceeded, MemoryBudget};
 pub use fault::{FaultConfig, FaultHandle, FaultStore};
 pub use interleave::InterleavedGroup;
 pub use layout::{FileLayout, Region, Run, RunSummary};
+pub use profile::{
+    heatmap, sequential_stats, AccessLog, AccessRecord, ProfilingStore, SeekCdf, SeqStats,
+};
 pub use store::{FileStore, MemStore, Store, ELEM_BYTES};
 pub use trace::{MeasuredIo, TraceHandle, TracingStore, RUN_HIST_BUCKETS};

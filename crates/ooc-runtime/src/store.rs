@@ -8,6 +8,7 @@
 //!   for fast deterministic tests and for simulation-mode executions
 //!   that never touch data at all.
 
+use crate::profile::AccessRecord;
 use crate::trace::MeasuredIo;
 use std::fs::{File, OpenOptions};
 use std::io;
@@ -49,6 +50,14 @@ pub trait Store {
     fn metrics(&self) -> Option<MeasuredIo> {
         None
     }
+
+    /// The full `(offset, len, read/write)` call trace, when this
+    /// store (or a wrapped one) is a
+    /// [`ProfilingStore`](crate::profile::ProfilingStore). Wrappers
+    /// forward to their inner store.
+    fn access_log(&self) -> Option<Vec<AccessRecord>> {
+        None
+    }
 }
 
 impl<S: Store + ?Sized> Store for Box<S> {
@@ -70,6 +79,10 @@ impl<S: Store + ?Sized> Store for Box<S> {
 
     fn metrics(&self) -> Option<MeasuredIo> {
         (**self).metrics()
+    }
+
+    fn access_log(&self) -> Option<Vec<AccessRecord>> {
+        (**self).access_log()
     }
 }
 

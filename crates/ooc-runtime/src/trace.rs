@@ -16,7 +16,9 @@ use std::sync::{Arc, Mutex};
 
 /// Run-length histogram buckets; bucket `i` counts calls moving
 /// `2^i ..= 2^(i+1)-1` elements, the last bucket absorbs the overflow.
-pub const RUN_HIST_BUCKETS: usize = 24;
+/// Shared with `ooc_metrics` so measured histograms convert losslessly
+/// into registry histograms.
+pub const RUN_HIST_BUCKETS: usize = ooc_metrics::LOG2_BUCKETS;
 
 /// Measured I/O counters of one store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,13 +96,39 @@ impl MeasuredIo {
         }
     }
 
-    /// The histogram bucket of a run of `len` elements.
+    /// The histogram bucket of a run of `len` elements (the shared
+    /// `ooc_metrics` log2 scheme).
     #[must_use]
     pub fn bucket_of(len: u64) -> usize {
-        if len == 0 {
-            return 0;
+        ooc_metrics::log2_bucket(len)
+    }
+
+    /// The measured run-length histogram as a registry
+    /// [`Histogram`](ooc_metrics::Histogram) (same bucket scheme; the
+    /// sum is the total elements moved).
+    #[must_use]
+    pub fn run_histogram(&self) -> ooc_metrics::Histogram {
+        ooc_metrics::Histogram::from_counts(self.run_hist, self.total_elems())
+    }
+
+    /// Compact one-line rendering of the run-length histogram: each
+    /// nonzero bucket as `[lo-hi]xCOUNT` (`[lo+]` for the overflow
+    /// bucket), e.g. `[0-1]x3 [8-15]x4`. Empty string when idle.
+    #[must_use]
+    pub fn run_hist_compact(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, &count) in self.run_hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let (lo, hi) = ooc_metrics::bucket_bounds(i);
+            if hi == u64::MAX {
+                parts.push(format!("[{lo}+]x{count}"));
+            } else {
+                parts.push(format!("[{lo}-{hi}]x{count}"));
+            }
         }
-        ((63 - u64::leading_zeros(len)) as usize).min(RUN_HIST_BUCKETS - 1)
+        parts.join(" ")
     }
 
     fn record(&mut self, offset: u64, len: u64, is_write: bool, last_end: &mut Option<u64>) {
@@ -253,6 +281,10 @@ impl<S: Store> Store for TracingStore<S> {
     fn metrics(&self) -> Option<MeasuredIo> {
         Some(self.trace.snapshot())
     }
+
+    fn access_log(&self) -> Option<Vec<crate::profile::AccessRecord>> {
+        self.inner.access_log()
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +328,30 @@ mod tests {
         let m = h.snapshot();
         assert_eq!(m.run_hist[3], 1);
         assert_eq!(m.run_hist[2], 1);
+    }
+
+    #[test]
+    fn run_hist_renders_compactly() {
+        let mut m = MeasuredIo::default();
+        assert_eq!(m.run_hist_compact(), "");
+        m.run_hist[0] = 3;
+        m.run_hist[3] = 4;
+        m.run_hist[RUN_HIST_BUCKETS - 1] = 1;
+        assert_eq!(m.run_hist_compact(), "[0-1]x3 [8-15]x4 [8388608+]x1");
+    }
+
+    #[test]
+    fn run_histogram_converts_to_registry_histogram() {
+        let mut s = TracingStore::new(MemStore::new(64));
+        let h = s.trace();
+        s.write_run(0, &[0.0; 8]).expect("w");
+        s.write_run(8, &[0.0; 7]).expect("w");
+        let m = h.snapshot();
+        let hist = m.run_histogram();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 15);
+        assert_eq!(hist.buckets[3], 1);
+        assert_eq!(hist.buckets[2], 1);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Property tests of [`MeasuredIo`] accounting: histogram merging is
+//! associative and commutative (so per-array measurements can be
+//! aggregated in any order), and seek accounting is invariant under
+//! splitting one contiguous run into adjacent sub-runs (splitting
+//! changes *calls*, never *seeks*).
+
+use ooc_runtime::{MeasuredIo, MemStore, Store, TracingStore};
+use proptest::prelude::*;
+
+/// Builds a `MeasuredIo` by replaying `(offset, len, is_write)` ops on
+/// a traced store large enough for all of them.
+fn replay(ops: &[(u64, u64, bool)]) -> MeasuredIo {
+    let max_end = ops.iter().map(|&(o, l, _)| o + l).max().unwrap_or(0);
+    let mut s = TracingStore::new(MemStore::new(max_end.max(1)));
+    for &(offset, len, is_write) in ops {
+        let len = usize::try_from(len).expect("small run");
+        if is_write {
+            s.write_run(offset, &vec![1.0; len]).expect("in range");
+        } else {
+            let mut buf = vec![0.0; len];
+            s.read_run(offset, &mut buf).expect("in range");
+        }
+    }
+    s.metrics().expect("traced")
+}
+
+/// Arbitrary measured counters (merge only sums fields, so arbitrary
+/// values — not just replayable ones — are fair game).
+fn arb_measured() -> impl Strategy<Value = MeasuredIo> {
+    (
+        (0u64..1000, 0u64..1000, 0u64..100_000, 0u64..100_000),
+        (0u64..50, 0u64..100_000, 0u64..500),
+        proptest::collection::vec(0u64..1000, 24),
+    )
+        .prop_map(|((rc, wc, re, we), (fc, se, sk), hist)| {
+            let mut m = MeasuredIo {
+                read_calls: rc,
+                write_calls: wc,
+                read_elems: re,
+                write_elems: we,
+                failed_calls: fc,
+                seek_elems: se,
+                seeks: sk,
+                ..MeasuredIo::default()
+            };
+            m.run_hist.copy_from_slice(&hist);
+            m
+        })
+}
+
+fn merged(a: &MeasuredIo, b: &MeasuredIo) -> MeasuredIo {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    /// `merge` is commutative: aggregating per-array measurements must
+    /// not depend on array order.
+    #[test]
+    fn merge_is_commutative(a in arb_measured(), b in arb_measured()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// `merge` is associative: fold order is irrelevant.
+    #[test]
+    fn merge_is_associative(
+        a in arb_measured(),
+        b in arb_measured(),
+        c in arb_measured(),
+    ) {
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+    }
+
+    /// The identity: merging a default (zero) measurement changes
+    /// nothing.
+    #[test]
+    fn merge_identity(a in arb_measured()) {
+        prop_assert_eq!(merged(&a, &MeasuredIo::default()), a);
+    }
+
+    /// Splitting one run into adjacent sub-runs is seek-neutral: the
+    /// split trace issues more calls but the store still receives a
+    /// gap-free sweep over the same elements, so `seeks`, `seek_elems`,
+    /// and the element totals are all unchanged; only the call count
+    /// (and with it the run-length histogram) moves.
+    #[test]
+    fn splitting_a_run_changes_calls_never_seeks(
+        ops in proptest::collection::vec(
+            // (offset, len >= 2 so a split exists, is_write)
+            (0u64..256, 2u64..32, any::<bool>()),
+            1..16,
+        ),
+        split_at in 0usize..16,
+        cut in 1u64..31,
+    ) {
+        let whole = replay(&ops);
+
+        // Split one op into two adjacent sub-runs at an interior point.
+        let idx = split_at % ops.len();
+        let (offset, len, w) = ops[idx];
+        let cut = 1 + cut % (len - 1); // 1..len, strictly interior
+        let mut split = ops.clone();
+        split[idx] = (offset, cut, w);
+        split.insert(idx + 1, (offset + cut, len - cut, w));
+        let parts = replay(&split);
+
+        prop_assert_eq!(parts.total_calls(), whole.total_calls() + 1);
+        prop_assert_eq!(parts.seeks, whole.seeks, "split introduced a seek");
+        prop_assert_eq!(parts.seek_elems, whole.seek_elems);
+        prop_assert_eq!(parts.total_elems(), whole.total_elems());
+        prop_assert_eq!(parts.read_elems, whole.read_elems);
+        prop_assert_eq!(parts.write_elems, whole.write_elems);
+        prop_assert_eq!(parts.failed_calls, 0);
+        // Histogram mass tracks the call count exactly.
+        prop_assert_eq!(
+            parts.run_hist.iter().sum::<u64>(),
+            whole.run_hist.iter().sum::<u64>() + 1
+        );
+    }
+
+    /// Replayed traces agree with first-principles accounting: total
+    /// calls and elements match the op list, and the run histogram has
+    /// one entry per call in the right bucket.
+    #[test]
+    fn replay_accounts_every_call(
+        ops in proptest::collection::vec(
+            (0u64..128, 1u64..32, any::<bool>()),
+            1..24,
+        ),
+    ) {
+        let m = replay(&ops);
+        prop_assert_eq!(m.total_calls(), ops.len() as u64);
+        prop_assert_eq!(
+            m.total_elems(),
+            ops.iter().map(|&(_, l, _)| l).sum::<u64>()
+        );
+        let mut expect_hist = [0u64; ooc_runtime::RUN_HIST_BUCKETS];
+        for &(_, len, _) in &ops {
+            expect_hist[MeasuredIo::bucket_of(len)] += 1;
+        }
+        prop_assert_eq!(m.run_hist, expect_hist);
+    }
+}

@@ -16,8 +16,10 @@
 
 pub mod analytic;
 pub mod config;
+pub mod pricing;
 pub mod sim;
 
 pub use analytic::{estimate, lower_bound, stats, WorkloadStats};
 pub use config::{ComputeParams, DiskParams, MachineConfig, PfsConfig};
+pub use pricing::{price_sequence, render_timeline, PricedCall, PricedTimeline};
 pub use sim::{FileId, Op, PfsSim, SimResult, Trace, Workload};

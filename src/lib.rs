@@ -20,6 +20,8 @@
 //!   versions.
 //! * [`trace`] — structured tracing, decision-explain records, and
 //!   Chrome-trace export.
+//! * [`metrics`] — the per-run metrics registry, Prometheus/JSON
+//!   exposition, and snapshot diffing behind `bench-compare`.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -27,6 +29,7 @@ pub use ooc_core as core;
 pub use ooc_ir as ir;
 pub use ooc_kernels as kernels;
 pub use ooc_linalg as linalg;
+pub use ooc_metrics as metrics;
 pub use ooc_runtime as runtime;
 pub use ooc_trace as trace;
 pub use pfs_sim as pfs;
