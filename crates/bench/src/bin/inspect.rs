@@ -8,18 +8,24 @@
 //! histograms, seek distance).
 //!
 //! Usage: `inspect <kernel> [procs] [scale-divisor] [--trace out.json]
-//!         [--explain] [--profile] [--metrics out.json]`
+//!         [--explain] [--profile] [--pipeline] [--metrics out.json]`
 //!
 //! `--trace out.json` records every compiler decision and runtime tile
 //! access into a Chrome-trace file (open in <https://ui.perfetto.dev>);
 //! `--explain` prints the optimizer's decision records and the span
 //! tree to stdout; `--profile` renders each array's access pattern
 //! (seek CDF, sequential bursts, file heatmap) and a disk timeline
-//! priced by the `pfs-sim` cost model; `--metrics out.json` writes a
-//! metrics snapshot for `bench-compare`.
+//! priced by the `pfs-sim` cost model; `--pipeline` additionally runs
+//! each version through the asynchronous tile pipeline
+//! (`exec_pipelined`), asserts bit-equality with the synchronous run,
+//! and prints the cache/prefetch/stall counters; `--metrics out.json`
+//! writes a metrics snapshot for `bench-compare`.
 use ooc_bench::trace::{render_explain, TraceScope};
 use ooc_bench::MetricsScope;
-use ooc_core::{profile_functional, simulate, ExecConfig, FunctionalConfig, IoComparison};
+use ooc_core::{
+    exec_pipelined, profile_functional, simulate, ExecConfig, FunctionalConfig, IoComparison,
+    PipelineConfig,
+};
 use ooc_ir::ArrayId;
 use ooc_kernels::{compile, kernel_by_name, Version};
 use ooc_runtime::{heatmap, sequential_stats, AccessRecord, SeekCdf, ELEM_BYTES};
@@ -77,6 +83,8 @@ fn main() {
     let metrics = MetricsScope::from_args(&mut args, "inspect");
     let profile = args.iter().any(|a| a == "--profile");
     args.retain(|a| a != "--profile");
+    let pipeline = args.iter().any(|a| a == "--pipeline");
+    args.retain(|a| a != "--pipeline");
     let name = args.first().cloned().unwrap_or_else(|| "trans".into());
     let procs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     let scale: i64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -172,6 +180,30 @@ fn main() {
                     print_profile(&p.name, accesses, file_elems, &disk);
                 }
             }
+        }
+        if pipeline {
+            let pcfg = PipelineConfig {
+                functional: FunctionalConfig::with_fraction(16),
+                ..PipelineConfig::default()
+            };
+            let prun = exec_pipelined(&cv.tiled, &k.small_params, &seed, &pcfg, |_, _, len| {
+                Ok(ooc_runtime::MemStore::new(len))
+            })
+            .expect("pipelined run");
+            assert_eq!(
+                prun.run.data,
+                run.data,
+                "{} {}: pipeline diverged from the synchronous executor",
+                k.name,
+                v.label()
+            );
+            println!(
+                "       pipeline at {:?} (workers={} depth={}) — bit-equal to sync:",
+                k.small_params, pcfg.workers, pcfg.prefetch_depth
+            );
+            print!("{}", prun.pipeline.render());
+            prun.pipeline
+                .register_into(metrics.registry(), k.name, v.label());
         }
     }
     let _ = metrics.finish();

@@ -93,7 +93,7 @@ impl SimReport {
 
 /// Per-level inclusive ranges of a nest at given parameters, taking
 /// the bounding box of the iteration polyhedron.
-fn level_ranges(nest: &LoopNest, params: &[i64]) -> Option<Vec<(i64, i64)>> {
+pub(crate) fn level_ranges(nest: &LoopNest, params: &[i64]) -> Option<Vec<(i64, i64)>> {
     let bounds = nest.bounds.loop_bounds();
     let mut out = Vec::with_capacity(nest.depth);
     let mut outer: Vec<i64> = Vec::new();
@@ -119,7 +119,7 @@ fn stmt_flops(s: &Statement) -> u64 {
 }
 
 /// Read/write classification of the arrays of a nest.
-fn rw_arrays(nest: &LoopNest) -> (Vec<ArrayId>, Vec<ArrayId>) {
+pub(crate) fn rw_arrays(nest: &LoopNest) -> (Vec<ArrayId>, Vec<ArrayId>) {
     let mut reads = Vec::new();
     let mut writes = Vec::new();
     for s in &nest.body {
@@ -137,7 +137,7 @@ fn rw_arrays(nest: &LoopNest) -> (Vec<ArrayId>, Vec<ArrayId>) {
 
 /// Walks the tile boxes of a nest restricted to `chunk` at
 /// `chunk_level`, invoking `f(box_lo, box_hi)`.
-fn walk_tiles(
+pub(crate) fn walk_tiles(
     ranges: &[(i64, i64)],
     tiled: &[usize],
     spans: &[i64],
@@ -848,7 +848,7 @@ pub fn run_functional_on<S: Store>(
 
 /// The functional staging plan of one nest: which tile slot each
 /// reference reads/writes.
-struct Staging {
+pub(crate) struct Staging {
     /// Per array: `None` = hull mode (single slot 0); `Some(classes)` =
     /// one slot per access class.
     plan: BTreeMap<ArrayId, Option<Vec<ooc_linalg::Matrix>>>,
@@ -859,7 +859,7 @@ struct Staging {
 }
 
 impl Staging {
-    fn for_nest(nest: &LoopNest, writes: &[ArrayId], touched: &[ArrayId]) -> Self {
+    pub(crate) fn for_nest(nest: &LoopNest, writes: &[ArrayId], touched: &[ArrayId]) -> Self {
         let mut plan = BTreeMap::new();
         let mut written_slots = BTreeMap::new();
         for &a in touched {
@@ -899,13 +899,18 @@ impl Staging {
         }
     }
 
-    fn slot_written(&self, a: ArrayId, slot: usize) -> bool {
+    pub(crate) fn slot_written(&self, a: ArrayId, slot: usize) -> bool {
         self.written_slots.get(&(a, slot)).copied().unwrap_or(false)
             || (self.plan.get(&a) == Some(&None) && self.written.contains(&a))
     }
 
     /// All (slot key, region) pairs to stage for a tile box.
-    fn regions(&self, nest: &LoopNest, lo: &[i64], hi: &[i64]) -> Vec<((ArrayId, usize), Region)> {
+    pub(crate) fn regions(
+        &self,
+        nest: &LoopNest,
+        lo: &[i64],
+        hi: &[i64],
+    ) -> Vec<((ArrayId, usize), Region)> {
         let mut out = Vec::new();
         for (&a, classes) in &self.plan {
             match classes {
@@ -929,7 +934,7 @@ impl Staging {
 
 /// Recursive element-loop execution within a tile box.
 #[allow(clippy::too_many_arguments)]
-fn exec_box(
+pub(crate) fn exec_box(
     nest: &LoopNest,
     bounds: &[ooc_linalg::LoopBounds],
     params: &[i64],

@@ -22,6 +22,9 @@
 //!    data transformations.
 //! 8. [`global`] — the paper's §5 future work: exact global layout
 //!    assignment by branch-and-bound.
+//! 9. [`pipeline`] — the asynchronous tile pipeline: compiler-driven
+//!    prefetch, a Belady-informed tile cache, and write-behind over
+//!    the schedules the tiling pass fixes statically.
 //!
 //! # Example: the paper's worked example, end to end
 //!
@@ -57,6 +60,7 @@ pub mod global;
 pub mod interference;
 pub mod locality;
 pub mod optimizer;
+pub mod pipeline;
 pub mod report;
 pub mod storage;
 pub mod tiling;
@@ -78,6 +82,7 @@ pub use optimizer::{
     best_transform_for, modeled_program_cost, optimize, optimize_data_only, optimize_loop_only,
     OptimizeOptions, OptimizedProgram,
 };
+pub use pipeline::{exec_pipelined, extract_schedule, PipelineConfig, PipelinedRun};
 pub use report::{optimization_report, IoComparison, NestReport, OptimizationReport, RefReport};
 pub use storage::{bounding_box, reduce_storage, StorageReduction};
 pub use tiling::{

@@ -1,0 +1,915 @@
+//! The pipelined executor: [`exec_pipelined`] runs the same tile walk
+//! as [`run_functional_on`](crate::exec::run_functional_on), but
+//! overlaps tile I/O with compute using the `ooc-sched` subsystem —
+//! background prefetch of upcoming read tiles, a bounded
+//! Belady-informed tile cache, and write-behind of dirty tiles with a
+//! flush barrier at every nest boundary.
+//!
+//! ## Why the overlap is safe (bit-equality argument)
+//!
+//! The staging plan (`Staging`) guarantees that **every slot of an
+//! array written by a nest is itself written**: a written array with
+//! several access classes collapses to a single written hull slot,
+//! and a written array with one class writes that class's slot.
+//! Consequently the *read* slots of a schedule step belong only to
+//! arrays the nest never writes — their backing stores are immutable
+//! for the nest's whole duration, so prefetch workers may stage them
+//! at any time, in any order, without observing a partial write.
+//!
+//! Written slots stay on the main thread, exactly as in the
+//! synchronous executor (resident while the region is unchanged,
+//! retired when it moves); retirement goes through the write-behind
+//! queue, and two fences restore the synchronous ordering where it
+//! matters: `wait_clear` before re-staging a region that may overlap
+//! a queued write of the same array, and `flush` at the end of every
+//! nest (before the cache clears and the next nest — or the final
+//! dump — may read anything the nest wrote). Compute itself is
+//! byte-for-byte the synchronous `exec_box` over the same tile
+//! boxes in the same order, so the pipelined result is bit-equal by
+//! construction; the differential suite checks it on every kernel.
+//!
+//! Scheduling decisions (issue window, eviction, stall handling) are
+//! driven purely by step counts and deterministic tie-breaks — never
+//! by timing — so analytic I/O totals are identical across backends
+//! and runs; thread timing can only move work between the "prefetched"
+//! and "stalled" buckets of [`PipelineStats`].
+
+use crate::exec::{
+    exec_box, level_ranges, rw_arrays, walk_tiles, ArrayProfile, FunctionalConfig, FunctionalRun,
+    Staging,
+};
+use crate::tiling::{plan_spans, IoWeights, TiledProgram};
+use ooc_ir::ArrayId;
+use ooc_runtime::{IoStats, MemoryBudget, OocArray, SharedStore, Store, Tile};
+use ooc_sched::{
+    annotate_next_use, CacheStats, Delivery, NestSchedule, PipelineStats, PrefetchPool, SlotKey,
+    StageRequest, TileCache, TileId, TileSchedule, TileSink, TileSource, TileStep, WriteBehind,
+};
+use std::collections::BTreeMap;
+use std::io;
+
+/// Configuration of the pipelined executor.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The underlying functional-execution parameters (runtime retry /
+    /// call splitting, memory fraction).
+    pub functional: FunctionalConfig,
+    /// Prefetch worker threads; 0 disables prefetch entirely.
+    pub workers: usize,
+    /// How many steps ahead of the executing step prefetches are
+    /// issued; 0 disables prefetch.
+    pub prefetch_depth: usize,
+    /// Tile-cache capacity in elements; `None` sizes it to
+    /// `(prefetch_depth + 2) ×` the largest per-step read footprint.
+    pub cache_capacity: Option<u64>,
+    /// Retire dirty tiles through the write-behind queue (`false` =
+    /// write synchronously on the main thread).
+    pub write_behind: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            functional: FunctionalConfig::default(),
+            workers: 2,
+            prefetch_depth: 4,
+            cache_capacity: None,
+            write_behind: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Default pipeline over `1/fraction` of the data as memory.
+    #[must_use]
+    pub fn with_fraction(memory_fraction: u64) -> Self {
+        PipelineConfig {
+            functional: FunctionalConfig::with_fraction(memory_fraction),
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// Sets the prefetch depth (builder style).
+    #[must_use]
+    pub fn depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+
+    /// Sets the worker count (builder style).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets an explicit cache capacity in elements (builder style).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, elems: u64) -> Self {
+        self.cache_capacity = Some(elems);
+        self
+    }
+}
+
+/// Result of [`exec_pipelined`]: the functional result (bit-equal to
+/// the synchronous executor) plus the pipeline's own counters.
+#[derive(Debug, Clone)]
+pub struct PipelinedRun {
+    /// Array contents and per-array I/O profiles, exactly as
+    /// [`run_functional_on`](crate::exec::run_functional_on) reports
+    /// them.
+    pub run: FunctionalRun,
+    /// Prefetch / cache / stall counters of the run.
+    pub pipeline: PipelineStats,
+}
+
+/// One nest's executable plan: the staging layout plus the annotated
+/// schedule.
+struct NestPlan {
+    staging: Staging,
+    schedule: NestSchedule,
+}
+
+fn plan_nest(
+    tp: &TiledProgram,
+    ni: usize,
+    params: &[i64],
+    budget: &MemoryBudget,
+    max_call_elems: u64,
+) -> Option<NestPlan> {
+    let tnest = &tp.nests[ni];
+    let nest = &tnest.nest;
+    let ranges = level_ranges(nest, params)?;
+    let spans = plan_spans(
+        nest,
+        tnest.strategy,
+        &tp.layouts,
+        &tp.program,
+        params,
+        &ranges,
+        budget,
+        IoWeights::default(),
+        max_call_elems,
+    );
+    let (reads, writes) = rw_arrays(nest);
+    let touched: Vec<ArrayId> = {
+        let mut t = reads.clone();
+        for w in &writes {
+            if !t.contains(w) {
+                t.push(*w);
+            }
+        }
+        t
+    };
+    let staging = Staging::for_nest(nest, &writes, &touched);
+    let dims: Vec<Vec<i64>> = tp
+        .program
+        .arrays
+        .iter()
+        .map(|decl| decl.dims.iter().map(|d| d.resolve(params)).collect())
+        .collect();
+    let mut steps = Vec::new();
+    walk_tiles(
+        &ranges,
+        &tnest.tiled_levels,
+        &spans,
+        ranges[0],
+        &mut |lo, hi| {
+            let mut step = TileStep {
+                box_lo: lo.to_vec(),
+                box_hi: hi.to_vec(),
+                ..TileStep::default()
+            };
+            for ((a, slot), region) in staging.regions(nest, lo, hi) {
+                let region = region.clamped(&dims[a.0]);
+                let id = TileId {
+                    key: SlotKey {
+                        array: u32::try_from(a.0).expect("array index"),
+                        slot: u32::try_from(slot).expect("slot index"),
+                    },
+                    region,
+                };
+                if staging.slot_written(a, slot) {
+                    step.writes.push(id);
+                } else {
+                    step.reads.push(StageRequest::new(id));
+                }
+            }
+            steps.push(step);
+        },
+    );
+    let mut schedule = NestSchedule {
+        nest: ni,
+        iterations: u64::from(nest.iterations),
+        steps,
+        read_footprint_max: 0,
+    };
+    annotate_next_use(&mut schedule);
+    Some(NestPlan { staging, schedule })
+}
+
+/// Derives the full tile schedule of a tiled program — the ordered
+/// tile footprints per nest with cyclic next-use annotations — without
+/// executing anything. `figure4` and `inspect --pipeline` render it;
+/// [`exec_pipelined`] executes it.
+#[must_use]
+pub fn extract_schedule(tp: &TiledProgram, params: &[i64], cfg: &FunctionalConfig) -> TileSchedule {
+    let total_elems = u64::try_from(tp.program.total_elements(params)).expect("size");
+    let budget = MemoryBudget::paper_fraction(total_elems, cfg.memory_fraction);
+    TileSchedule {
+        nests: (0..tp.nests.len())
+            .filter_map(|ni| {
+                plan_nest(tp, ni, params, &budget, cfg.runtime.max_call_elems).map(|p| p.schedule)
+            })
+            .collect(),
+    }
+}
+
+/// A prefetch worker's view of the arrays: its own `OocArray` handles
+/// over [`SharedStore`] clones, with per-fetch stats isolation.
+struct SharedTileSource<S: Store> {
+    arrays: Vec<OocArray<SharedStore<S>>>,
+}
+
+impl<S: Store + Send> TileSource for SharedTileSource<S> {
+    fn fetch(&mut self, tile: &TileId) -> io::Result<(Tile, IoStats)> {
+        let arr = &mut self.arrays[tile.key.array as usize];
+        arr.reset_stats();
+        let t = arr.read_tile(&tile.region)?;
+        Ok((t, arr.stats()))
+    }
+}
+
+/// The write-behind thread's view of the arrays.
+struct SharedTileSink<S: Store> {
+    arrays: Vec<OocArray<SharedStore<S>>>,
+}
+
+impl<S: Store + Send> TileSink for SharedTileSink<S> {
+    fn store(&mut self, id: &TileId, tile: &Tile) -> io::Result<IoStats> {
+        let arr = &mut self.arrays[id.key.array as usize];
+        arr.reset_stats();
+        arr.write_tile(tile)?;
+        Ok(arr.stats())
+    }
+}
+
+fn slot_key_pair(id: &TileId) -> (ArrayId, usize) {
+    (ArrayId(id.key.array as usize), id.key.slot as usize)
+}
+
+/// Retires a dirty tile: enqueues it on the write-behind queue, or
+/// writes it synchronously when write-behind is off.
+fn retire<S: Store>(
+    wb: Option<&WriteBehind>,
+    arrays: &mut [OocArray<SharedStore<S>>],
+    stats: &mut PipelineStats,
+    id: TileId,
+    tile: Tile,
+) {
+    match wb {
+        Some(wb) => {
+            stats.writebehind_tiles += 1;
+            wb.enqueue(id, tile);
+        }
+        None => arrays[id.key.array as usize]
+            .write_tile(&tile)
+            .expect("write tile"),
+    }
+}
+
+/// Books a delivery: drops it from the in-flight set, accounts its
+/// I/O, and stashes the tile in the arrival buffer. Failed fetches
+/// are dropped — the consuming step falls back to a synchronous read
+/// (with its own retry policy), mirroring the synchronous executor's
+/// error behavior.
+fn accept_delivery(
+    d: Delivery,
+    inflight: &mut BTreeMap<TileId, u64>,
+    arrived: &mut BTreeMap<TileId, Tile>,
+    prefetch_stats: &mut BTreeMap<u32, IoStats>,
+) {
+    inflight.remove(&d.tile);
+    match d.result {
+        Ok((tile, stats)) => {
+            prefetch_stats
+                .entry(d.tile.key.array)
+                .or_default()
+                .merge(&stats);
+            arrived.insert(d.tile, tile);
+        }
+        Err(e) => {
+            if ooc_trace::enabled() {
+                ooc_trace::instant(
+                    "pipeline",
+                    "prefetch-error",
+                    vec![("error", e.to_string().into())],
+                );
+            }
+        }
+    }
+}
+
+/// Functionally executes a tiled program with the asynchronous tile
+/// pipeline: prefetch workers stage upcoming read tiles over
+/// [`SharedStore`] clones while the main thread computes, a bounded
+/// tile cache keeps reused tiles resident, and dirty tiles retire
+/// through write-behind with a flush barrier at every nest boundary.
+/// Results are bit-equal to
+/// [`run_functional_on`](crate::exec::run_functional_on) over the same
+/// stores (see the module docs for the argument).
+///
+/// `make_store` builds each array's backing store exactly as for the
+/// synchronous executor; it only additionally needs `Send` so clones
+/// of the shared handle may cross into worker threads.
+///
+/// # Errors
+/// Propagates store construction/seeding errors and write-behind
+/// flush failures.
+///
+/// # Panics
+/// Panics on internal inconsistencies and on staging I/O errors the
+/// retry policy cannot recover, like the synchronous executor.
+pub fn exec_pipelined<S: Store + Send + 'static>(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &PipelineConfig,
+    mut make_store: impl FnMut(usize, &str, u64) -> io::Result<S>,
+) -> io::Result<PipelinedRun> {
+    let _span = ooc_trace::span_with(
+        "pipeline",
+        "exec-pipelined",
+        vec![
+            ("workers", (cfg.workers as u64).into()),
+            ("depth", (cfg.prefetch_depth as u64).into()),
+        ],
+    );
+    let dims_of: Vec<Vec<i64>> = tp
+        .program
+        .arrays
+        .iter()
+        .map(|decl| decl.dims.iter().map(|d| d.resolve(params)).collect())
+        .collect();
+
+    let mut shared: Vec<SharedStore<S>> = Vec::with_capacity(tp.program.arrays.len());
+    let mut arrays: Vec<OocArray<SharedStore<S>>> = Vec::with_capacity(tp.program.arrays.len());
+    for (a, decl) in tp.program.arrays.iter().enumerate() {
+        let dims = &dims_of[a];
+        let len: i64 = dims.iter().product();
+        let store = SharedStore::new(make_store(
+            a,
+            &decl.name,
+            u64::try_from(len).expect("positive size"),
+        )?);
+        shared.push(store.clone());
+        let mut arr = OocArray::new(
+            &decl.name,
+            dims,
+            tp.layouts[a].clone(),
+            store,
+            cfg.functional.runtime,
+        );
+        arr.initialize(|idx| init(ArrayId(a), idx))?;
+        // Profile the compute phase only.
+        arr.reset_all_metrics();
+        arrays.push(arr);
+    }
+
+    // Per-thread array handles over the same shared stores. Workers
+    // never touch analytic or measured reset paths — their per-fetch
+    // stats are isolated by reset_stats() on their own handles, and
+    // store-level measurement accumulates in the shared stack.
+    let worker_arrays = |shared: &[SharedStore<S>]| -> Vec<OocArray<SharedStore<S>>> {
+        tp.program
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(a, decl)| {
+                OocArray::new(
+                    &decl.name,
+                    &dims_of[a],
+                    tp.layouts[a].clone(),
+                    shared[a].clone(),
+                    cfg.functional.runtime,
+                )
+            })
+            .collect()
+    };
+
+    let mut pool = (cfg.workers > 0 && cfg.prefetch_depth > 0).then(|| {
+        PrefetchPool::new(
+            (0..cfg.workers)
+                .map(|_| {
+                    Box::new(SharedTileSource {
+                        arrays: worker_arrays(&shared),
+                    }) as Box<dyn TileSource>
+                })
+                .collect(),
+        )
+    });
+    let wb = cfg.write_behind.then(|| {
+        WriteBehind::new(Box::new(SharedTileSink {
+            arrays: worker_arrays(&shared),
+        }))
+    });
+
+    let total_elems = u64::try_from(tp.program.total_elements(params)).expect("size");
+    let budget = MemoryBudget::paper_fraction(total_elems, cfg.functional.memory_fraction);
+    let mut stats = PipelineStats::default();
+    let mut prefetch_stats: BTreeMap<u32, IoStats> = BTreeMap::new();
+
+    for ni in 0..tp.nests.len() {
+        let Some(NestPlan { staging, schedule }) = plan_nest(
+            tp,
+            ni,
+            params,
+            &budget,
+            cfg.functional.runtime.max_call_elems,
+        ) else {
+            continue;
+        };
+        let nest = &tp.nests[ni].nest;
+        let bounds = nest.bounds.loop_bounds();
+        let n = schedule.steps.len() as u64;
+        if n == 0 || schedule.iterations == 0 {
+            continue;
+        }
+        let total_steps = schedule.total_steps();
+        let capacity = cfg.cache_capacity.unwrap_or_else(|| {
+            schedule
+                .read_footprint_max
+                .saturating_mul(cfg.prefetch_depth as u64 + 2)
+                .max(1)
+        });
+        let mut cache = TileCache::new(capacity);
+        let mut arrived: BTreeMap<TileId, Tile> = BTreeMap::new();
+        let mut inflight: BTreeMap<TileId, u64> = BTreeMap::new();
+        // Written slots resident on the main thread, mirroring the
+        // synchronous executor's hoisting.
+        let mut written_tiles: BTreeMap<(ArrayId, usize), Tile> = BTreeMap::new();
+        let mut issued_until: u64 = 0;
+        let _nest_span = ooc_trace::span("pipeline", &format!("nest:{}", nest.name));
+
+        for g in 0..total_steps {
+            let s = (g % n) as usize;
+
+            // Advance the issue window: every read of steps
+            // [issued_until, g + depth] is either resident (pin it),
+            // airborne (skip), or submitted now. The window advances
+            // on step counts alone — never on timing — so the issue
+            // sequence is deterministic.
+            if let Some(pool) = pool.as_mut() {
+                let window_end = (g + cfg.prefetch_depth as u64 + 1).min(total_steps);
+                while issued_until < window_end {
+                    let fs = (issued_until % n) as usize;
+                    for req in &schedule.steps[fs].reads {
+                        let id = &req.tile;
+                        if arrived.contains_key(id) || inflight.contains_key(id) {
+                            continue;
+                        }
+                        if cache.contains(id.key, &id.region) {
+                            // Resident already: protect it until this
+                            // step consumes it.
+                            cache.pin(id.key, &id.region);
+                            continue;
+                        }
+                        let seq = pool.submit(id.clone());
+                        inflight.insert(id.clone(), seq);
+                        stats.prefetch_issued += 1;
+                        if ooc_trace::enabled() {
+                            ooc_trace::instant(
+                                "pipeline",
+                                "prefetch-issue",
+                                vec![("seq", seq.into()), ("step", issued_until.into())],
+                            );
+                        }
+                    }
+                    issued_until += 1;
+                }
+                // Opportunistic drain keeps the arrival buffer small.
+                while let Some(d) = pool.try_recv() {
+                    accept_delivery(d, &mut inflight, &mut arrived, &mut prefetch_stats);
+                }
+                let depth_now = pool.in_flight();
+                stats.in_flight_depth.observe(depth_now);
+                stats.max_in_flight = stats.max_in_flight.max(depth_now);
+            }
+
+            // Stage this step's tiles.
+            let step = &schedule.steps[s];
+            let mut tiles: BTreeMap<(ArrayId, usize), Tile> = BTreeMap::new();
+            let mut stalled = false;
+            for req in &step.reads {
+                let id = &req.tile;
+                let key = slot_key_pair(id);
+                let tile = if let Some(t) = cache.take(id.key, &id.region) {
+                    t
+                } else if let Some(t) = arrived.remove(id) {
+                    stats.prefetched_reads += 1;
+                    t
+                } else if inflight.contains_key(id) {
+                    // Stall: block on deliveries until ours lands.
+                    stalled = true;
+                    let _stall =
+                        ooc_trace::enabled().then(|| ooc_trace::span("pipeline", "prefetch-stall"));
+                    let mut drains = 0u64;
+                    let pool = pool.as_mut().expect("in-flight implies pool");
+                    while inflight.contains_key(id) {
+                        match pool.recv() {
+                            Some(d) => {
+                                drains += 1;
+                                accept_delivery(
+                                    d,
+                                    &mut inflight,
+                                    &mut arrived,
+                                    &mut prefetch_stats,
+                                );
+                            }
+                            None => {
+                                // Worker died or accounting drift:
+                                // degrade to a synchronous read.
+                                inflight.remove(id);
+                            }
+                        }
+                    }
+                    stats.stall_drains.observe(drains);
+                    match arrived.remove(id) {
+                        Some(t) => {
+                            stats.prefetched_reads += 1;
+                            t
+                        }
+                        None => {
+                            stats.sync_reads += 1;
+                            arrays[key.0 .0].read_tile(&id.region).expect("read tile")
+                        }
+                    }
+                } else {
+                    // Never issued (prefetch off, window miss, or
+                    // failed fetch): read on the main thread.
+                    stats.sync_reads += 1;
+                    if ooc_trace::enabled() {
+                        ooc_trace::instant("pipeline", "sync-read", vec![("step", g.into())]);
+                    }
+                    arrays[key.0 .0].read_tile(&id.region).expect("read tile")
+                };
+                tiles.insert(key, tile);
+            }
+            if stalled {
+                stats.stalls += 1;
+            } else {
+                stats.steps_unstalled += 1;
+            }
+
+            // Written slots: synchronous staging with write-behind
+            // retirement, mirroring the synchronous executor.
+            for id in &step.writes {
+                let key = slot_key_pair(id);
+                let stale = written_tiles
+                    .get(&key)
+                    .is_none_or(|t| t.region() != &id.region);
+                if stale {
+                    if let Some(old) = written_tiles.remove(&key) {
+                        retire(wb.as_ref(), &mut arrays, &mut stats, id.clone(), old);
+                    }
+                    if let Some(wb) = &wb {
+                        // Read-after-write fence: the region we are
+                        // about to stage may overlap a queued write.
+                        wb.wait_clear(id.key.array, &id.region);
+                    }
+                    let t = arrays[key.0 .0].read_tile(&id.region).expect("read tile");
+                    written_tiles.insert(key, t);
+                }
+                let t = written_tiles.remove(&key).expect("written tile staged");
+                tiles.insert(key, t);
+            }
+
+            // Compute — byte-identical to the synchronous executor.
+            let mut iter: Vec<i64> = Vec::with_capacity(nest.depth);
+            exec_box(
+                nest,
+                &bounds,
+                params,
+                &step.box_lo,
+                &step.box_hi,
+                &mut iter,
+                &mut tiles,
+                &staging,
+            );
+
+            // Return read tiles to the cache with their schedule-known
+            // next use; evictees are clean by construction (written
+            // tiles never enter the cache).
+            for req in &step.reads {
+                let key = slot_key_pair(&req.tile);
+                if let Some(t) = tiles.remove(&key) {
+                    let next = schedule.absolute_next_use(g, req.next_use_delta);
+                    let out = cache.insert(req.tile.key, t, false, next);
+                    debug_assert!(
+                        out.evicted.iter().all(|e| !e.dirty),
+                        "dirty tile escaped the write path"
+                    );
+                }
+            }
+            for id in &step.writes {
+                let key = slot_key_pair(id);
+                if let Some(t) = tiles.remove(&key) {
+                    written_tiles.insert(key, t);
+                }
+            }
+
+            // End-of-iteration flush of written tiles (the synchronous
+            // executor writes them back here too).
+            if (g + 1) % n == 0 {
+                for (key, tile) in std::mem::take(&mut written_tiles) {
+                    let id = TileId {
+                        key: SlotKey {
+                            array: u32::try_from(key.0 .0).expect("array index"),
+                            slot: u32::try_from(key.1).expect("slot index"),
+                        },
+                        region: tile.region().clone(),
+                    };
+                    retire(wb.as_ref(), &mut arrays, &mut stats, id, tile);
+                }
+            }
+        }
+
+        // Nest-boundary barrier: drain stragglers, drop the cache,
+        // and flush write-behind before the next nest (or the final
+        // dump) reads anything this nest produced.
+        if let Some(pool) = pool.as_mut() {
+            while pool.in_flight() > 0 {
+                match pool.recv() {
+                    Some(d) => accept_delivery(d, &mut inflight, &mut arrived, &mut prefetch_stats),
+                    None => break,
+                }
+            }
+        }
+        arrived.clear();
+        inflight.clear();
+        stats.cache.merge(&cache.stats());
+        let drained = cache.clear();
+        debug_assert!(drained.iter().all(|e| !e.dirty));
+        if let Some(wb) = &wb {
+            wb.flush()?;
+        }
+        if ooc_trace::enabled() {
+            ooc_trace::instant(
+                "pipeline",
+                "flush-barrier",
+                vec![("nest", nest.name.clone().into())],
+            );
+        }
+    }
+
+    // Tear down the workers before capturing profiles so every
+    // delivery and write-back is accounted.
+    if let Some(pool) = pool.as_mut() {
+        pool.shutdown();
+    }
+    let wb_stats = match &wb {
+        Some(wb) => {
+            wb.flush()?;
+            wb.stats()
+        }
+        None => BTreeMap::new(),
+    };
+    drop(wb);
+
+    // Profiles before the final dump, as in the synchronous executor:
+    // analytic stats fold main-thread staging, prefetch deliveries,
+    // and write-behind retirements; measured I/O accumulated in the
+    // shared store stack across all threads.
+    let profiles: Vec<ArrayProfile> = arrays
+        .iter()
+        .enumerate()
+        .map(|(a, arr)| {
+            let mut s = arr.stats();
+            if let Some(p) = prefetch_stats.get(&(a as u32)) {
+                s.merge(p);
+            }
+            if let Some(w) = wb_stats.get(&(a as u32)) {
+                s.merge(w);
+            }
+            ArrayProfile {
+                name: arr.name().to_string(),
+                stats: s,
+                measured: arr.measured(),
+                accesses: arr.access_log(),
+            }
+        })
+        .collect();
+
+    let data = arrays
+        .iter_mut()
+        .map(|arr| {
+            let region = ooc_runtime::Region::full(arr.dims());
+            arr.read_tile(&region).expect("final read").data().to_vec()
+        })
+        .collect();
+
+    Ok(PipelinedRun {
+        run: FunctionalRun { data, profiles },
+        pipeline: stats,
+    })
+}
+
+/// Sums every nest's largest per-step read footprint — a convenient
+/// scale for cache-capacity sweeps (`figure4` multiplies it).
+#[must_use]
+pub fn schedule_footprint(schedule: &TileSchedule) -> u64 {
+    schedule
+        .nests
+        .iter()
+        .map(|n| n.read_footprint_max)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Folds a [`CacheStats`] into a short human-readable summary line.
+#[must_use]
+pub fn cache_summary(stats: &CacheStats) -> String {
+    format!(
+        "{} hits / {} misses, {} evictions, peak {} elems",
+        stats.hits, stats.misses, stats.evictions, stats.peak_elems
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_functional_on;
+    use crate::optimizer::{optimize, OptimizeOptions};
+    use crate::tiling::TilingStrategy;
+    use ooc_ir::{ArrayRef, Expr, LoopNest, Program, Statement};
+    use ooc_runtime::MemStore;
+
+    fn paper_example() -> Program {
+        let mut p = Program::new(&["N"]);
+        let u = p.declare_array("U", 2, 0);
+        let v = p.declare_array("V", 2, 0);
+        let w = p.declare_array("W", 2, 0);
+        let s1 = Statement::assign(
+            ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+            Expr::Add(
+                Box::new(Expr::Ref(ArrayRef::new(
+                    v,
+                    &[vec![0, 1], vec![1, 0]],
+                    vec![0, 0],
+                ))),
+                Box::new(Expr::Const(1.0)),
+            ),
+        );
+        p.add_nest(LoopNest::rectangular("nest1", 2, 1, 0, vec![s1]));
+        let s2 = Statement::assign(
+            ArrayRef::new(v, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+            Expr::Add(
+                Box::new(Expr::Ref(ArrayRef::new(
+                    w,
+                    &[vec![0, 1], vec![1, 0]],
+                    vec![0, 0],
+                ))),
+                Box::new(Expr::Const(2.0)),
+            ),
+        );
+        p.add_nest(LoopNest::rectangular("nest2", 2, 1, 0, vec![s2]));
+        p
+    }
+
+    fn tiled() -> TiledProgram {
+        let p = paper_example();
+        let opt = optimize(&p, &OptimizeOptions::default());
+        TiledProgram::from_optimized(&opt, TilingStrategy::OutOfCore)
+    }
+
+    fn seed(a: ArrayId, idx: &[i64]) -> f64 {
+        (a.0 as f64 + 1.0) * 1000.0 + idx.iter().fold(0.0, |acc, &x| acc * 17.0 + x as f64)
+    }
+
+    fn sync_reference(tp: &TiledProgram, params: &[i64]) -> crate::exec::FunctionalRun {
+        run_functional_on(
+            tp,
+            params,
+            &seed,
+            &FunctionalConfig::with_fraction(16),
+            |_, _, len| Ok(MemStore::new(len)),
+        )
+        .expect("sync run")
+    }
+
+    #[test]
+    fn pipelined_matches_sync_bit_for_bit() {
+        let tp = tiled();
+        let params = [12i64];
+        let reference = sync_reference(&tp, &params);
+        let cfg = PipelineConfig {
+            functional: FunctionalConfig::with_fraction(16),
+            ..PipelineConfig::default()
+        };
+        let run = exec_pipelined(&tp, &params, &seed, &cfg, |_, _, len| {
+            Ok(MemStore::new(len))
+        })
+        .expect("pipelined run");
+        assert_eq!(run.run.data, reference.data, "contents diverge");
+        assert!(
+            run.pipeline.prefetch_issued > 0,
+            "pipeline actually prefetched: {:?}",
+            run.pipeline
+        );
+        assert!(run.pipeline.writebehind_tiles > 0, "write-behind engaged");
+    }
+
+    #[test]
+    fn degenerate_pipeline_is_the_sync_executor() {
+        // workers=0 + write_behind=false: every tile moves on the main
+        // thread; the pipeline is a re-skinned synchronous executor.
+        let tp = tiled();
+        let params = [9i64];
+        let reference = sync_reference(&tp, &params);
+        let cfg = PipelineConfig {
+            functional: FunctionalConfig::with_fraction(16),
+            workers: 0,
+            prefetch_depth: 0,
+            write_behind: false,
+            cache_capacity: None,
+        };
+        let run = exec_pipelined(&tp, &params, &seed, &cfg, |_, _, len| {
+            Ok(MemStore::new(len))
+        })
+        .expect("degenerate run");
+        assert_eq!(run.run.data, reference.data);
+        assert_eq!(run.pipeline.prefetch_issued, 0);
+        assert_eq!(run.pipeline.prefetched_reads, 0);
+        assert_eq!(run.pipeline.writebehind_tiles, 0);
+        assert!(run.pipeline.sync_reads > 0);
+    }
+
+    #[test]
+    fn tiny_cache_still_bit_equal() {
+        // A one-element cache forces overflow on every insert; results
+        // must not change, only the counters.
+        let tp = tiled();
+        let params = [10i64];
+        let reference = sync_reference(&tp, &params);
+        let cfg = PipelineConfig {
+            functional: FunctionalConfig::with_fraction(16),
+            cache_capacity: Some(1),
+            ..PipelineConfig::default()
+        };
+        let run = exec_pipelined(&tp, &params, &seed, &cfg, |_, _, len| {
+            Ok(MemStore::new(len))
+        })
+        .expect("tiny-cache run");
+        assert_eq!(run.run.data, reference.data);
+        assert!(run.pipeline.cache.overflows > 0, "{:?}", run.pipeline.cache);
+    }
+
+    #[test]
+    fn schedule_extraction_is_annotated_and_consistent() {
+        let tp = tiled();
+        let cfg = FunctionalConfig::with_fraction(16);
+        let schedule = extract_schedule(&tp, &[12], &cfg);
+        assert_eq!(schedule.nests.len(), tp.nests.len());
+        for nest in &schedule.nests {
+            assert!(!nest.steps.is_empty());
+            assert!(nest.read_footprint_max > 0);
+            for step in &nest.steps {
+                for req in &step.reads {
+                    let d = req.next_use_delta.expect("annotated");
+                    assert!(d >= 1 && d <= nest.steps.len() as u64);
+                }
+            }
+        }
+        assert!(schedule_footprint(&schedule) > 0);
+    }
+
+    #[test]
+    fn analytic_totals_are_deterministic_across_runs() {
+        // Thread timing may move reads between the prefetched and
+        // stalled buckets, but analytic I/O totals must not move.
+        let tp = tiled();
+        let params = [11i64];
+        let cfg = PipelineConfig {
+            functional: FunctionalConfig::with_fraction(16),
+            ..PipelineConfig::default()
+        };
+        let runs: Vec<_> = (0..3)
+            .map(|_| {
+                exec_pipelined(&tp, &params, &seed, &cfg, |_, _, len| {
+                    Ok(MemStore::new(len))
+                })
+                .expect("pipelined run")
+            })
+            .collect();
+        let totals: Vec<_> = runs
+            .iter()
+            .map(|r| {
+                let t = r.run.total_stats();
+                (t.read_calls, t.write_calls, t.read_elems, t.write_elems)
+            })
+            .collect();
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[1], totals[2]);
+        assert_eq!(runs[0].run.data, runs[1].run.data);
+    }
+}

@@ -126,6 +126,30 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Nearest-rank quantile (`0.0 ≤ q ≤ 1.0`), reported as the upper
+    /// bound of the log2 bucket holding that rank — an upper estimate
+    /// with the bucketing's resolution. Returns 0 when empty.
+    ///
+    /// # Panics
+    /// Panics when `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        // Nearest rank: ceil(q * count), clamped to [1, count].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return crate::bucket_bounds(i).1;
+            }
+        }
+        crate::bucket_bounds(LOG2_BUCKETS - 1).1
+    }
 }
 
 /// A metric's current value.
@@ -275,6 +299,24 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_is_nearest_rank_bucket_upper_bound() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 10 × 1 (bucket 0), 5 × 8 (bucket 3), 1 × 1000 (bucket 9).
+        for _ in 0..10 {
+            h.observe(1);
+        }
+        for _ in 0..5 {
+            h.observe(8);
+        }
+        h.observe(1000);
+        assert_eq!(h.quantile(0.0), crate::bucket_bounds(0).1);
+        assert_eq!(h.quantile(0.5), crate::bucket_bounds(0).1, "rank 8 of 16");
+        assert_eq!(h.quantile(0.9), crate::bucket_bounds(3).1, "rank 15");
+        assert_eq!(h.quantile(1.0), crate::bucket_bounds(9).1, "max bucket");
+    }
 
     #[test]
     fn counters_accumulate_per_series() {

@@ -202,6 +202,11 @@ impl Tile {
         &self.data
     }
 
+    /// Mutable raw data in canonical region-row-major order.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     fn pos(&self, idx: &[i64]) -> usize {
         assert!(self.region.contains(idx), "index {idx:?} outside tile");
         let mut off: i64 = 0;

@@ -8,6 +8,18 @@
 //! runtime's read/write paths survive flaky backing storage without
 //! changing results — the robustness half of the instrumented store
 //! layer.
+//!
+//! Determinism is **per (store, call index)**, not per global call
+//! order: each store (one per array) numbers its own calls, and the
+//! raw fail/pass decision for call `k` is a pure hash of
+//! `(seed, k)` — see [`FaultStore::would_fail_at`]. Concurrent callers
+//! (prefetch workers hammering several arrays at once) therefore
+//! observe exactly the same injected-fault schedule per array as a
+//! single-threaded run, regardless of how the threads interleave.
+//! An earlier revision walked one xorshift state per *draw*, which
+//! made each decision a function of the whole draw history threaded
+//! through the shared state — impossible to replay or predict for one
+//! call in isolation once callers interleave.
 
 use crate::store::Store;
 use crate::trace::MeasuredIo;
@@ -55,7 +67,8 @@ impl FaultConfig {
 
 #[derive(Debug)]
 struct FaultState {
-    rng: u64,
+    /// Index the next call will be assigned (per-store counter).
+    next_call: u64,
     injected: u64,
     consecutive: u32,
 }
@@ -92,9 +105,7 @@ impl<S: Store> FaultStore<S> {
             inner,
             config,
             state: Arc::new(Mutex::new(FaultState {
-                // Scrambled so nearby seeds give unrelated sequences
-                // (`seed | 1` alone maps 42 and 43 to the same state).
-                rng: config.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+                next_call: 0,
                 injected: 0,
                 consecutive: 0,
             })),
@@ -122,17 +133,26 @@ impl<S: Store> FaultStore<S> {
         self.inner
     }
 
-    /// Decides (and records) whether the next call fails.
+    /// Whether this store's call number `index` fails, as a pure
+    /// function of `(config, index)` — the full capped schedule is
+    /// replayed from 0, so the answer is independent of when (or from
+    /// which thread) the call actually arrives.
+    #[must_use]
+    pub fn would_fail_at(&self, index: u64) -> bool {
+        fault_plan(&self.config, index + 1)
+            .last()
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Decides (and records) whether the next call fails. The lock
+    /// only serializes the per-store call counter and the running
+    /// caps; the underlying decision is [`raw_fault`] of the index.
     fn roll(&self) -> bool {
         let mut s = self.state.lock().expect("fault lock");
-        // xorshift64*.
-        let mut x = s.rng;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        s.rng = x;
-        let draw = x.wrapping_mul(0x2545_f491_4f6c_dd1d) % 1000;
-        let fail = draw < u64::from(self.config.fail_per_mille)
+        let index = s.next_call;
+        s.next_call += 1;
+        let fail = raw_fault(&self.config, index)
             && s.injected < self.config.max_faults
             && s.consecutive < self.config.max_consecutive;
         if fail {
@@ -147,6 +167,48 @@ impl<S: Store> FaultStore<S> {
     fn transient_error() -> io::Error {
         io::Error::new(io::ErrorKind::Interrupted, "injected transient I/O failure")
     }
+}
+
+/// The raw (uncapped) fail decision for call `index` under `config`:
+/// a stateless splitmix64-style hash of `(seed, index)`. Every capped
+/// decision derives from these, so the whole schedule is a pure
+/// function of the per-store call index.
+#[must_use]
+pub fn raw_fault(config: &FaultConfig, index: u64) -> bool {
+    let mut x = config
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        | 1;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x % 1000 < u64::from(config.fail_per_mille)
+}
+
+/// The capped fail/pass schedule for the first `calls` calls of a
+/// store under `config` — exactly what a [`FaultStore`] with that
+/// config injects, whatever the caller interleaving. Regression tests
+/// compare concurrent observations against this plan.
+#[must_use]
+pub fn fault_plan(config: &FaultConfig, calls: u64) -> Vec<bool> {
+    let mut plan = Vec::with_capacity(usize::try_from(calls).unwrap_or(0));
+    let (mut injected, mut consecutive) = (0u64, 0u32);
+    for index in 0..calls {
+        let fail = raw_fault(config, index)
+            && injected < config.max_faults
+            && consecutive < config.max_consecutive;
+        if fail {
+            injected += 1;
+            consecutive += 1;
+        } else {
+            consecutive = 0;
+        }
+        plan.push(fail);
+    }
+    plan
 }
 
 impl<S: Store> Store for FaultStore<S> {
@@ -241,6 +303,69 @@ mod tests {
         let mut buf = [0.0; 1];
         s.read_run(0, &mut buf).expect("read");
         assert_eq!(buf[0], 9.0);
+    }
+
+    #[test]
+    fn would_fail_at_matches_observed_schedule() {
+        let config = FaultConfig::transient(99, 250);
+        let s = FaultStore::new(MemStore::new(8), config);
+        let plan = fault_plan(&config, 64);
+        for (k, planned) in plan.iter().enumerate() {
+            assert_eq!(
+                s.would_fail_at(k as u64),
+                *planned,
+                "plan/replay disagree at call {k}"
+            );
+            let mut buf = [0.0; 1];
+            let observed = s.read_run(0, &mut buf).is_err();
+            assert_eq!(observed, *planned, "live call {k} diverged from plan");
+        }
+    }
+
+    #[test]
+    fn per_store_schedule_survives_concurrent_callers() {
+        // Two stores under the same config: one hammered from four
+        // threads, one driven sequentially. Each store numbers its own
+        // calls, so the *set* of injected faults must match the pure
+        // plan exactly — thread interleaving only changes which caller
+        // observes a given failure, never how many fire or when (by
+        // call index) they fire.
+        let config = FaultConfig::transient(7, 300);
+        let calls_per_thread = 64u64;
+        let threads = 4u64;
+        let total = calls_per_thread * threads;
+
+        let concurrent = FaultStore::new(MemStore::new(8), config);
+        let failures = Mutex::new(0u64);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local = 0u64;
+                    for _ in 0..calls_per_thread {
+                        let mut buf = [0.0; 1];
+                        if concurrent.read_run(0, &mut buf).is_err() {
+                            local += 1;
+                        }
+                    }
+                    *failures.lock().expect("count lock") += local;
+                });
+            }
+        });
+
+        let planned: u64 = fault_plan(&config, total).iter().filter(|&&f| f).count() as u64;
+        assert!(planned > 0, "config must actually inject");
+        assert_eq!(*failures.lock().expect("count lock"), planned);
+        assert_eq!(concurrent.injected(), planned);
+
+        // And the sequential twin sees the identical schedule.
+        let sequential = FaultStore::new(MemStore::new(8), config);
+        let observed: Vec<bool> = (0..total)
+            .map(|_| {
+                let mut buf = [0.0; 1];
+                sequential.read_run(0, &mut buf).is_err()
+            })
+            .collect();
+        assert_eq!(observed, fault_plan(&config, total));
     }
 
     #[test]

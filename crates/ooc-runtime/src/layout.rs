@@ -23,7 +23,12 @@ use ooc_linalg::gcd;
 
 /// A rectangular region of an array: 1-based inclusive bounds per
 /// dimension.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The `Ord` impl is lexicographic on `(lo, hi)` — meaningless
+/// geometrically, but it lets regions key deterministic ordered maps
+/// (the tile cache's eviction scan must break ties identically on
+/// every run).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Region {
     /// Lower bounds (1-based, inclusive).
     pub lo: Vec<i64>,
@@ -80,6 +85,18 @@ impl Region {
                 .iter()
                 .zip(self.lo.iter().zip(&self.hi))
                 .all(|(&x, (&l, &h))| l <= x && x <= h)
+    }
+
+    /// Whether two regions share at least one point. Regions of
+    /// different rank never overlap (they index different arrays).
+    /// The write-behind queue uses this to order a read after every
+    /// queued write that could produce data the read must see.
+    #[must_use]
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.rank() == other.rank()
+            && !self.is_empty()
+            && !other.is_empty()
+            && (0..self.rank()).all(|d| self.lo[d] <= other.hi[d] && other.lo[d] <= self.hi[d])
     }
 
     /// Intersection with array bounds `1..=dims[d]`.
@@ -777,5 +794,20 @@ mod tests {
         assert!(r.contains(&[3, 5]));
         assert!(!r.contains(&[1, 5]));
         assert_eq!(Region::full(&[3, 3]).len(), 9);
+    }
+
+    #[test]
+    fn region_overlap() {
+        let a = Region::new(vec![1, 1], vec![4, 4]);
+        assert!(a.overlaps(&Region::new(vec![4, 4], vec![8, 8])), "corner");
+        assert!(a.overlaps(&a));
+        assert!(!a.overlaps(&Region::new(vec![5, 1], vec![8, 4])), "apart");
+        assert!(!a.overlaps(&Region::new(vec![2, 5], vec![3, 9])));
+        // Empty and rank-mismatched regions overlap nothing.
+        assert!(!a.overlaps(&Region::new(vec![3, 3], vec![2, 3])));
+        assert!(!a.overlaps(&Region::new(vec![1], vec![4])));
+        // Ordering is total and deterministic (map keys).
+        let b = Region::new(vec![1, 1], vec![3, 9]);
+        assert!(b < a);
     }
 }

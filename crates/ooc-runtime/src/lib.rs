@@ -21,6 +21,8 @@
 //!   ASCII file heatmaps.
 //! * [`fault`] — [`FaultStore`]: deterministic seeded transient-fault
 //!   injection, recovered by [`RetryPolicy`].
+//! * [`shared`] — [`SharedStore`]: a cloneable `Arc<Mutex<…>>` handle
+//!   that lets prefetch/write-behind threads share one store.
 //! * [`testing`] — store factories and temp-dir plumbing for
 //!   differential tests.
 
@@ -32,17 +34,19 @@ pub mod fault;
 pub mod interleave;
 pub mod layout;
 pub mod profile;
+pub mod shared;
 pub mod store;
 pub mod testing;
 pub mod trace;
 
 pub use array::{summary_cost, IoCost, IoStats, OocArray, RetryPolicy, RuntimeConfig, Tile};
 pub use budget::{square_tile_edge, tile_span, BudgetExceeded, MemoryBudget};
-pub use fault::{FaultConfig, FaultHandle, FaultStore};
+pub use fault::{fault_plan, raw_fault, FaultConfig, FaultHandle, FaultStore};
 pub use interleave::InterleavedGroup;
 pub use layout::{FileLayout, Region, Run, RunSummary};
 pub use profile::{
     heatmap, sequential_stats, AccessLog, AccessRecord, ProfilingStore, SeekCdf, SeqStats,
 };
+pub use shared::SharedStore;
 pub use store::{FileStore, MemStore, Store, ELEM_BYTES};
 pub use trace::{MeasuredIo, TraceHandle, TracingStore, RUN_HIST_BUCKETS};

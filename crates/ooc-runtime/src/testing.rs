@@ -94,6 +94,44 @@ impl Backend {
         let trace = store.trace();
         Ok((store, trace))
     }
+
+    /// Like [`Backend::open`], but the trait object is `Send` so the
+    /// store can cross into pipeline worker threads (behind a
+    /// [`SharedStore`](crate::shared::SharedStore)).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn open_sendable(
+        self,
+        dir: &Path,
+        name: &str,
+        len: u64,
+    ) -> io::Result<Box<dyn Store + Send>> {
+        match self {
+            Backend::Mem => Ok(Box::new(MemStore::new(len))),
+            Backend::File => Ok(Box::new(FileStore::create(
+                &dir.join(format!("{name}.dat")),
+                len,
+            )?)),
+        }
+    }
+
+    /// Like [`Backend::open_sendable`], wrapped in a [`TracingStore`]
+    /// so pipelined differential tests observe measured I/O across
+    /// threads.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn open_traced_send(
+        self,
+        dir: &Path,
+        name: &str,
+        len: u64,
+    ) -> io::Result<(TracingStore<Box<dyn Store + Send>>, TraceHandle)> {
+        let store = TracingStore::new(self.open_sendable(dir, name, len)?);
+        let trace = store.trace();
+        Ok((store, trace))
+    }
 }
 
 #[cfg(test)]

@@ -16,10 +16,15 @@
 
 pub mod analytic;
 pub mod config;
+pub mod pipeline;
 pub mod pricing;
 pub mod sim;
 
 pub use analytic::{estimate, lower_bound, stats, WorkloadStats};
 pub use config::{ComputeParams, DiskParams, MachineConfig, PfsConfig};
+pub use pipeline::{
+    op_io_seconds, overlap_lower_bound, overlap_report, pipelined_makespan, sequential_makespan,
+    stages_from_trace, OverlapReport, Stage,
+};
 pub use pricing::{price_sequence, render_timeline, PricedCall, PricedTimeline};
 pub use sim::{FileId, Op, PfsSim, SimResult, Trace, Workload};

@@ -18,6 +18,9 @@
 //! * [`pfs`] — the striped parallel file system simulator.
 //! * [`kernels`] — the ten Table 1 benchmarks and six program
 //!   versions.
+//! * [`sched`] — the asynchronous tile pipeline: schedules with
+//!   next-use distances, the Belady-informed tile cache, prefetch
+//!   workers, and write-behind.
 //! * [`trace`] — structured tracing, decision-explain records, and
 //!   Chrome-trace export.
 //! * [`metrics`] — the per-run metrics registry, Prometheus/JSON
@@ -31,5 +34,6 @@ pub use ooc_kernels as kernels;
 pub use ooc_linalg as linalg;
 pub use ooc_metrics as metrics;
 pub use ooc_runtime as runtime;
+pub use ooc_sched as sched;
 pub use ooc_trace as trace;
 pub use pfs_sim as pfs;

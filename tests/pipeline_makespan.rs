@@ -1,0 +1,59 @@
+//! The pipeline's modeled payoff, asserted: for the tiled c-opt
+//! version of the paper's kernels, the overlap-aware `pfs-sim`
+//! pricing must give a *strictly* lower makespan than the synchronous
+//! sum of per-stage I/O and compute — and stay within the classic
+//! pipeline bounds.
+
+use ooc_opt::core::{build_workload, ExecConfig};
+use ooc_opt::kernels::{compile, kernel_by_name, Version};
+use ooc_opt::pfs::{
+    overlap_lower_bound, overlap_report, pipelined_makespan, sequential_makespan, stages_from_trace,
+};
+
+#[test]
+fn pipelined_makespan_strictly_beats_sequential_for_tiled_copt() {
+    for name in ["mxm", "trans", "syr2k"] {
+        let k = kernel_by_name(name).expect("kernel");
+        let cv = compile(&k, Version::COpt);
+        let params: Vec<i64> = k.paper_params.iter().map(|&n| (n / 8).max(8)).collect();
+        let mut cfg = ExecConfig::new(params, 1);
+        cfg.interleave = cv.interleave.clone();
+        let (_sim, workload, _report) = build_workload(&cv.tiled, &cfg);
+        let trace = &workload.per_proc[0];
+        let stages = stages_from_trace(trace, &cfg.machine);
+        assert!(stages.len() >= 2, "{name}: trace too short to pipeline");
+
+        let seq = sequential_makespan(&stages);
+        let lb = overlap_lower_bound(&stages);
+        for depth in [1usize, 2, 4, 8] {
+            let pipelined = pipelined_makespan(&stages, depth);
+            assert!(
+                pipelined < seq,
+                "{name} depth {depth}: pipelined {pipelined} >= sequential {seq}"
+            );
+            assert!(
+                pipelined >= lb - 1e-9,
+                "{name} depth {depth}: pipelined {pipelined} beats the bound {lb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn overlap_report_is_consistent_with_the_raw_recurrence() {
+    let k = kernel_by_name("mxm").expect("kernel");
+    let cv = compile(&k, Version::COpt);
+    let params: Vec<i64> = k.paper_params.iter().map(|&n| (n / 8).max(8)).collect();
+    let mut cfg = ExecConfig::new(params, 1);
+    cfg.interleave = cv.interleave.clone();
+    let (_sim, workload, _report) = build_workload(&cv.tiled, &cfg);
+    let trace = &workload.per_proc[0];
+
+    let r = overlap_report(trace, &cfg.machine, 4);
+    let stages = stages_from_trace(trace, &cfg.machine);
+    assert_eq!(r.stages, stages.len());
+    assert!((r.sequential_s - sequential_makespan(&stages)).abs() < 1e-9);
+    assert!((r.pipelined_s - pipelined_makespan(&stages, 4)).abs() < 1e-9);
+    assert!(r.speedup() > 1.0);
+    assert!(r.hidden_frac() > 0.0 && r.hidden_frac() <= 1.0);
+}
