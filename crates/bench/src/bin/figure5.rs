@@ -1,0 +1,162 @@
+//! Figure 5 (this repo's extension): what crash consistency costs and
+//! what recovery saves.
+//!
+//! Sweeps checkpoint intervals × crash points on one kernel's c-opt
+//! version through the durable executor: each cell kills the run at an
+//! injected store-call fault (alternating clean crashes and torn
+//! writes), verifies the checksum layer flags torn data, resumes from
+//! the last checkpoint, asserts the recovered result is **bit-equal**
+//! to an uninterrupted run, and reports the recovered-vs-rerun I/O
+//! cost. A final section demonstrates the pipelined durable executor
+//! crash-recovering with write-behind journaling.
+//!
+//! Usage: `figure5 [kernel] [crashes] [--metrics out.json] [--trace out.json]`
+use ooc_bench::trace::TraceScope;
+use ooc_bench::{interval_summary, recovery_register, run_recovery_demo, MetricsScope};
+use ooc_core::{
+    exec_pipelined_durable, resume_pipelined, DurabilityConfig, FunctionalConfig, MemMedium,
+    PipelineConfig,
+};
+use ooc_ir::ArrayId;
+use ooc_kernels::{compile, kernel_by_name, Version};
+use ooc_runtime::{is_crashed, FaultConfig};
+
+fn seed(a: ArrayId, idx: &[i64]) -> f64 {
+    let mut h = (a.0 as i64 + 1) * 2654435761;
+    for &x in idx {
+        h = h.wrapping_mul(31).wrapping_add(x * 17);
+    }
+    ((h % 1009) as f64) / 64.0 + 1.0
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = TraceScope::from_args(&mut args);
+    let metrics = MetricsScope::from_args(&mut args, "figure5");
+    let name = args.first().cloned().unwrap_or_else(|| "mxm".into());
+    let crashes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let k = kernel_by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown kernel `{name}`");
+        std::process::exit(2);
+    });
+    println!(
+        "Figure 5: crash-consistent out-of-core execution — kernel {}\n",
+        k.name
+    );
+
+    // (a) The interval × crash-point sweep on the durable synchronous
+    // executor (every cell asserts bit-equal recovery internally).
+    println!(
+        "(a) durable c-opt at {:?}, {} crash points per interval \
+         (odd = clean crash, even = torn write):",
+        k.small_params, crashes
+    );
+    println!("    interval | crash@ | mode  | crc flagged | rolled back | skipped | executed | replay cost");
+    let demo = run_recovery_demo(k.name, crashes);
+    for cell in &demo.cells {
+        println!(
+            "    {:>8} | {:>6} | {:5} | {:>11} | {:>11} | {:>7} | {:>8} | {:>10.1}%",
+            cell.interval,
+            cell.crash_at,
+            if cell.torn { "torn" } else { "crash" },
+            if cell.detected_corrupt { "yes" } else { "-" },
+            cell.report.rolled_back_tiles,
+            cell.report.skipped_steps,
+            cell.report.executed_steps,
+            cell.replay_ratio() * 100.0,
+        );
+        assert!(
+            cell.replay_bounded,
+            "rollback exceeded the one-checkpoint-interval bound"
+        );
+    }
+    println!("\n    per interval (tile rows per checkpoint):");
+    for (interval, ratio, bounded) in interval_summary(&demo) {
+        println!(
+            "    every {interval} row(s): mean replay cost {:>5.1}% of a full rerun, \
+             replay bound {}",
+            ratio * 100.0,
+            if bounded { "held" } else { "VIOLATED" }
+        );
+    }
+    recovery_register(metrics.registry(), &demo);
+
+    // (b) The pipelined durable executor: journaled write-behind with a
+    // durability fence, crashed and recovered.
+    println!("\n(b) pipelined durable executor (write-behind journaling + fence):");
+    let cv = compile(&k, Version::COpt);
+    let dur = DurabilityConfig::default();
+    let pcfg = PipelineConfig {
+        functional: FunctionalConfig::with_fraction(16),
+        ..PipelineConfig::default()
+    };
+    let mut clean = MemMedium::new();
+    let fresh = exec_pipelined_durable(
+        &cv.tiled,
+        &k.small_params,
+        &seed,
+        &pcfg,
+        &dur,
+        &mut clean,
+        &|_| None,
+    )
+    .expect("fresh pipelined durable run");
+    let mut medium = MemMedium::new();
+    // Probe run with a rate-0 wrap to size the crash index.
+    let probe = exec_pipelined_durable(
+        &cv.tiled,
+        &k.small_params,
+        &seed,
+        &pcfg,
+        &dur,
+        &mut MemMedium::new(),
+        &|a| (a == 0).then(|| FaultConfig::transient(13, 0)),
+    )
+    .expect("probe run");
+    let calls = probe.fault_handles[0].as_ref().map_or(0, |h| h.calls());
+    let crash_at = (calls / 2).max(1);
+    let err = exec_pipelined_durable(
+        &cv.tiled,
+        &k.small_params,
+        &seed,
+        &pcfg,
+        &dur,
+        &mut medium,
+        &|a| (a == 0).then(|| FaultConfig::crash_at(crash_at)),
+    )
+    .expect_err("injected crash must abort the pipelined run");
+    assert!(is_crashed(&err), "unexpected error: {err}");
+    let out = resume_pipelined(
+        &cv.tiled,
+        &k.small_params,
+        &seed,
+        &pcfg,
+        &dur,
+        &mut medium,
+        &|_| None,
+    )
+    .expect("pipelined resume");
+    assert_eq!(
+        out.run.run.data, fresh.run.run.data,
+        "pipelined recovery diverged from the uninterrupted run"
+    );
+    println!(
+        "    crashed at store call {crash_at} of ~{calls}; recovery rolled back {} tiles,\n\
+         \x20   skipped {} steps, executed {} — bit-equal to the uninterrupted run",
+        out.report.rolled_back_tiles, out.report.skipped_steps, out.report.executed_steps
+    );
+    print!("{}", out.run.pipeline.render());
+    // Deliberately not registered: the pipelined crash point lands
+    // mid-flight in worker threads, so its recovery counters are not
+    // deterministic — only the sweep above feeds the metrics gate.
+
+    println!(
+        "\nCheckpoints bound recovery to one interval of re-executed tiles; the\n\
+         journal's pre-images make rollback idempotent and heal torn writes the\n\
+         checksum sidecar detects. Durability costs journal traffic roughly\n\
+         proportional to checkpoint frequency — interval 1 pays the most I/O\n\
+         for the cheapest recovery, interval 4 the reverse."
+    );
+    let _ = metrics.finish();
+    let _ = trace.finish();
+}

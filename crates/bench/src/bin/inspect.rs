@@ -8,7 +8,8 @@
 //! histograms, seek distance).
 //!
 //! Usage: `inspect <kernel> [procs] [scale-divisor] [--trace out.json]
-//!         [--explain] [--profile] [--pipeline] [--metrics out.json]`
+//!         [--explain] [--profile] [--pipeline] [--recovery]
+//!         [--metrics out.json]`
 //!
 //! `--trace out.json` records every compiler decision and runtime tile
 //! access into a Chrome-trace file (open in <https://ui.perfetto.dev>);
@@ -18,10 +19,13 @@
 //! priced by the `pfs-sim` cost model; `--pipeline` additionally runs
 //! each version through the asynchronous tile pipeline
 //! (`exec_pipelined`), asserts bit-equality with the synchronous run,
-//! and prints the cache/prefetch/stall counters; `--metrics out.json`
-//! writes a metrics snapshot for `bench-compare`.
+//! and prints the cache/prefetch/stall counters; `--recovery` runs the
+//! kernel's c-opt version through the crash-consistent durable
+//! executor (crash, torn write, checksum scan, resume) and prints the
+//! recovery counters; `--metrics out.json` writes a metrics snapshot
+//! for `bench-compare`.
 use ooc_bench::trace::{render_explain, TraceScope};
-use ooc_bench::MetricsScope;
+use ooc_bench::{interval_summary, recovery_register, run_recovery_demo, MetricsScope};
 use ooc_core::{
     exec_pipelined, profile_functional, simulate, ExecConfig, FunctionalConfig, IoComparison,
     PipelineConfig,
@@ -85,6 +89,8 @@ fn main() {
     args.retain(|a| a != "--profile");
     let pipeline = args.iter().any(|a| a == "--pipeline");
     args.retain(|a| a != "--pipeline");
+    let recovery = args.iter().any(|a| a == "--recovery");
+    args.retain(|a| a != "--recovery");
     let name = args.first().cloned().unwrap_or_else(|| "trans".into());
     let procs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     let scale: i64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -205,6 +211,45 @@ fn main() {
             prun.pipeline
                 .register_into(metrics.registry(), k.name, v.label());
         }
+    }
+    if recovery {
+        // The durable executor only runs the optimized version — the
+        // sweep's contract (bit-equal recovery, bounded replay) is
+        // asserted inside run_recovery_demo.
+        println!(
+            "recovery (c-opt at {:?}, durable executor):",
+            k.small_params
+        );
+        let demo = run_recovery_demo(k.name, 2);
+        for cell in &demo.cells {
+            println!(
+                "       interval {} crash@{} ({}{}): rolled back {} tiles, \
+                 skipped {}, executed {}, replay {:.1}%",
+                cell.interval,
+                cell.crash_at,
+                if cell.torn { "torn" } else { "clean" },
+                if cell.detected_corrupt {
+                    ", crc flagged"
+                } else {
+                    ""
+                },
+                cell.report.rolled_back_tiles,
+                cell.report.skipped_steps,
+                cell.report.executed_steps,
+                cell.replay_ratio() * 100.0
+            );
+        }
+        for (interval, ratio, bounded) in interval_summary(&demo) {
+            println!(
+                "       every {interval} row(s): mean replay {:.1}% of a rerun, bound {}",
+                ratio * 100.0,
+                if bounded { "held" } else { "VIOLATED" }
+            );
+        }
+        if let Some(cell) = demo.cells.first() {
+            print!("{}", cell.report.render());
+        }
+        recovery_register(metrics.registry(), &demo);
     }
     let _ = metrics.finish();
     let explain = trace.explain;

@@ -11,15 +11,21 @@
 //! | Figure 1 | `figure1` | normalization + connected components |
 //! | Figure 2 | `figure2` | file layouts and hyperplane vectors |
 //! | Figure 3 | `figure3` | tile access patterns and I/O call counts |
+//! | Figure 4 (ext.) | `figure4` | async tile pipeline vs synchronous |
+//! | Figure 5 (ext.) | `figure5` | crash points × checkpoint intervals: recovery cost |
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod json;
 pub mod metrics;
+pub mod recovery;
 pub mod reference;
 pub mod trace;
 
 pub use experiments::{run_table2, run_table3, table2_row, Table2Cell, Table2Row, Table3Entry};
 pub use metrics::{table2_register, table3_register, MetricsScope};
+pub use recovery::{
+    interval_summary, recovery_register, run_recovery_demo, RecoveryCell, RecoveryDemo,
+};
 pub use reference::{paper_table2, paper_table3_entry, PAPER_TABLE3_KERNELS};

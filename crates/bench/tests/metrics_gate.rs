@@ -7,13 +7,28 @@
 //! clean, and a deliberately perturbed deterministic counter hard-
 //! fails.
 
-use ooc_bench::{run_table2, table2_register};
+use ooc_bench::{recovery_register, run_recovery_demo, run_table2, table2_register};
 use ooc_metrics::{diff_snapshots, validate_snapshot_json, DiffPolicy, Registry, Snapshot, Value};
 
 fn committed_baseline() -> Snapshot {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_seed.json");
     let text = std::fs::read_to_string(path).expect("committed BENCH_seed.json");
     Snapshot::parse(&text).expect("baseline parses against the schema")
+}
+
+fn committed_recovery_baseline() -> Snapshot {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_recovery_seed.json"
+    );
+    let text = std::fs::read_to_string(path).expect("committed BENCH_recovery_seed.json");
+    Snapshot::parse(&text).expect("recovery baseline parses against the schema")
+}
+
+fn fresh_recovery_snapshot() -> Snapshot {
+    let registry = Registry::new();
+    recovery_register(&registry, &run_recovery_demo("mxm", 3));
+    Snapshot::capture("figure5", &registry)
 }
 
 fn fresh_table2_snapshot() -> Snapshot {
@@ -82,6 +97,55 @@ fn perturbed_counter_hard_fails_the_gate() {
     assert!(!report.is_clean(), "perturbation must hard-fail");
     assert_eq!(report.hard_fails(), 1);
     assert!(report.to_string().contains("counter regressed"));
+}
+
+#[test]
+fn committed_recovery_baseline_is_schema_valid() {
+    let snap = committed_recovery_baseline();
+    validate_snapshot_json(&snap.to_json()).expect("schema-valid");
+    assert_eq!(snap.producer, "figure5");
+    assert!(
+        snap.samples.len() >= 90,
+        "3 intervals x 3 crash points x 10 series expected, got {}",
+        snap.samples.len()
+    );
+}
+
+#[test]
+fn fresh_recovery_run_matches_committed_baseline() {
+    // The crash-recovery gate: the figure5 sweep (crash, torn write,
+    // checksum scan, rollback, resume) must replay byte-identically —
+    // journal intents, checkpoints, rolled-back tiles and all. A drift
+    // here means recovery behavior changed without refreshing
+    // BENCH_recovery_seed.json.
+    let report = diff_snapshots(
+        &committed_recovery_baseline(),
+        &fresh_recovery_snapshot(),
+        &DiffPolicy::default(),
+    );
+    assert!(
+        report.is_clean(),
+        "fresh recovery sweep diverges from BENCH_recovery_seed.json \
+         (regenerate with `figure5 mxm 3 --metrics BENCH_recovery_seed.json` if intended):\n{report}"
+    );
+}
+
+#[test]
+fn perturbed_recovery_counter_hard_fails_the_gate() {
+    let baseline = committed_recovery_baseline();
+    let mut perturbed = baseline.clone();
+    let tampered = perturbed
+        .samples
+        .iter_mut()
+        .find(|(k, v)| k.name == "journal_intents_total" && matches!(v, Value::Counter(_)))
+        .expect("recovery baseline has journal_intents_total counters");
+    match &mut tampered.1 {
+        Value::Counter(n) => *n += 1,
+        other => panic!("expected counter, got {other:?}"),
+    }
+    let report = diff_snapshots(&baseline, &perturbed, &DiffPolicy::default());
+    assert!(!report.is_clean(), "perturbation must hard-fail");
+    assert_eq!(report.hard_fails(), 1);
 }
 
 #[test]

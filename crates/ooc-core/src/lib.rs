@@ -25,6 +25,10 @@
 //! 9. [`pipeline`] — the asynchronous tile pipeline: compiler-driven
 //!    prefetch, a Belady-informed tile cache, and write-behind over
 //!    the schedules the tiling pass fixes statically.
+//! 10. [`recovery`] — crash-consistent execution: per-tile-region
+//!     checksums, a write intent journal, checkpoint manifests at
+//!     tile-row boundaries, and checkpoint/restart that recovers a
+//!     crashed run bit-equal to an uninterrupted one.
 //!
 //! # Example: the paper's worked example, end to end
 //!
@@ -61,6 +65,7 @@ pub mod interference;
 pub mod locality;
 pub mod optimizer;
 pub mod pipeline;
+pub mod recovery;
 pub mod report;
 pub mod storage;
 pub mod tiling;
@@ -83,6 +88,12 @@ pub use optimizer::{
     OptimizeOptions, OptimizedProgram,
 };
 pub use pipeline::{exec_pipelined, extract_schedule, PipelineConfig, PipelinedRun};
+pub use recovery::{
+    exec_pipelined_durable, max_intents_per_interval, parse_manifest, resume_functional,
+    resume_pipelined, run_functional_durable, Boundary, DirMedium, DurabilityConfig, DurableMedium,
+    DurableOutcome, DurableStore, ManifestRecord, ManifestScan, MemMedium, PipelinedDurableOutcome,
+    RecoveryReport,
+};
 pub use report::{optimization_report, IoComparison, NestReport, OptimizationReport, RefReport};
 pub use storage::{bounding_box, reduce_storage, StorageReduction};
 pub use tiling::{

@@ -38,15 +38,17 @@ use crate::exec::{
     exec_box, level_ranges, rw_arrays, walk_tiles, ArrayProfile, FunctionalConfig, FunctionalRun,
     Staging,
 };
+use crate::recovery::DurableSession;
 use crate::tiling::{plan_spans, IoWeights, TiledProgram};
 use ooc_ir::ArrayId;
-use ooc_runtime::{IoStats, MemoryBudget, OocArray, SharedStore, Store, Tile};
+use ooc_runtime::{IoStats, MemoryBudget, OocArray, SharedJournal, SharedStore, Store, Tile};
 use ooc_sched::{
     annotate_next_use, CacheStats, Delivery, NestSchedule, PipelineStats, PrefetchPool, SlotKey,
     StageRequest, TileCache, TileId, TileSchedule, TileSink, TileSource, TileStep, WriteBehind,
 };
 use std::collections::BTreeMap;
 use std::io;
+use std::sync::{Arc, Mutex};
 
 /// Configuration of the pipelined executor.
 #[derive(Debug, Clone)]
@@ -254,28 +256,69 @@ impl<S: Store + Send> TileSink for SharedTileSink<S> {
     }
 }
 
+/// The write-behind sink of a *durable* run: journal the tile's write
+/// intent (with a pre-image read) before the data write, and park the
+/// intent sequence for the durability fence to commit once the tile
+/// settles.
+struct DurableSink<S: Store> {
+    arrays: Vec<OocArray<SharedStore<S>>>,
+    journal: SharedJournal,
+    pending: Arc<Mutex<BTreeMap<TileId, Vec<u64>>>>,
+}
+
+impl<S: Store + Send> TileSink for DurableSink<S> {
+    fn store(&mut self, id: &TileId, tile: &Tile) -> io::Result<IoStats> {
+        let arr = &mut self.arrays[id.key.array as usize];
+        arr.reset_stats();
+        let pre = arr.read_tile(&id.region)?;
+        let seq = self
+            .journal
+            .intent(id.key.array, &id.region, tile.data(), pre.data())?;
+        self.pending
+            .lock()
+            .expect("pending intents")
+            .entry(id.clone())
+            .or_default()
+            .push(seq);
+        arr.write_tile(tile)?;
+        Ok(arr.stats())
+    }
+}
+
 fn slot_key_pair(id: &TileId) -> (ArrayId, usize) {
     (ArrayId(id.key.array as usize), id.key.slot as usize)
 }
 
-/// Retires a dirty tile: enqueues it on the write-behind queue, or
-/// writes it synchronously when write-behind is off.
+/// Retires a dirty tile: enqueues it on the write-behind queue (whose
+/// sink journals durable runs), or writes it on the main thread — with
+/// the journal protocol (intent → write → commit) when `journal` is
+/// set.
 fn retire<S: Store>(
     wb: Option<&WriteBehind>,
     arrays: &mut [OocArray<SharedStore<S>>],
     stats: &mut PipelineStats,
+    journal: Option<&SharedJournal>,
     id: TileId,
     tile: Tile,
-) {
+) -> io::Result<()> {
     match wb {
         Some(wb) => {
             stats.writebehind_tiles += 1;
             wb.enqueue(id, tile);
         }
-        None => arrays[id.key.array as usize]
-            .write_tile(&tile)
-            .expect("write tile"),
+        None => {
+            let arr = &mut arrays[id.key.array as usize];
+            if let Some(journal) = journal {
+                let pre = arr.read_tile(&id.region)?;
+                let seq = journal.intent(id.key.array, &id.region, tile.data(), pre.data())?;
+                arr.write_tile(&tile)?;
+                journal.commit(seq)?;
+            } else {
+                arr.write_tile(&tile)?;
+            }
+        }
     }
+    Ok(())
 }
 
 /// Books a delivery: drops it from the in-flight set, accounts its
@@ -324,18 +367,33 @@ fn accept_delivery(
 /// of the shared handle may cross into worker threads.
 ///
 /// # Errors
-/// Propagates store construction/seeding errors and write-behind
-/// flush failures.
+/// Propagates store construction/seeding errors, staging I/O errors
+/// the retry policy cannot recover, and write-behind flush failures.
 ///
 /// # Panics
-/// Panics on internal inconsistencies and on staging I/O errors the
-/// retry policy cannot recover, like the synchronous executor.
+/// Panics on internal inconsistencies — these indicate compiler bugs
+/// and must surface in tests, like the synchronous executor.
 pub fn exec_pipelined<S: Store + Send + 'static>(
     tp: &TiledProgram,
     params: &[i64],
     init: &dyn Fn(ArrayId, &[i64]) -> f64,
     cfg: &PipelineConfig,
+    make_store: impl FnMut(usize, &str, u64) -> io::Result<S>,
+) -> io::Result<PipelinedRun> {
+    exec_pipelined_inner(tp, params, init, cfg, make_store, None)
+}
+
+/// The pipelined executor body, with the optional durability hooks the
+/// recovery layer drives: journaled write-back, checkpoint records at
+/// tile-row / iteration / nest boundaries, and boundary-driven step
+/// skipping plus pre-image rollback on resume.
+pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &PipelineConfig,
     mut make_store: impl FnMut(usize, &str, u64) -> io::Result<S>,
+    mut dur: Option<&mut DurableSession>,
 ) -> io::Result<PipelinedRun> {
     let _span = ooc_trace::span_with(
         "pipeline",
@@ -370,11 +428,34 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
             store,
             cfg.functional.runtime,
         );
-        arr.initialize(|idx| init(ArrayId(a), idx))?;
+        if dur.as_ref().is_none_or(|d| !d.skip_seed) {
+            arr.initialize(|idx| init(ArrayId(a), idx))?;
+        }
         // Profile the compute phase only.
         arr.reset_all_metrics();
         arrays.push(arr);
     }
+
+    // Recovery: restore journal pre-images for every uncommitted (or
+    // post-boundary) write of the crashed run, then mark seeding
+    // durable for fresh runs.
+    if let Some(d) = dur.as_deref_mut() {
+        d.rollback_now(&mut |a, region, pre| {
+            let mut t = Tile::zeroed(region.clone());
+            if t.data().len() != pre.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "journal pre-image length mismatch",
+                ));
+            }
+            t.data_mut().copy_from_slice(pre);
+            arrays[a as usize].write_tile(&t)
+        })?;
+        d.begin()?;
+    }
+    // Main-thread journal handle for synchronous (non-write-behind)
+    // durable retirement.
+    let sync_journal: Option<SharedJournal> = dur.as_ref().map(|d| d.journal.clone());
 
     // Per-thread array handles over the same shared stores. Workers
     // never touch analytic or measured reset paths — their per-fetch
@@ -408,10 +489,18 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
                 .collect(),
         )
     });
-    let wb = cfg.write_behind.then(|| {
-        WriteBehind::new(Box::new(SharedTileSink {
+    let wb = cfg.write_behind.then(|| match dur.as_ref() {
+        Some(d) => WriteBehind::with_fence(
+            Box::new(DurableSink {
+                arrays: worker_arrays(&shared),
+                journal: d.journal.clone(),
+                pending: Arc::clone(&d.pending),
+            }),
+            Some(d.fence()),
+        ),
+        None => WriteBehind::new(Box::new(SharedTileSink {
             arrays: worker_arrays(&shared),
-        }))
+        })),
     });
 
     let total_elems = u64::try_from(tp.program.total_elements(params)).expect("size");
@@ -420,6 +509,11 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
     let mut prefetch_stats: BTreeMap<u32, IoStats> = BTreeMap::new();
 
     for ni in 0..tp.nests.len() {
+        // Resume: nests the checkpoint boundary already covers are
+        // durable in the medium — skip them without touching I/O.
+        if dur.as_ref().is_some_and(|d| d.skip_nest(ni)) {
+            continue;
+        }
         let Some(NestPlan { staging, schedule }) = plan_nest(
             tp,
             ni,
@@ -427,15 +521,39 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
             &budget,
             cfg.functional.runtime.max_call_elems,
         ) else {
+            if let Some(d) = dur.as_deref_mut() {
+                d.checkpoint(ni + 1, 0)?;
+            }
             continue;
         };
         let nest = &tp.nests[ni].nest;
         let bounds = nest.bounds.loop_bounds();
         let n = schedule.steps.len() as u64;
         if n == 0 || schedule.iterations == 0 {
+            if let Some(d) = dur.as_deref_mut() {
+                d.checkpoint(ni + 1, 0)?;
+            }
             continue;
         }
         let total_steps = schedule.total_steps();
+        // Steps this nest's checkpoint boundary already covers, and the
+        // tile-row starts of the cyclic schedule (outermost-coordinate
+        // transitions) where periodic checkpoints may fire. The row
+        // accounting is a pure function of the step index, so a resumed
+        // run checkpoints at exactly the same steps as an uninterrupted
+        // one.
+        let start_g = dur.as_ref().map_or(0, |d| d.start_step(ni));
+        if start_g > 0 {
+            if let Some(d) = dur.as_deref_mut() {
+                d.report.skipped_steps += start_g;
+            }
+        }
+        let row_start: Vec<bool> = (0..schedule.steps.len())
+            .map(|s| s == 0 || schedule.steps[s].box_lo[0] != schedule.steps[s - 1].box_lo[0])
+            .collect();
+        let mut rows_done: u64 = (1..=start_g)
+            .filter(|&g2| row_start[(g2 % n) as usize])
+            .count() as u64;
         let capacity = cfg.cache_capacity.unwrap_or_else(|| {
             schedule
                 .read_footprint_max
@@ -448,11 +566,43 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
         // Written slots resident on the main thread, mirroring the
         // synchronous executor's hoisting.
         let mut written_tiles: BTreeMap<(ArrayId, usize), Tile> = BTreeMap::new();
-        let mut issued_until: u64 = 0;
+        let mut issued_until: u64 = start_g;
         let _nest_span = ooc_trace::span("pipeline", &format!("nest:{}", nest.name));
 
-        for g in 0..total_steps {
+        for g in start_g..total_steps {
             let s = (g % n) as usize;
+
+            // Periodic durability checkpoint at tile-row boundaries:
+            // drain resident written tiles through the journaled write
+            // path, fence the queue, then append the manifest record.
+            if row_start[s] && g > start_g {
+                rows_done += 1;
+                if let Some(d) = dur.as_deref_mut() {
+                    if d.cfg.checkpoint_rows > 0 && rows_done % d.cfg.checkpoint_rows == 0 {
+                        for (key, tile) in std::mem::take(&mut written_tiles) {
+                            let id = TileId {
+                                key: SlotKey {
+                                    array: u32::try_from(key.0 .0).expect("array index"),
+                                    slot: u32::try_from(key.1).expect("slot index"),
+                                },
+                                region: tile.region().clone(),
+                            };
+                            retire(
+                                wb.as_ref(),
+                                &mut arrays,
+                                &mut stats,
+                                sync_journal.as_ref(),
+                                id,
+                                tile,
+                            )?;
+                        }
+                        if let Some(wb) = &wb {
+                            wb.flush()?;
+                        }
+                        d.checkpoint(ni, g)?;
+                    }
+                }
+            }
 
             // Advance the issue window: every read of steps
             // [issued_until, g + depth] is either resident (pin it),
@@ -541,7 +691,7 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
                         }
                         None => {
                             stats.sync_reads += 1;
-                            arrays[key.0 .0].read_tile(&id.region).expect("read tile")
+                            arrays[key.0 .0].read_tile(&id.region)?
                         }
                     }
                 } else {
@@ -551,7 +701,7 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
                     if ooc_trace::enabled() {
                         ooc_trace::instant("pipeline", "sync-read", vec![("step", g.into())]);
                     }
-                    arrays[key.0 .0].read_tile(&id.region).expect("read tile")
+                    arrays[key.0 .0].read_tile(&id.region)?
                 };
                 tiles.insert(key, tile);
             }
@@ -570,14 +720,21 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
                     .is_none_or(|t| t.region() != &id.region);
                 if stale {
                     if let Some(old) = written_tiles.remove(&key) {
-                        retire(wb.as_ref(), &mut arrays, &mut stats, id.clone(), old);
+                        retire(
+                            wb.as_ref(),
+                            &mut arrays,
+                            &mut stats,
+                            sync_journal.as_ref(),
+                            id.clone(),
+                            old,
+                        )?;
                     }
                     if let Some(wb) = &wb {
                         // Read-after-write fence: the region we are
                         // about to stage may overlap a queued write.
                         wb.wait_clear(id.key.array, &id.region);
                     }
-                    let t = arrays[key.0 .0].read_tile(&id.region).expect("read tile");
+                    let t = arrays[key.0 .0].read_tile(&id.region)?;
                     written_tiles.insert(key, t);
                 }
                 let t = written_tiles.remove(&key).expect("written tile staged");
@@ -596,6 +753,9 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
                 &mut tiles,
                 &staging,
             );
+            if let Some(d) = dur.as_deref_mut() {
+                d.report.executed_steps += 1;
+            }
 
             // Return read tiles to the cache with their schedule-known
             // next use; evictees are clean by construction (written
@@ -619,7 +779,8 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
             }
 
             // End-of-iteration flush of written tiles (the synchronous
-            // executor writes them back here too).
+            // executor writes them back here too), then an iteration
+            // checkpoint for durable runs.
             if (g + 1) % n == 0 {
                 for (key, tile) in std::mem::take(&mut written_tiles) {
                     let id = TileId {
@@ -629,7 +790,20 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
                         },
                         region: tile.region().clone(),
                     };
-                    retire(wb.as_ref(), &mut arrays, &mut stats, id, tile);
+                    retire(
+                        wb.as_ref(),
+                        &mut arrays,
+                        &mut stats,
+                        sync_journal.as_ref(),
+                        id,
+                        tile,
+                    )?;
+                }
+                if let Some(d) = dur.as_deref_mut() {
+                    if let Some(wb) = &wb {
+                        wb.flush()?;
+                    }
+                    d.checkpoint(ni, g + 1)?;
                 }
             }
         }
@@ -652,6 +826,10 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
         debug_assert!(drained.iter().all(|e| !e.dirty));
         if let Some(wb) = &wb {
             wb.flush()?;
+        }
+        if let Some(d) = dur.as_deref_mut() {
+            // Everything this nest wrote is durable and committed.
+            d.checkpoint(ni + 1, 0)?;
         }
         if ooc_trace::enabled() {
             ooc_trace::instant(
@@ -699,14 +877,13 @@ pub fn exec_pipelined<S: Store + Send + 'static>(
             }
         })
         .collect();
+    stats.io_retries = profiles.iter().map(|p| p.stats.retries).sum();
 
-    let data = arrays
-        .iter_mut()
-        .map(|arr| {
-            let region = ooc_runtime::Region::full(arr.dims());
-            arr.read_tile(&region).expect("final read").data().to_vec()
-        })
-        .collect();
+    let mut data = Vec::with_capacity(arrays.len());
+    for arr in arrays.iter_mut() {
+        let region = ooc_runtime::Region::full(arr.dims());
+        data.push(arr.read_tile(&region)?.data().to_vec());
+    }
 
     Ok(PipelinedRun {
         run: FunctionalRun { data, profiles },

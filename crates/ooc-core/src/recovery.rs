@@ -1,0 +1,1509 @@
+//! Crash-consistent out-of-core execution: checkpoint/restart over
+//! the checksummed store stack and the write intent journal.
+//!
+//! A *durable* run assembles, per array, the stack
+//! `ChecksummedStore<FaultStore<medium>, medium>` — data faults (torn
+//! writes included) sit **under** the checksum layer, so a partial
+//! write leaves a stale CRC that the next read reports as a typed
+//! corrupt-read error. Every tile write-back follows the journal
+//! protocol (intent → write → commit), and both executors append a
+//! [`CheckpointManifest`](parse_manifest) record at tile-row and
+//! iteration boundaries after durably flushing all resident written
+//! tiles.
+//!
+//! Recovery ([`resume_functional`] / [`resume_pipelined`]) scans the
+//! manifest for the last consistent boundary, rolls back every journal
+//! intent at or past the boundary's watermark (restoring pre-images in
+//! reverse sequence order — which also heals torn checksums), and
+//! restarts the tile walk from that boundary. The invariant the test
+//! suite asserts: a crashed-then-recovered run is **bit-equal** to an
+//! uninterrupted run, and the re-executed work is bounded by one
+//! checkpoint interval.
+//!
+//! The manifest is an append-only text log like the journal, with a
+//! torn-tail-tolerant parser:
+//!
+//! ```text
+//! S <watermark>            seeding completed
+//! K <nest> <step> <watermark>   <step> steps of <nest> are durable
+//! ```
+//!
+//! `K nest+1 0 w` marks a nest fully done; `K nests.len() 0 w` marks
+//! the whole program done (resume then only re-reads the final dump).
+
+use crate::exec::{
+    exec_box, level_ranges, rw_arrays, walk_tiles, ArrayProfile, FunctionalConfig, FunctionalRun,
+    Staging,
+};
+use crate::pipeline::{PipelineConfig, PipelinedRun};
+use crate::tiling::{plan_spans, IoWeights, TiledProgram};
+use ooc_ir::ArrayId;
+use ooc_metrics::Registry;
+use ooc_runtime::{
+    parse_journal, rollback, ChecksumHandle, ChecksummedStore, FaultConfig, FaultHandle,
+    FaultStore, FileLog, FileStore, Journal, JournalScan, LogStore, MemLog, MemStore, MemoryBudget,
+    OocArray, Region, SharedJournal, SharedStore, Store, Tile, UndoWriter, WriteIntent,
+};
+use ooc_sched::{DurabilityFence, TileId};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Durability knobs of a crash-consistent run.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityConfig {
+    /// Checkpoint every this many completed tile rows (outermost tile
+    /// transitions) within a nest; 0 keeps only the iteration and nest
+    /// boundary checkpoints.
+    pub checkpoint_rows: u64,
+    /// Elements per CRC64 sidecar chunk.
+    pub chunk_elems: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            checkpoint_rows: 2,
+            chunk_elems: 128,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// A config checkpointing every `rows` tile rows.
+    #[must_use]
+    pub fn every_rows(rows: u64) -> Self {
+        DurabilityConfig {
+            checkpoint_rows: rows,
+            ..DurabilityConfig::default()
+        }
+    }
+}
+
+/// The store stack of a durable array: data and CRC sidecar behind a
+/// checksum-verifying layer (optionally fault-injected underneath).
+pub type DurableStore = ChecksummedStore<Box<dyn Store + Send>, Box<dyn Store + Send>>;
+
+/// Where a durable run keeps its persistent state: per-array data and
+/// sidecar stores plus the journal and manifest logs. Repeated calls
+/// for the same array/log must return handles onto the **same**
+/// backing bytes, so a "crashed" run's state survives into recovery.
+pub trait DurableMedium {
+    /// The data store of array `a` (`len` elements).
+    ///
+    /// # Errors
+    /// Propagates store construction errors.
+    fn data(&mut self, a: usize, name: &str, len: u64) -> io::Result<Box<dyn Store + Send>>;
+
+    /// The CRC sidecar store of array `a` (`len` slots).
+    ///
+    /// # Errors
+    /// Propagates store construction errors.
+    fn sidecar(&mut self, a: usize, name: &str, len: u64) -> io::Result<Box<dyn Store + Send>>;
+
+    /// The write intent journal log.
+    ///
+    /// # Errors
+    /// Propagates log construction errors.
+    fn journal(&mut self) -> io::Result<Box<dyn LogStore>>;
+
+    /// The checkpoint manifest log.
+    ///
+    /// # Errors
+    /// Propagates log construction errors.
+    fn manifest(&mut self) -> io::Result<Box<dyn LogStore>>;
+}
+
+/// An in-memory [`DurableMedium`] for tests: stores and logs are
+/// shared handles, so an in-process "crash" (an error return) leaves
+/// everything inspectable and resumable.
+#[derive(Debug, Default)]
+pub struct MemMedium {
+    data: BTreeMap<usize, SharedStore<MemStore>>,
+    sidecars: BTreeMap<usize, SharedStore<MemStore>>,
+    journal: MemLog,
+    manifest: MemLog,
+}
+
+impl MemMedium {
+    /// An empty medium.
+    #[must_use]
+    pub fn new() -> Self {
+        MemMedium::default()
+    }
+
+    /// The raw journal bytes (test plumbing).
+    #[must_use]
+    pub fn journal_bytes(&self) -> Vec<u8> {
+        self.journal.snapshot()
+    }
+
+    /// The raw manifest bytes (test plumbing).
+    #[must_use]
+    pub fn manifest_bytes(&self) -> Vec<u8> {
+        self.manifest.snapshot()
+    }
+}
+
+impl DurableMedium for MemMedium {
+    fn data(&mut self, a: usize, _name: &str, len: u64) -> io::Result<Box<dyn Store + Send>> {
+        let s = self
+            .data
+            .entry(a)
+            .or_insert_with(|| SharedStore::new(MemStore::new(len)))
+            .clone();
+        Ok(Box::new(s))
+    }
+
+    fn sidecar(&mut self, a: usize, _name: &str, len: u64) -> io::Result<Box<dyn Store + Send>> {
+        let s = self
+            .sidecars
+            .entry(a)
+            .or_insert_with(|| SharedStore::new(MemStore::new(len)))
+            .clone();
+        Ok(Box::new(s))
+    }
+
+    fn journal(&mut self) -> io::Result<Box<dyn LogStore>> {
+        Ok(Box::new(self.journal.clone()))
+    }
+
+    fn manifest(&mut self) -> io::Result<Box<dyn LogStore>> {
+        Ok(Box::new(self.manifest.clone()))
+    }
+}
+
+/// A directory-backed [`DurableMedium`]: `<name>.dat` / `<name>.crc`
+/// files per array plus `journal.log` and `manifest.log`. Existing
+/// files are reopened, so state persists across real process crashes.
+#[derive(Debug, Clone)]
+pub struct DirMedium {
+    dir: PathBuf,
+}
+
+impl DirMedium {
+    /// A medium rooted at `dir` (which must exist).
+    #[must_use]
+    pub fn new(dir: &Path) -> Self {
+        DirMedium {
+            dir: dir.to_path_buf(),
+        }
+    }
+
+    fn file(&self, name: &str, len: u64) -> io::Result<Box<dyn Store + Send>> {
+        let path = self.dir.join(name);
+        let store = if path.exists() {
+            FileStore::open(&path)?
+        } else {
+            FileStore::create(&path, len)?
+        };
+        Ok(Box::new(store))
+    }
+}
+
+impl DurableMedium for DirMedium {
+    fn data(&mut self, _a: usize, name: &str, len: u64) -> io::Result<Box<dyn Store + Send>> {
+        self.file(&format!("{name}.dat"), len)
+    }
+
+    fn sidecar(&mut self, _a: usize, name: &str, len: u64) -> io::Result<Box<dyn Store + Send>> {
+        self.file(&format!("{name}.crc"), len)
+    }
+
+    fn journal(&mut self) -> io::Result<Box<dyn LogStore>> {
+        Ok(Box::new(FileLog::new(&self.dir.join("journal.log"))))
+    }
+
+    fn manifest(&mut self) -> io::Result<Box<dyn LogStore>> {
+        Ok(Box::new(FileLog::new(&self.dir.join("manifest.log"))))
+    }
+}
+
+/// One checkpoint manifest record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManifestRecord {
+    /// Seeding completed; journal watermark at that point.
+    Seeded {
+        /// Journal sequence the next intent will get.
+        watermark: u64,
+    },
+    /// `step` global tile steps of `nest` are durable (all earlier
+    /// nests complete).
+    Checkpoint {
+        /// Nest index (`nests.len()` = whole program done).
+        nest: usize,
+        /// Global steps completed within the nest (across iterations).
+        step: u64,
+        /// Journal sequence the next intent will get.
+        watermark: u64,
+    },
+}
+
+/// The last consistent execution boundary a manifest records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Boundary {
+    /// First nest that is not fully durable.
+    pub nest: usize,
+    /// Global steps of that nest already durable.
+    pub step: u64,
+    /// Journal watermark: intents with `seq >= watermark` must be
+    /// rolled back.
+    pub watermark: u64,
+}
+
+/// Result of scanning a (possibly crash-torn) checkpoint manifest.
+#[derive(Debug, Clone, Default)]
+pub struct ManifestScan {
+    /// Records in log order.
+    pub records: Vec<ManifestRecord>,
+    /// Whether a torn tail was dropped.
+    pub torn_tail: bool,
+}
+
+impl ManifestScan {
+    /// The last recorded boundary; `None` means nothing durable exists
+    /// yet (recovery re-runs from scratch, re-seeding everything).
+    #[must_use]
+    pub fn boundary(&self) -> Option<Boundary> {
+        self.records.last().map(|r| match *r {
+            ManifestRecord::Seeded { watermark } => Boundary {
+                nest: 0,
+                step: 0,
+                watermark,
+            },
+            ManifestRecord::Checkpoint {
+                nest,
+                step,
+                watermark,
+            } => Boundary {
+                nest,
+                step,
+                watermark,
+            },
+        })
+    }
+
+    /// All journal watermarks in record order (checkpoint-interval
+    /// boundaries in journal-sequence space).
+    #[must_use]
+    pub fn watermarks(&self) -> Vec<u64> {
+        self.records
+            .iter()
+            .map(|r| match *r {
+                ManifestRecord::Seeded { watermark }
+                | ManifestRecord::Checkpoint { watermark, .. } => watermark,
+            })
+            .collect()
+    }
+}
+
+fn parse_manifest_line(line: &str) -> Option<ManifestRecord> {
+    let mut f = line.split_ascii_whitespace();
+    match f.next()? {
+        "S" => {
+            let watermark = f.next()?.parse().ok()?;
+            if f.next().is_some() {
+                return None;
+            }
+            Some(ManifestRecord::Seeded { watermark })
+        }
+        "K" => {
+            let nest = f.next()?.parse().ok()?;
+            let step = f.next()?.parse().ok()?;
+            let watermark = f.next()?.parse().ok()?;
+            if f.next().is_some() {
+                return None;
+            }
+            Some(ManifestRecord::Checkpoint {
+                nest,
+                step,
+                watermark,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Parses a checkpoint manifest, tolerating a torn tail exactly like
+/// the journal parser: the first unterminated or unparseable line and
+/// everything after it is dropped.
+#[must_use]
+pub fn parse_manifest(bytes: &[u8]) -> ManifestScan {
+    let mut scan = ManifestScan::default();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            scan.torn_tail = true;
+            break;
+        };
+        let line = &bytes[pos..pos + nl];
+        pos += nl + 1;
+        match std::str::from_utf8(line).ok().and_then(parse_manifest_line) {
+            Some(r) => scan.records.push(r),
+            None => {
+                scan.torn_tail = true;
+                break;
+            }
+        }
+    }
+    scan
+}
+
+/// Everything a durable run counted about journaling, checkpointing
+/// and (on resume) recovery.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Whether this run resumed from a crashed predecessor.
+    pub resumed: bool,
+    /// `(nest, step)` boundary the run restarted from.
+    pub boundary: Option<(usize, u64)>,
+    /// Journal intents rolled back (pre-images restored) before the
+    /// restart.
+    pub rolled_back_tiles: u64,
+    /// Rolled-back intents per array index.
+    pub rolled_back_by_array: BTreeMap<u32, u64>,
+    /// Tile steps skipped because the boundary already covered them.
+    pub skipped_steps: u64,
+    /// Tile steps actually executed by this run.
+    pub executed_steps: u64,
+    /// Journal intents appended by this run.
+    pub journal_intents: u64,
+    /// Journal commits appended by this run.
+    pub journal_commits: u64,
+    /// Checkpoint manifest records appended by this run.
+    pub checkpoints: u64,
+    /// Checksum-verification failures observed by this run's reads.
+    pub corrupt_reads: u64,
+    /// Whether recovery dropped a torn journal or manifest tail.
+    pub torn_tail: bool,
+}
+
+impl RecoveryReport {
+    /// Registers the recovery counters with `kernel` / `version`
+    /// labels, following the repo's metrics naming scheme.
+    pub fn register_into(&self, registry: &Registry, kernel: &str, version: &str) {
+        let labels = &[("kernel", kernel), ("version", version)][..];
+        let c = |name: &str, v: u64| registry.counter_add(name, labels, v);
+        c("journal_intents_total", self.journal_intents);
+        c("journal_commits_total", self.journal_commits);
+        c("checkpoints_total", self.checkpoints);
+        c("recovery_replayed_tiles_total", self.rolled_back_tiles);
+        c("recovery_skipped_steps_total", self.skipped_steps);
+        c("corrupt_reads_total", self.corrupt_reads);
+    }
+
+    /// A compact multi-line text report for `inspect --recovery`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.resumed {
+            let (nest, step) = self.boundary.unwrap_or((0, 0));
+            out.push_str(&format!(
+                "  resume: nest {nest} step {step}, {} tiles rolled back, {} steps skipped{}\n",
+                self.rolled_back_tiles,
+                self.skipped_steps,
+                if self.torn_tail {
+                    " (torn log tail dropped)"
+                } else {
+                    ""
+                },
+            ));
+        } else {
+            out.push_str("  fresh run: no recovery needed\n");
+        }
+        out.push_str(&format!(
+            "  journal: {} intents, {} commits, {} checkpoints\n",
+            self.journal_intents, self.journal_commits, self.checkpoints,
+        ));
+        out.push_str(&format!(
+            "  integrity: {} corrupt reads detected, {} steps executed\n",
+            self.corrupt_reads, self.executed_steps,
+        ));
+        out
+    }
+}
+
+/// Result of a durable functional run: the functional result plus the
+/// recovery report and the fault/checksum observability handles.
+#[derive(Debug)]
+pub struct DurableOutcome {
+    /// Contents and per-array profiles, as
+    /// [`run_functional_on`](crate::exec::run_functional_on) reports
+    /// them.
+    pub run: FunctionalRun,
+    /// Journal / checkpoint / recovery counters.
+    pub report: RecoveryReport,
+    /// Per-array fault handle when the array was fault-wrapped.
+    pub fault_handles: Vec<Option<FaultHandle>>,
+    /// Per-array checksum counters.
+    pub checksum_handles: Vec<ChecksumHandle>,
+}
+
+/// Result of a durable pipelined run.
+#[derive(Debug)]
+pub struct PipelinedDurableOutcome {
+    /// The pipelined result (bit-equal to the synchronous executor),
+    /// with the durability counters folded into its
+    /// [`PipelineStats`](ooc_sched::PipelineStats).
+    pub run: PipelinedRun,
+    /// Journal / checkpoint / recovery counters.
+    pub report: RecoveryReport,
+    /// Per-array fault handle when the array was fault-wrapped.
+    pub fault_handles: Vec<Option<FaultHandle>>,
+    /// Per-array checksum counters.
+    pub checksum_handles: Vec<ChecksumHandle>,
+}
+
+/// Per-array upper bound on journal intents between consecutive
+/// checkpoint watermarks of a completed run — the "one checkpoint
+/// interval" budget recovery must stay within.
+#[must_use]
+pub fn max_intents_per_interval(scan: &JournalScan, watermarks: &[u64]) -> BTreeMap<u32, u64> {
+    let mut marks: Vec<u64> = watermarks.to_vec();
+    marks.sort_unstable();
+    marks.dedup();
+    marks.push(u64::MAX);
+    let mut out: BTreeMap<u32, u64> = BTreeMap::new();
+    for win in marks.windows(2) {
+        let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+        for w in scan.intents() {
+            if w.seq >= win[0] && w.seq < win[1] {
+                *counts.entry(w.array).or_default() += 1;
+            }
+        }
+        for (a, n) in counts {
+            let e = out.entry(a).or_default();
+            *e = (*e).max(n);
+        }
+    }
+    out
+}
+
+/// The durability fence handed to `WriteBehind`: after the sink lands
+/// a tile's data, commit the journal intent the sink recorded for it —
+/// so `wait_clear`/`flush` reporting a region clear implies its commit
+/// record is durably in the journal.
+struct JournalFence {
+    journal: SharedJournal,
+    pending: Arc<Mutex<BTreeMap<TileId, Vec<u64>>>>,
+}
+
+impl DurabilityFence for JournalFence {
+    fn commit(&mut self, id: &TileId) -> io::Result<()> {
+        let seq = {
+            let mut p = self.pending.lock().expect("pending intents");
+            p.get_mut(id).and_then(|v| {
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(v.remove(0))
+                }
+            })
+        };
+        if let Some(seq) = seq {
+            self.journal.commit(seq)?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared durable-run state: the journal writer, the manifest log,
+/// the resume boundary, and the counters both executors fill.
+pub(crate) struct DurableSession {
+    /// The shared journal writer (write path + durability fence).
+    pub(crate) journal: SharedJournal,
+    manifest: Box<dyn LogStore>,
+    /// Durability knobs.
+    pub(crate) cfg: DurabilityConfig,
+    boundary: Option<Boundary>,
+    /// Whether seeding is already durable (resume) and must be skipped.
+    pub(crate) skip_seed: bool,
+    rollback_intents: Vec<WriteIntent>,
+    /// Intent sequences awaiting their write-behind fence commit.
+    pub(crate) pending: Arc<Mutex<BTreeMap<TileId, Vec<u64>>>>,
+    /// Counters filled as the run progresses.
+    pub(crate) report: RecoveryReport,
+}
+
+impl DurableSession {
+    fn fresh(journal: SharedJournal, manifest: Box<dyn LogStore>, cfg: DurabilityConfig) -> Self {
+        DurableSession {
+            journal,
+            manifest,
+            cfg,
+            boundary: None,
+            skip_seed: false,
+            rollback_intents: Vec::new(),
+            pending: Arc::default(),
+            report: RecoveryReport::default(),
+        }
+    }
+
+    fn resumed(
+        journal: SharedJournal,
+        manifest: Box<dyn LogStore>,
+        cfg: DurabilityConfig,
+        boundary: Boundary,
+        rollback_intents: Vec<WriteIntent>,
+        torn_tail: bool,
+    ) -> Self {
+        DurableSession {
+            journal,
+            manifest,
+            cfg,
+            boundary: Some(boundary),
+            skip_seed: true,
+            rollback_intents,
+            pending: Arc::default(),
+            report: RecoveryReport {
+                resumed: true,
+                boundary: Some((boundary.nest, boundary.step)),
+                torn_tail,
+                ..RecoveryReport::default()
+            },
+        }
+    }
+
+    /// Appends the `S` (seeded) milestone for fresh runs; a resumed
+    /// run's seeding is already durable.
+    pub(crate) fn begin(&mut self) -> io::Result<()> {
+        if self.skip_seed {
+            return Ok(());
+        }
+        let wm = self.journal.next_seq();
+        self.manifest.append(format!("S {wm}\n").as_bytes())
+    }
+
+    /// Rolls back every post-watermark intent through `write`
+    /// (restoring pre-images in reverse sequence order), then records
+    /// the counts and emits a recovery explain.
+    pub(crate) fn rollback_now(&mut self, write: &mut UndoWriter<'_>) -> io::Result<()> {
+        if self.rollback_intents.is_empty() {
+            return Ok(());
+        }
+        let _span = ooc_trace::span("recovery", "rollback");
+        let intents = std::mem::take(&mut self.rollback_intents);
+        let refs: Vec<&WriteIntent> = intents.iter().collect();
+        let n = rollback(&refs, write)?;
+        let mut by_array: BTreeMap<u32, u64> = BTreeMap::new();
+        for w in &intents {
+            *by_array.entry(w.array).or_default() += 1;
+        }
+        self.report.rolled_back_tiles = n;
+        self.report.rolled_back_by_array = by_array;
+        if ooc_trace::enabled() {
+            let (nest, step) = self.report.boundary.unwrap_or((0, 0));
+            ooc_trace::explain(
+                ooc_trace::Explain::new(
+                    "recovery",
+                    "resume",
+                    format!("roll back {n} tiles, restart nest {nest} step {step}"),
+                )
+                .detail("rolled_back_tiles", n.to_string())
+                .detail("torn_tail", self.report.torn_tail.to_string()),
+            );
+        }
+        Ok(())
+    }
+
+    /// `true` when the boundary already covers all of nest `ni`.
+    pub(crate) fn skip_nest(&self, ni: usize) -> bool {
+        self.boundary.is_some_and(|b| ni < b.nest)
+    }
+
+    /// Steps of nest `ni` already durable (skip without executing).
+    pub(crate) fn start_step(&self, ni: usize) -> u64 {
+        match self.boundary {
+            Some(b) if b.nest == ni => b.step,
+            _ => 0,
+        }
+    }
+
+    /// Appends a `K nest step watermark` checkpoint record. Callers
+    /// must have durably flushed all written tiles first.
+    pub(crate) fn checkpoint(&mut self, nest: usize, step: u64) -> io::Result<()> {
+        let wm = self.journal.next_seq();
+        self.manifest
+            .append(format!("K {nest} {step} {wm}\n").as_bytes())?;
+        self.report.checkpoints += 1;
+        if ooc_trace::enabled() {
+            ooc_trace::instant(
+                "recovery",
+                "checkpoint",
+                vec![
+                    ("nest", (nest as u64).into()),
+                    ("step", step.into()),
+                    ("watermark", wm.into()),
+                ],
+            );
+        }
+        Ok(())
+    }
+
+    /// A write-behind fence committing this session's intents.
+    pub(crate) fn fence(&self) -> Box<dyn DurabilityFence> {
+        Box::new(JournalFence {
+            journal: self.journal.clone(),
+            pending: Arc::clone(&self.pending),
+        })
+    }
+}
+
+type BuiltArrays = (
+    Vec<OocArray<DurableStore>>,
+    Vec<Option<FaultHandle>>,
+    Vec<ChecksumHandle>,
+);
+
+/// Assembles one array's durable store stack: medium data store,
+/// optionally fault-wrapped (faults **under** the checksum layer, so
+/// torn writes are detectable), behind the CRC sidecar verifier.
+fn durable_store(
+    medium: &mut dyn DurableMedium,
+    a: usize,
+    name: &str,
+    len: u64,
+    dur: &DurabilityConfig,
+    faults: &dyn Fn(usize) -> Option<FaultConfig>,
+) -> io::Result<(DurableStore, Option<FaultHandle>, ChecksumHandle)> {
+    let raw = medium.data(a, name, len)?;
+    let (data, fh): (Box<dyn Store + Send>, Option<FaultHandle>) = match faults(a) {
+        Some(fc) => {
+            let fs = FaultStore::new(raw, fc);
+            let h = fs.handle();
+            (Box::new(fs), Some(h))
+        }
+        None => (raw, None),
+    };
+    let side = medium.sidecar(a, name, DurableStore::sidecar_len(len, dur.chunk_elems))?;
+    let cs = ChecksummedStore::attach(data, side, dur.chunk_elems)?;
+    let ch = cs.handle();
+    Ok((cs, fh, ch))
+}
+
+fn build_arrays(
+    tp: &TiledProgram,
+    params: &[i64],
+    cfg: &FunctionalConfig,
+    dur: &DurabilityConfig,
+    medium: &mut dyn DurableMedium,
+    faults: &dyn Fn(usize) -> Option<FaultConfig>,
+) -> io::Result<BuiltArrays> {
+    let mut arrays = Vec::with_capacity(tp.program.arrays.len());
+    let mut fault_handles = Vec::new();
+    let mut checksum_handles = Vec::new();
+    for (a, decl) in tp.program.arrays.iter().enumerate() {
+        let dims: Vec<i64> = decl.dims.iter().map(|d| d.resolve(params)).collect();
+        let len = u64::try_from(dims.iter().product::<i64>()).expect("positive size");
+        let (store, fh, ch) = durable_store(medium, a, &decl.name, len, dur, faults)?;
+        fault_handles.push(fh);
+        checksum_handles.push(ch);
+        arrays.push(OocArray::new(
+            &decl.name,
+            &dims,
+            tp.layouts[a].clone(),
+            store,
+            cfg.runtime,
+        ));
+    }
+    Ok((arrays, fault_handles, checksum_handles))
+}
+
+/// Journaled tile write-back: intent (with the staged pre-image) →
+/// data write → commit.
+fn durable_write(
+    arrays: &mut [OocArray<DurableStore>],
+    a: ArrayId,
+    journal: &SharedJournal,
+    tile: &Tile,
+) -> io::Result<()> {
+    let pre = arrays[a.0].read_tile(tile.region())?;
+    let seq = journal.intent(
+        u32::try_from(a.0).expect("array index"),
+        tile.region(),
+        tile.data(),
+        pre.data(),
+    )?;
+    arrays[a.0].write_tile(tile)?;
+    journal.commit(seq)
+}
+
+/// Durably flushes every written resident tile and clears the whole
+/// residency map (so checkpoint boundaries carry no in-memory state —
+/// what a resumed run cannot reconstruct).
+fn flush_written(
+    arrays: &mut [OocArray<DurableStore>],
+    staging: &Staging,
+    tiles: &mut BTreeMap<(ArrayId, usize), Tile>,
+    journal: &SharedJournal,
+) -> io::Result<()> {
+    for ((a, slot), tile) in std::mem::take(tiles) {
+        if staging.slot_written(a, slot) {
+            durable_write(arrays, a, journal, &tile)?;
+        }
+    }
+    Ok(())
+}
+
+/// The shared durable tile walk of [`run_functional_durable`] and
+/// [`resume_functional`]: the synchronous executor's walk with
+/// journaled write-back, periodic checkpoints at tile-row boundaries,
+/// and boundary-driven step skipping on resume. Row accounting runs
+/// identically for skipped and executed steps, so a resumed run
+/// checkpoints at exactly the same `(nest, step)` points as an
+/// uninterrupted one.
+fn run_durable_loop(
+    tp: &TiledProgram,
+    params: &[i64],
+    cfg: &FunctionalConfig,
+    arrays: &mut [OocArray<DurableStore>],
+    session: &mut DurableSession,
+) -> io::Result<()> {
+    let total_elems = u64::try_from(tp.program.total_elements(params)).expect("size");
+    let budget = MemoryBudget::paper_fraction(total_elems, cfg.memory_fraction);
+    let interval = session.cfg.checkpoint_rows;
+
+    for (ni, tnest) in tp.nests.iter().enumerate() {
+        if session.skip_nest(ni) {
+            continue;
+        }
+        let nest = &tnest.nest;
+        let Some(ranges) = level_ranges(nest, params) else {
+            session.checkpoint(ni + 1, 0)?;
+            continue;
+        };
+        let spans = plan_spans(
+            nest,
+            tnest.strategy,
+            &tp.layouts,
+            &tp.program,
+            params,
+            &ranges,
+            &budget,
+            IoWeights::default(),
+            cfg.runtime.max_call_elems,
+        );
+        let (reads, writes) = rw_arrays(nest);
+        let touched: Vec<ArrayId> = {
+            let mut t = reads.clone();
+            for w in &writes {
+                if !t.contains(w) {
+                    t.push(*w);
+                }
+            }
+            t
+        };
+        let staging = Staging::for_nest(nest, &writes, &touched);
+        let bounds = nest.bounds.loop_bounds();
+        let start_g = session.start_step(ni);
+        let mut g: u64 = 0;
+        let mut rows_done: u64 = 0;
+        let _nest_span = ooc_trace::span("recovery", &format!("nest:{}", nest.name));
+
+        for _ in 0..nest.iterations {
+            let mut tiles: BTreeMap<(ArrayId, usize), Tile> = BTreeMap::new();
+            let mut last_row_lo: Option<i64> = None;
+            let mut io_err: Option<io::Error> = None;
+            walk_tiles(
+                &ranges,
+                &tnest.tiled_levels,
+                &spans,
+                ranges[0],
+                &mut |lo, hi| {
+                    if io_err.is_some() {
+                        return;
+                    }
+                    // Row accounting first — identical for skipped and
+                    // executed steps.
+                    if last_row_lo != Some(lo[0]) {
+                        if last_row_lo.is_some() {
+                            rows_done += 1;
+                            if g > start_g && interval > 0 && rows_done % interval == 0 {
+                                if let Err(e) =
+                                    flush_written(arrays, &staging, &mut tiles, &session.journal)
+                                        .and_then(|()| session.checkpoint(ni, g))
+                                {
+                                    io_err = Some(e);
+                                    return;
+                                }
+                            }
+                        }
+                        last_row_lo = Some(lo[0]);
+                    }
+                    if g < start_g {
+                        g += 1;
+                        session.report.skipped_steps += 1;
+                        return;
+                    }
+                    for ((a, slot), region) in staging.regions(nest, lo, hi) {
+                        let region = region.clamped(arrays[a.0].dims());
+                        let key = (a, slot);
+                        let stale = tiles.get(&key).is_none_or(|t| t.region() != &region);
+                        if !stale {
+                            continue;
+                        }
+                        if let Some(old) = tiles.remove(&key) {
+                            if staging.slot_written(a, slot) {
+                                if let Err(e) = durable_write(arrays, a, &session.journal, &old) {
+                                    io_err = Some(e);
+                                    return;
+                                }
+                            }
+                        }
+                        match arrays[a.0].read_tile(&region) {
+                            Ok(t) => {
+                                tiles.insert(key, t);
+                            }
+                            Err(e) => {
+                                io_err = Some(e);
+                                return;
+                            }
+                        }
+                    }
+                    let mut iter: Vec<i64> = Vec::with_capacity(nest.depth);
+                    exec_box(
+                        nest, &bounds, params, lo, hi, &mut iter, &mut tiles, &staging,
+                    );
+                    session.report.executed_steps += 1;
+                    g += 1;
+                },
+            );
+            if let Some(e) = io_err {
+                return Err(e);
+            }
+            // End-of-iteration boundary: flush + checkpoint record.
+            if g > start_g {
+                flush_written(arrays, &staging, &mut tiles, &session.journal)?;
+                session.checkpoint(ni, g)?;
+            }
+        }
+        session.checkpoint(ni + 1, 0)?;
+    }
+    Ok(())
+}
+
+fn finish_functional(
+    mut arrays: Vec<OocArray<DurableStore>>,
+    session: DurableSession,
+    fault_handles: Vec<Option<FaultHandle>>,
+    checksum_handles: Vec<ChecksumHandle>,
+) -> io::Result<DurableOutcome> {
+    let profiles: Vec<ArrayProfile> = arrays
+        .iter()
+        .map(|arr| ArrayProfile {
+            name: arr.name().to_string(),
+            stats: arr.stats(),
+            measured: arr.measured(),
+            accesses: arr.access_log(),
+        })
+        .collect();
+    let mut data = Vec::with_capacity(arrays.len());
+    for arr in arrays.iter_mut() {
+        let region = Region::full(arr.dims());
+        data.push(arr.read_tile(&region)?.data().to_vec());
+    }
+    let mut report = session.report;
+    let (intents, commits) = session.journal.written();
+    report.journal_intents = intents;
+    report.journal_commits = commits;
+    report.corrupt_reads = checksum_handles
+        .iter()
+        .map(ChecksumHandle::corrupt_reads)
+        .sum();
+    Ok(DurableOutcome {
+        run: FunctionalRun { data, profiles },
+        report,
+        fault_handles,
+        checksum_handles,
+    })
+}
+
+/// Runs a tiled program durably from scratch: truncates the journal
+/// and manifest, seeds the arrays, then executes the synchronous tile
+/// walk with journaled write-back and periodic checkpoints.
+/// `faults(a)` optionally fault-wraps array `a`'s data store (under
+/// the checksum layer) — crash modes return a typed non-transient
+/// error; [`resume_functional`] picks the run back up.
+///
+/// # Errors
+/// Propagates store/journal I/O errors, including injected crashes
+/// (check with [`ooc_runtime::is_crashed`]).
+///
+/// # Panics
+/// Panics on internal inconsistencies (compiler bugs), like
+/// [`run_functional_on`](crate::exec::run_functional_on).
+pub fn run_functional_durable(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &FunctionalConfig,
+    dur: &DurabilityConfig,
+    medium: &mut dyn DurableMedium,
+    faults: &dyn Fn(usize) -> Option<FaultConfig>,
+) -> io::Result<DurableOutcome> {
+    let _span = ooc_trace::span("recovery", "run-functional-durable");
+    let mut jlog = medium.journal()?;
+    jlog.truncate()?;
+    let mut mlog = medium.manifest()?;
+    mlog.truncate()?;
+    let (mut arrays, fault_handles, checksum_handles) =
+        build_arrays(tp, params, cfg, dur, medium, faults)?;
+    for (a, arr) in arrays.iter_mut().enumerate() {
+        arr.initialize(|idx| init(ArrayId(a), idx))?;
+        arr.reset_all_metrics();
+    }
+    let mut session = DurableSession::fresh(SharedJournal::new(Journal::new(jlog)), mlog, *dur);
+    session.begin()?;
+    run_durable_loop(tp, params, cfg, &mut arrays, &mut session)?;
+    finish_functional(arrays, session, fault_handles, checksum_handles)
+}
+
+/// Resumes a crashed durable run: scans the manifest for the last
+/// consistent boundary, rolls back every journal intent at or past its
+/// watermark (restoring pre-images, which also heals torn checksums),
+/// and restarts the tile walk from the boundary. With no manifest
+/// boundary (crash before seeding completed) the run restarts from
+/// scratch. The recovered result is bit-equal to an uninterrupted run.
+///
+/// # Errors
+/// Propagates store/journal I/O errors, including injected crashes on
+/// a re-crashed resume.
+///
+/// # Panics
+/// Panics on internal inconsistencies (compiler bugs).
+pub fn resume_functional(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &FunctionalConfig,
+    dur: &DurabilityConfig,
+    medium: &mut dyn DurableMedium,
+    faults: &dyn Fn(usize) -> Option<FaultConfig>,
+) -> io::Result<DurableOutcome> {
+    let mscan = parse_manifest(&medium.manifest()?.read_all()?);
+    let Some(boundary) = mscan.boundary() else {
+        // Nothing durable yet: the crash predated the seeded
+        // milestone; a fresh run re-seeds everything.
+        return run_functional_durable(tp, params, init, cfg, dur, medium, faults);
+    };
+    let _span = ooc_trace::span("recovery", "resume-functional");
+    let jlog = medium.journal()?;
+    let jscan = parse_journal(&jlog.read_all()?);
+    let (mut arrays, fault_handles, checksum_handles) =
+        build_arrays(tp, params, cfg, dur, medium, faults)?;
+    for arr in arrays.iter_mut() {
+        arr.reset_all_metrics();
+    }
+    let mut session = DurableSession::resumed(
+        SharedJournal::new(Journal::resume(jlog, jscan.next_seq)),
+        medium.manifest()?,
+        *dur,
+        boundary,
+        jscan
+            .intents_after(boundary.watermark)
+            .into_iter()
+            .cloned()
+            .collect(),
+        jscan.torn_tail || mscan.torn_tail,
+    );
+    session.rollback_now(&mut |a, region, pre| {
+        let mut t = Tile::zeroed(region.clone());
+        if t.data().len() != pre.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "journal pre-image length mismatch",
+            ));
+        }
+        t.data_mut().copy_from_slice(pre);
+        arrays[a as usize].write_tile(&t)
+    })?;
+    run_durable_loop(tp, params, cfg, &mut arrays, &mut session)?;
+    finish_functional(arrays, session, fault_handles, checksum_handles)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_pipelined(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &PipelineConfig,
+    dur: &DurabilityConfig,
+    medium: &mut dyn DurableMedium,
+    faults: &dyn Fn(usize) -> Option<FaultConfig>,
+    mut session: DurableSession,
+) -> io::Result<PipelinedDurableOutcome> {
+    let mut fault_handles: Vec<Option<FaultHandle>> = Vec::new();
+    let mut checksum_handles: Vec<ChecksumHandle> = Vec::new();
+    let mut run = crate::pipeline::exec_pipelined_inner(
+        tp,
+        params,
+        init,
+        cfg,
+        |a, name, len| {
+            let (store, fh, ch) = durable_store(medium, a, name, len, dur, faults)?;
+            fault_handles.push(fh);
+            checksum_handles.push(ch);
+            Ok(store)
+        },
+        Some(&mut session),
+    )?;
+    let (intents, commits) = session.journal.written();
+    let mut report = session.report;
+    report.journal_intents = intents;
+    report.journal_commits = commits;
+    report.corrupt_reads = checksum_handles
+        .iter()
+        .map(ChecksumHandle::corrupt_reads)
+        .sum();
+    run.pipeline.journal_commits = commits;
+    run.pipeline.recovery_replayed_tiles = report.rolled_back_tiles;
+    run.pipeline.corrupt_reads = report.corrupt_reads;
+    Ok(PipelinedDurableOutcome {
+        run,
+        report,
+        fault_handles,
+        checksum_handles,
+    })
+}
+
+/// [`run_functional_durable`]'s pipelined sibling: the asynchronous
+/// tile pipeline with journaled write-back (the write-behind sink
+/// journals each tile's intent and a [`DurabilityFence`] commits it
+/// before the tile settles), checkpoints at tile-row / iteration /
+/// nest boundaries, and crash recovery via [`resume_pipelined`].
+///
+/// # Errors
+/// Propagates store/journal I/O errors, including injected crashes.
+///
+/// # Panics
+/// Panics on internal inconsistencies (compiler bugs).
+pub fn exec_pipelined_durable(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &PipelineConfig,
+    dur: &DurabilityConfig,
+    medium: &mut dyn DurableMedium,
+    faults: &dyn Fn(usize) -> Option<FaultConfig>,
+) -> io::Result<PipelinedDurableOutcome> {
+    let _span = ooc_trace::span("recovery", "exec-pipelined-durable");
+    let mut jlog = medium.journal()?;
+    jlog.truncate()?;
+    let mut mlog = medium.manifest()?;
+    mlog.truncate()?;
+    let session = DurableSession::fresh(SharedJournal::new(Journal::new(jlog)), mlog, *dur);
+    drive_pipelined(tp, params, init, cfg, dur, medium, faults, session)
+}
+
+/// Resumes a crashed durable *pipelined* run from its last consistent
+/// checkpoint boundary, exactly like [`resume_functional`].
+///
+/// # Errors
+/// Propagates store/journal I/O errors, including injected crashes on
+/// a re-crashed resume.
+///
+/// # Panics
+/// Panics on internal inconsistencies (compiler bugs).
+pub fn resume_pipelined(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &PipelineConfig,
+    dur: &DurabilityConfig,
+    medium: &mut dyn DurableMedium,
+    faults: &dyn Fn(usize) -> Option<FaultConfig>,
+) -> io::Result<PipelinedDurableOutcome> {
+    let mscan = parse_manifest(&medium.manifest()?.read_all()?);
+    let Some(boundary) = mscan.boundary() else {
+        return exec_pipelined_durable(tp, params, init, cfg, dur, medium, faults);
+    };
+    let _span = ooc_trace::span("recovery", "resume-pipelined");
+    let jlog = medium.journal()?;
+    let jscan = parse_journal(&jlog.read_all()?);
+    let session = DurableSession::resumed(
+        SharedJournal::new(Journal::resume(jlog, jscan.next_seq)),
+        medium.manifest()?,
+        *dur,
+        boundary,
+        jscan
+            .intents_after(boundary.watermark)
+            .into_iter()
+            .cloned()
+            .collect(),
+        jscan.torn_tail || mscan.torn_tail,
+    );
+    drive_pipelined(tp, params, init, cfg, dur, medium, faults, session)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_functional_on;
+    use crate::optimizer::{optimize, OptimizeOptions};
+    use crate::tiling::TilingStrategy;
+    use ooc_ir::{ArrayRef, Expr, LoopNest, Program, Statement};
+    use ooc_runtime::{is_crashed, testing::TempDir, CrashMode};
+
+    fn paper_example() -> Program {
+        let mut p = Program::new(&["N"]);
+        let u = p.declare_array("U", 2, 0);
+        let v = p.declare_array("V", 2, 0);
+        let w = p.declare_array("W", 2, 0);
+        let s1 = Statement::assign(
+            ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+            Expr::Add(
+                Box::new(Expr::Ref(ArrayRef::new(
+                    v,
+                    &[vec![0, 1], vec![1, 0]],
+                    vec![0, 0],
+                ))),
+                Box::new(Expr::Const(1.0)),
+            ),
+        );
+        p.add_nest(LoopNest::rectangular("nest1", 2, 1, 0, vec![s1]));
+        let s2 = Statement::assign(
+            ArrayRef::new(v, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+            Expr::Add(
+                Box::new(Expr::Ref(ArrayRef::new(
+                    w,
+                    &[vec![0, 1], vec![1, 0]],
+                    vec![0, 0],
+                ))),
+                Box::new(Expr::Const(2.0)),
+            ),
+        );
+        p.add_nest(LoopNest::rectangular("nest2", 2, 1, 0, vec![s2]));
+        p
+    }
+
+    fn tiled() -> TiledProgram {
+        let p = paper_example();
+        let opt = optimize(&p, &OptimizeOptions::default());
+        TiledProgram::from_optimized(&opt, TilingStrategy::OutOfCore)
+    }
+
+    fn seed(a: ArrayId, idx: &[i64]) -> f64 {
+        (a.0 as f64 + 1.0) * 1000.0 + idx.iter().fold(0.0, |acc, &x| acc * 17.0 + x as f64)
+    }
+
+    fn reference(tp: &TiledProgram, params: &[i64]) -> Vec<Vec<f64>> {
+        run_functional_on(
+            tp,
+            params,
+            &seed,
+            &FunctionalConfig::with_fraction(16),
+            |_, _, len| Ok(MemStore::new(len)),
+        )
+        .expect("reference run")
+        .data
+    }
+
+    fn fcfg() -> FunctionalConfig {
+        FunctionalConfig::with_fraction(16)
+    }
+
+    #[test]
+    fn fresh_durable_run_is_bit_equal_and_fully_committed() {
+        let tp = tiled();
+        let params = [10i64];
+        let mut medium = MemMedium::new();
+        let out = run_functional_durable(
+            &tp,
+            &params,
+            &seed,
+            &fcfg(),
+            &DurabilityConfig::default(),
+            &mut medium,
+            &|_| None,
+        )
+        .expect("durable run");
+        assert_eq!(out.run.data, reference(&tp, &params));
+        assert!(!out.report.resumed);
+        assert!(out.report.checkpoints > 0, "{:?}", out.report);
+        assert!(out.report.journal_intents > 0);
+        assert_eq!(out.report.journal_intents, out.report.journal_commits);
+        // A completed run's journal has no uncommitted intents.
+        let scan = parse_journal(&medium.journal_bytes());
+        assert!(scan.uncommitted().is_empty());
+        // The manifest ends on the program-done record.
+        let b = parse_manifest(&medium.manifest_bytes())
+            .boundary()
+            .expect("boundary");
+        assert_eq!((b.nest, b.step), (tp.nests.len(), 0));
+    }
+
+    #[test]
+    fn crash_then_resume_recovers_bit_equal_with_bounded_replay() {
+        let tp = tiled();
+        let params = [10i64];
+        let expected = reference(&tp, &params);
+        let dur = DurabilityConfig::default();
+
+        // Baseline durable run with a rate-0 fault wrap to count the
+        // store calls each array sees.
+        let mut base = MemMedium::new();
+        let baseline =
+            run_functional_durable(&tp, &params, &seed, &fcfg(), &dur, &mut base, &|_| {
+                Some(FaultConfig::transient(7, 0))
+            })
+            .expect("baseline");
+        let calls: Vec<u64> = baseline
+            .fault_handles
+            .iter()
+            .map(|h| h.as_ref().expect("wrapped").calls())
+            .collect();
+        let base_scan = parse_journal(&base.journal_bytes());
+        let marks = parse_manifest(&base.manifest_bytes()).watermarks();
+        let bound = max_intents_per_interval(&base_scan, &marks);
+
+        for frac in [4u64, 2, 3] {
+            for (target, &tcalls) in calls.iter().enumerate() {
+                if tcalls == 0 {
+                    continue;
+                }
+                let at = tcalls * (frac - 1) / frac;
+                let mut medium = MemMedium::new();
+                let err =
+                    run_functional_durable(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|a| {
+                        (a == target).then(|| FaultConfig::crash_at(at))
+                    })
+                    .expect_err("crash injected");
+                assert!(is_crashed(&err), "unexpected error: {err}");
+
+                let out =
+                    resume_functional(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|_| None)
+                        .expect("resume");
+                assert_eq!(out.run.data, expected, "target {target} at {at}");
+                // Replay is bounded by one checkpoint interval per array.
+                for (a, n) in &out.report.rolled_back_by_array {
+                    let max = bound.get(a).copied().unwrap_or(0);
+                    assert!(
+                        *n <= max,
+                        "array {a}: rolled back {n} > interval bound {max}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torn_write_is_detected_and_healed_on_resume() {
+        let tp = tiled();
+        let params = [9i64];
+        let expected = reference(&tp, &params);
+        let dur = DurabilityConfig::default();
+        let mut base = MemMedium::new();
+        let baseline =
+            run_functional_durable(&tp, &params, &seed, &fcfg(), &dur, &mut base, &|_| {
+                Some(FaultConfig::transient(7, 0))
+            })
+            .expect("baseline");
+        let calls = baseline.fault_handles[0].as_ref().expect("wrapped").calls();
+
+        let mut medium = MemMedium::new();
+        let err = run_functional_durable(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|a| {
+            (a == 0).then(|| FaultConfig::torn_write(calls / 2, 500))
+        })
+        .expect_err("torn crash injected");
+        assert!(is_crashed(&err));
+
+        // Before recovery, the torn region fails checksum verification
+        // when read back; after rollback the resumed run is bit-equal.
+        let out = resume_functional(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|_| None)
+            .expect("resume");
+        assert_eq!(out.run.data, expected);
+        assert!(out.report.resumed);
+    }
+
+    #[test]
+    fn resume_of_a_completed_run_skips_everything() {
+        let tp = tiled();
+        let params = [8i64];
+        let mut medium = MemMedium::new();
+        let dur = DurabilityConfig::default();
+        let first =
+            run_functional_durable(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|_| None)
+                .expect("first run");
+        let out = resume_functional(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|_| None)
+            .expect("resume of complete run");
+        assert_eq!(out.run.data, first.run.data);
+        assert!(out.report.resumed);
+        assert_eq!(out.report.executed_steps, 0, "{:?}", out.report);
+        assert_eq!(out.report.journal_intents, 0);
+    }
+
+    #[test]
+    fn resume_with_empty_manifest_reruns_from_scratch() {
+        let tp = tiled();
+        let params = [8i64];
+        let mut medium = MemMedium::new();
+        let out = resume_functional(
+            &tp,
+            &params,
+            &seed,
+            &fcfg(),
+            &DurabilityConfig::default(),
+            &mut medium,
+            &|_| None,
+        )
+        .expect("resume with no prior state");
+        assert!(!out.report.resumed, "fresh rerun, not a resume");
+        assert_eq!(out.run.data, reference(&tp, &params));
+    }
+
+    #[test]
+    fn dir_medium_crash_and_resume_on_files() {
+        let tmp = TempDir::new("ooc-recovery").expect("tmp");
+        let tp = tiled();
+        let params = [8i64];
+        let dur = DurabilityConfig::default();
+        let mut medium = DirMedium::new(tmp.path());
+        let err = run_functional_durable(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|a| {
+            (a == 0).then(|| FaultConfig::crash_at(20))
+        })
+        .expect_err("crash injected");
+        assert!(is_crashed(&err));
+        assert!(tmp.path().join("journal.log").exists());
+        assert!(tmp.path().join("manifest.log").exists());
+        let out = resume_functional(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|_| None)
+            .expect("resume from files");
+        assert_eq!(out.run.data, reference(&tp, &params));
+    }
+
+    #[test]
+    fn pipelined_durable_fresh_and_crash_resume() {
+        let tp = tiled();
+        let params = [10i64];
+        let expected = reference(&tp, &params);
+        let dur = DurabilityConfig::default();
+        let pcfg = PipelineConfig {
+            functional: fcfg(),
+            ..PipelineConfig::default()
+        };
+
+        let mut medium = MemMedium::new();
+        let fresh =
+            exec_pipelined_durable(&tp, &params, &seed, &pcfg, &dur, &mut medium, &|_| None)
+                .expect("fresh pipelined durable");
+        assert_eq!(fresh.run.run.data, expected);
+        assert!(fresh.report.journal_commits > 0);
+        assert_eq!(
+            fresh.run.pipeline.journal_commits,
+            fresh.report.journal_commits
+        );
+
+        // Crash somewhere in the middle of the store-call stream, then
+        // recover. (Thread interleaving makes the exact crash site
+        // nondeterministic; recovery must work regardless.)
+        let mut medium = MemMedium::new();
+        let err = exec_pipelined_durable(&tp, &params, &seed, &pcfg, &dur, &mut medium, &|a| {
+            (a == 0).then(|| FaultConfig::crash_at(25))
+        })
+        .expect_err("crash injected");
+        assert!(is_crashed(&err), "unexpected error: {err}");
+        let out = resume_pipelined(&tp, &params, &seed, &pcfg, &dur, &mut medium, &|_| None)
+            .expect("pipelined resume");
+        assert_eq!(out.run.run.data, expected);
+        assert!(out.report.resumed);
+        assert_eq!(
+            out.run.pipeline.recovery_replayed_tiles,
+            out.report.rolled_back_tiles
+        );
+    }
+
+    #[test]
+    fn crash_mode_replay_is_deterministic_functionally() {
+        // The synchronous durable executor is single-threaded: the same
+        // crash config must fail at the same call with the same partial
+        // journal.
+        let tp = tiled();
+        let params = [9i64];
+        let dur = DurabilityConfig::default();
+        let journals: Vec<Vec<u8>> = (0..2)
+            .map(|_| {
+                let mut medium = MemMedium::new();
+                let err =
+                    run_functional_durable(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|a| {
+                        (a == 0).then(|| {
+                            FaultConfig::transient(3, 0).with_crash(CrashMode::CrashAt(35))
+                        })
+                    })
+                    .expect_err("crash injected");
+                assert!(is_crashed(&err));
+                medium.journal_bytes()
+            })
+            .collect();
+        assert_eq!(journals[0], journals[1], "crash replay diverged");
+    }
+
+    #[test]
+    fn manifest_parser_tolerates_torn_tail() {
+        let mut log = MemLog::new();
+        log.append(b"S 0\n").expect("append");
+        log.append(b"K 0 4 7\n").expect("append");
+        log.append(b"K 1 0 12\n").expect("append");
+        let full = log.snapshot();
+        let whole = parse_manifest(&full);
+        assert!(!whole.torn_tail);
+        assert_eq!(whole.records.len(), 3);
+        assert_eq!(
+            whole.boundary(),
+            Some(Boundary {
+                nest: 1,
+                step: 0,
+                watermark: 12
+            })
+        );
+        assert_eq!(whole.watermarks(), vec![0, 7, 12]);
+        for cut in 0..full.len() {
+            let scan = parse_manifest(&full[..cut]);
+            assert!(scan.records.len() <= 3);
+            // A torn manifest still yields the last *complete* record.
+            if cut <= 4 {
+                assert!(scan.boundary().is_none() || scan.records.len() == 1);
+            }
+        }
+        // Garbage line: dropped with everything after it.
+        log.append(b"garbage\nK 9 9 9\n").expect("append");
+        let scan = parse_manifest(&log.snapshot());
+        assert!(scan.torn_tail);
+        assert_eq!(scan.records.len(), 3);
+    }
+
+    #[test]
+    fn recovery_report_registers_and_renders() {
+        let report = RecoveryReport {
+            resumed: true,
+            boundary: Some((1, 4)),
+            rolled_back_tiles: 3,
+            skipped_steps: 8,
+            executed_steps: 12,
+            journal_intents: 20,
+            journal_commits: 20,
+            checkpoints: 5,
+            corrupt_reads: 1,
+            torn_tail: true,
+            ..RecoveryReport::default()
+        };
+        let r = Registry::new();
+        report.register_into(&r, "mxm", "c-opt");
+        let labels = &[("kernel", "mxm"), ("version", "c-opt")][..];
+        assert_eq!(
+            r.get("recovery_replayed_tiles_total", labels),
+            Some(ooc_metrics::Value::Counter(3))
+        );
+        assert_eq!(
+            r.get("journal_commits_total", labels),
+            Some(ooc_metrics::Value::Counter(20))
+        );
+        let text = report.render();
+        for needle in [
+            "resume: nest 1 step 4",
+            "3 tiles rolled back",
+            "torn log tail",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Tile-region integrity: [`ChecksummedStore`] pairs a data store
+//! with a CRC64 *sidecar* store and verifies every read against
+//! per-chunk checksums, so corrupt or torn data surfaces as a typed
+//! **corrupt** error ([`CorruptError`], [`is_corrupt`]) instead of
+//! silently wrong values.
+//!
+//! The store is divided into fixed-size element chunks; element `i`
+//! of the sidecar holds the CRC64 of chunk `i`'s raw bytes,
+//! bit-stored as an `f64` so the sidecar is itself an ordinary
+//! [`Store`] (in memory, in a file, shared — whatever matches the
+//! data store's persistence). A write lands in the data store
+//! *first* and only then refreshes the covering chunk checksums:
+//! a crash between the two steps leaves a detectable mismatch, which
+//! is exactly the property the recovery layer's torn-write detection
+//! relies on.
+//!
+//! Corrupt errors use [`io::ErrorKind::InvalidData`], which the
+//! runtime's [`RetryPolicy`](crate::array::RetryPolicy) classifies as
+//! non-transient — a corrupt read is never retried, it must be
+//! handled (rolled back) by the recovery layer.
+
+use crate::store::Store;
+use crate::trace::MeasuredIo;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected), table-driven.
+const POLY: u64 = 0xC96C_5795_D787_0F42;
+
+const fn build_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u64; 256] = build_table();
+
+/// CRC64 (CRC-64/XZ) of a byte slice.
+#[must_use]
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = TABLE[((crc ^ u64::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// CRC64 of a run of `f64`s, hashing each value's little-endian bit
+/// pattern — bit-exact, NaN-payload-preserving, allocation-free.
+#[must_use]
+pub fn crc64_f64s(values: &[f64]) -> u64 {
+    let mut crc = !0u64;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            crc = TABLE[((crc ^ u64::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+        }
+    }
+    !crc
+}
+
+/// Typed payload of a corrupt-read error: which chunk failed
+/// verification and the checksums that disagreed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptError {
+    /// Index of the failing chunk.
+    pub chunk: u64,
+    /// First element offset of the chunk.
+    pub offset: u64,
+    /// Chunk length in elements.
+    pub len: u64,
+    /// Checksum the sidecar recorded.
+    pub expected: u64,
+    /// Checksum of the data actually read.
+    pub actual: u64,
+}
+
+impl std::fmt::Display for CorruptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corrupt chunk {} (elems {}..{}): sidecar crc {:016x}, data crc {:016x}",
+            self.chunk,
+            self.offset,
+            self.offset + self.len,
+            self.expected,
+            self.actual
+        )
+    }
+}
+
+impl std::error::Error for CorruptError {}
+
+/// Wraps a [`CorruptError`] as a non-transient [`io::Error`].
+#[must_use]
+pub fn corrupt_error(detail: CorruptError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail)
+}
+
+/// Whether `e` is a checksum-verification failure from a
+/// [`ChecksummedStore`] (as opposed to a transient or crash fault).
+#[must_use]
+pub fn is_corrupt(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<CorruptError>())
+}
+
+#[derive(Debug, Default)]
+struct ChecksumCounters {
+    verified_chunks: AtomicU64,
+    corrupt_reads: AtomicU64,
+    chunk_updates: AtomicU64,
+}
+
+/// A cheap shared handle onto a [`ChecksummedStore`]'s verification
+/// counters, usable after the store moved into an array.
+#[derive(Debug, Clone)]
+pub struct ChecksumHandle(Arc<ChecksumCounters>);
+
+impl ChecksumHandle {
+    /// Chunks verified successfully so far.
+    #[must_use]
+    pub fn verified_chunks(&self) -> u64 {
+        self.0.verified_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Reads that failed verification (each counts once).
+    #[must_use]
+    pub fn corrupt_reads(&self) -> u64 {
+        self.0.corrupt_reads.load(Ordering::Relaxed)
+    }
+
+    /// Chunk checksums recomputed by writes.
+    #[must_use]
+    pub fn chunk_updates(&self) -> u64 {
+        self.0.chunk_updates.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`Store`] wrapper verifying every read against a per-chunk CRC64
+/// sidecar and refreshing the sidecar after every write. See the
+/// module docs for the torn-write detection argument.
+#[derive(Debug)]
+pub struct ChecksummedStore<S, C> {
+    data: S,
+    sidecar: C,
+    chunk_elems: u64,
+    counters: Arc<ChecksumCounters>,
+}
+
+impl<S: Store, C: Store> ChecksummedStore<S, C> {
+    /// Attaches `sidecar` to `data` with `chunk_elems`-element chunks,
+    /// trusting the sidecar's current contents (use [`Self::rebuild`]
+    /// to recompute them from the data).
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidInput`] when `chunk_elems` is zero or
+    /// the sidecar is too small to cover the data store.
+    pub fn attach(data: S, sidecar: C, chunk_elems: u64) -> io::Result<Self> {
+        if chunk_elems == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "chunk_elems must be positive",
+            ));
+        }
+        let chunks = data.len().div_ceil(chunk_elems);
+        if sidecar.len() < chunks {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "sidecar holds {} checksums, {} chunks needed",
+                    sidecar.len(),
+                    chunks
+                ),
+            ));
+        }
+        Ok(ChecksummedStore {
+            data,
+            sidecar,
+            chunk_elems,
+            counters: Arc::new(ChecksumCounters::default()),
+        })
+    }
+
+    /// Sidecar elements needed to cover `data_len` elements at
+    /// `chunk_elems`-element granularity.
+    #[must_use]
+    pub fn sidecar_len(data_len: u64, chunk_elems: u64) -> u64 {
+        data_len.div_ceil(chunk_elems.max(1)).max(1)
+    }
+
+    /// A shared handle onto the verification counters.
+    #[must_use]
+    pub fn handle(&self) -> ChecksumHandle {
+        ChecksumHandle(Arc::clone(&self.counters))
+    }
+
+    /// The wrapped data store.
+    #[must_use]
+    pub fn data(&self) -> &S {
+        &self.data
+    }
+
+    /// Unwraps into `(data, sidecar)`.
+    #[must_use]
+    pub fn into_inner(self) -> (S, C) {
+        (self.data, self.sidecar)
+    }
+
+    fn chunks(&self) -> u64 {
+        self.data.len().div_ceil(self.chunk_elems)
+    }
+
+    /// `(first element, length)` of chunk `i`, clamped to the store.
+    fn chunk_span(&self, i: u64) -> (u64, usize) {
+        let start = i * self.chunk_elems;
+        let len = self.chunk_elems.min(self.data.len() - start);
+        (start, usize::try_from(len).expect("chunk length"))
+    }
+
+    /// Recomputes every chunk checksum from the data store.
+    ///
+    /// # Errors
+    /// Propagates data / sidecar I/O errors.
+    pub fn rebuild(&mut self) -> io::Result<()> {
+        let chunks = self.chunks();
+        let mut crcs = Vec::with_capacity(usize::try_from(chunks).expect("chunk count"));
+        let mut scratch = vec![0.0f64; usize::try_from(self.chunk_elems).expect("chunk size")];
+        for i in 0..chunks {
+            let (start, len) = self.chunk_span(i);
+            self.data.read_run(start, &mut scratch[..len])?;
+            crcs.push(f64::from_bits(crc64_f64s(&scratch[..len])));
+        }
+        if !crcs.is_empty() {
+            self.sidecar.write_run(0, &crcs)?;
+        }
+        Ok(())
+    }
+
+    /// Verifies every chunk, returning the number checked.
+    ///
+    /// # Errors
+    /// The first corrupt chunk (see [`is_corrupt`]); data / sidecar
+    /// I/O errors.
+    pub fn verify(&self) -> io::Result<u64> {
+        let chunks = self.chunks();
+        let mut scratch = vec![0.0f64; usize::try_from(self.chunk_elems).expect("chunk size")];
+        for i in 0..chunks {
+            self.verify_chunk(i, &mut scratch)?;
+        }
+        Ok(chunks)
+    }
+
+    /// Reads chunk `i` into `scratch[..len]` and checks it against the
+    /// sidecar, returning the verified slice length.
+    fn verify_chunk(&self, i: u64, scratch: &mut [f64]) -> io::Result<usize> {
+        let (start, len) = self.chunk_span(i);
+        self.data.read_run(start, &mut scratch[..len])?;
+        let mut recorded = [0.0f64];
+        self.sidecar.read_run(i, &mut recorded)?;
+        let expected = recorded[0].to_bits();
+        let actual = crc64_f64s(&scratch[..len]);
+        if actual != expected {
+            self.counters.corrupt_reads.fetch_add(1, Ordering::Relaxed);
+            return Err(corrupt_error(CorruptError {
+                chunk: i,
+                offset: start,
+                len: len as u64,
+                expected,
+                actual,
+            }));
+        }
+        self.counters
+            .verified_chunks
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(len)
+    }
+
+    fn in_range(&self, offset: u64, len: usize) -> bool {
+        offset
+            .checked_add(len as u64)
+            .is_some_and(|end| end <= self.data.len())
+    }
+}
+
+impl<S: Store, C: Store> Store for ChecksummedStore<S, C> {
+    fn len(&self) -> u64 {
+        self.data.len()
+    }
+
+    fn read_run(&self, offset: u64, buf: &mut [f64]) -> io::Result<()> {
+        if buf.is_empty() || !self.in_range(offset, buf.len()) {
+            // Delegate degenerate and out-of-range calls so error
+            // semantics match the wrapped store exactly.
+            return self.data.read_run(offset, buf);
+        }
+        let first = offset / self.chunk_elems;
+        let last = (offset + buf.len() as u64 - 1) / self.chunk_elems;
+        let mut scratch = vec![0.0f64; usize::try_from(self.chunk_elems).expect("chunk size")];
+        for i in first..=last {
+            let len = self.verify_chunk(i, &mut scratch)?;
+            let (start, _) = self.chunk_span(i);
+            // Copy the verified chunk's overlap with the request.
+            let lo = offset.max(start);
+            let hi = (offset + buf.len() as u64).min(start + len as u64);
+            let src = usize::try_from(lo - start).expect("offset");
+            let dst = usize::try_from(lo - offset).expect("offset");
+            let n = usize::try_from(hi - lo).expect("length");
+            buf[dst..dst + n].copy_from_slice(&scratch[src..src + n]);
+        }
+        Ok(())
+    }
+
+    fn write_run(&mut self, offset: u64, buf: &[f64]) -> io::Result<()> {
+        if buf.is_empty() || !self.in_range(offset, buf.len()) {
+            return self.data.write_run(offset, buf);
+        }
+        // Data first, checksums second: a crash in between leaves a
+        // *detectable* stale checksum, never a silently-trusted one.
+        self.data.write_run(offset, buf)?;
+        let first = offset / self.chunk_elems;
+        let last = (offset + buf.len() as u64 - 1) / self.chunk_elems;
+        let mut scratch = vec![0.0f64; usize::try_from(self.chunk_elems).expect("chunk size")];
+        let mut crcs = Vec::with_capacity(usize::try_from(last - first + 1).expect("chunks"));
+        for i in first..=last {
+            let (start, len) = self.chunk_span(i);
+            self.data.read_run(start, &mut scratch[..len])?;
+            crcs.push(f64::from_bits(crc64_f64s(&scratch[..len])));
+        }
+        self.sidecar.write_run(first, &crcs)?;
+        self.counters
+            .chunk_updates
+            .fetch_add(crcs.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn reset_metrics(&mut self) {
+        self.data.reset_metrics();
+        self.sidecar.reset_metrics();
+    }
+
+    fn metrics(&self) -> Option<MeasuredIo> {
+        self.data.metrics()
+    }
+
+    fn access_log(&self) -> Option<Vec<crate::profile::AccessRecord>> {
+        self.data.access_log()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::SharedStore;
+    use crate::store::MemStore;
+
+    fn checksummed(
+        len: u64,
+        chunk: u64,
+    ) -> (
+        ChecksummedStore<SharedStore<MemStore>, MemStore>,
+        SharedStore<MemStore>,
+    ) {
+        let data = SharedStore::new(MemStore::new(len));
+        let raw = data.clone();
+        let sidecar = MemStore::new(ChecksummedStore::<MemStore, MemStore>::sidecar_len(
+            len, chunk,
+        ));
+        let mut cs = ChecksummedStore::attach(data, sidecar, chunk).expect("attach");
+        cs.rebuild().expect("rebuild");
+        (cs, raw)
+    }
+
+    #[test]
+    fn crc64_known_answer() {
+        // The CRC-64/XZ check value.
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn crc64_f64s_matches_byte_stream() {
+        let vals = [1.5f64, -2.25, f64::NAN, 0.0];
+        let bytes: Vec<u8> = vals
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
+        assert_eq!(crc64_f64s(&vals), crc64(&bytes));
+    }
+
+    #[test]
+    fn roundtrip_verifies_clean() {
+        let (mut cs, _) = checksummed(20, 8);
+        // Offsets 5..=10 straddle the chunk-0/chunk-1 boundary.
+        cs.write_run(5, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .expect("write");
+        let mut buf = [0.0; 6];
+        cs.read_run(5, &mut buf).expect("read");
+        assert_eq!(buf, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(cs.verify().expect("verify"), 3);
+        assert_eq!(cs.handle().corrupt_reads(), 0);
+        assert!(cs.handle().chunk_updates() >= 2, "write spans two chunks");
+    }
+
+    #[test]
+    fn detects_corruption_behind_the_wrapper() {
+        let (mut cs, raw) = checksummed(16, 4);
+        cs.write_run(0, &[7.0; 16]).expect("write");
+        // Corrupt the underlying data without updating the sidecar —
+        // exactly what a torn write leaves behind.
+        let mut raw = raw;
+        raw.write_run(5, &[999.0]).expect("raw poke");
+        let mut buf = [0.0; 4];
+        let err = cs.read_run(4, &mut buf).expect_err("detects");
+        assert!(is_corrupt(&err), "typed corrupt error: {err}");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(cs.handle().corrupt_reads(), 1);
+        // Untouched chunks still verify.
+        cs.read_run(0, &mut buf).expect("chunk 0 clean");
+        // Rewriting the damaged region heals the checksum.
+        cs.write_run(4, &[7.0; 4]).expect("heal");
+        cs.read_run(4, &mut buf).expect("verified again");
+        assert_eq!(buf, [7.0; 4]);
+    }
+
+    #[test]
+    fn corrupt_errors_are_not_transient() {
+        let policy = crate::array::RetryPolicy::default();
+        let corrupt = corrupt_error(CorruptError {
+            chunk: 0,
+            offset: 0,
+            len: 4,
+            expected: 1,
+            actual: 2,
+        });
+        assert!(!crate::array::RetryPolicy::is_transient(&corrupt));
+        assert!(policy.max_attempts > 1, "policy does retry transients");
+    }
+
+    #[test]
+    fn attach_validates_geometry() {
+        let err = ChecksummedStore::attach(MemStore::new(16), MemStore::new(1), 4)
+            .map(|_| ())
+            .expect_err("sidecar too small");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = ChecksummedStore::attach(MemStore::new(16), MemStore::new(16), 0)
+            .map(|_| ())
+            .expect_err("zero chunk");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn out_of_range_matches_inner_store() {
+        let (cs, _) = checksummed(8, 4);
+        let mut buf = [0.0; 4];
+        let err = cs.read_run(6, &mut buf).expect_err("out of range");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -20,11 +20,54 @@
 //! made each decision a function of the whole draw history threaded
 //! through the shared state — impossible to replay or predict for one
 //! call in isolation once callers interleave.
+//!
+//! Beyond transients, [`CrashMode`] models *hard* process death at a
+//! chosen per-store call index: `CrashAt` makes that call and every
+//! later one fail with a permanent [`CrashedError`], and `TornWrite`
+//! additionally lands a prefix of the dying write — the torn-page
+//! hazard checksums and the write intent journal exist to catch.
+//! Crash decisions are pure functions of the call index too, so the
+//! deterministic-replay guarantee is unchanged: the transient
+//! schedule below the crash point is exactly the capped
+//! [`fault_plan`] schedule.
 
 use crate::store::Store;
 use crate::trace::MeasuredIo;
 use std::io;
 use std::sync::{Arc, Mutex};
+
+/// A simulated *hard* crash, as opposed to the transient failures a
+/// retry loop can ride out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashMode {
+    /// No crash; only transient faults (the pre-crash default).
+    #[default]
+    None,
+    /// Store call number `0` (this store's own counter) fails
+    /// permanently at the given index; every later call fails too —
+    /// the process is "dead" from that point on.
+    CrashAt(u64),
+    /// Like [`CrashMode::CrashAt`], but if the dying call is a write,
+    /// a prefix of the buffer (`frac_per_mille`/1000 of its elements)
+    /// lands in the backing store first — a torn write.
+    TornWrite {
+        /// Call index at which the crash fires.
+        at: u64,
+        /// Fraction of the dying write that lands, in parts per 1000.
+        frac_per_mille: u32,
+    },
+}
+
+impl CrashMode {
+    /// The call index at which this mode crashes, if any.
+    #[must_use]
+    pub fn crash_index(&self) -> Option<u64> {
+        match self {
+            CrashMode::None => None,
+            CrashMode::CrashAt(at) | CrashMode::TornWrite { at, .. } => Some(*at),
+        }
+    }
+}
 
 /// Configuration of a [`FaultStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +82,8 @@ pub struct FaultConfig {
     /// Cap on back-to-back failures, so a bounded retry loop always
     /// makes progress.
     pub max_consecutive: u32,
+    /// Hard-crash injection on top of the transient schedule.
+    pub crash: CrashMode,
 }
 
 impl FaultConfig {
@@ -50,6 +95,7 @@ impl FaultConfig {
             fail_per_mille: per_mille,
             max_faults: u64::MAX,
             max_consecutive: 2,
+            crash: CrashMode::None,
         }
     }
 
@@ -61,8 +107,59 @@ impl FaultConfig {
             fail_per_mille: 333,
             max_faults: n,
             max_consecutive: 1,
+            crash: CrashMode::None,
         }
     }
+
+    /// No transient faults; hard crash at store call `at`.
+    #[must_use]
+    pub fn crash_at(at: u64) -> Self {
+        FaultConfig::transient(0, 0).with_crash(CrashMode::CrashAt(at))
+    }
+
+    /// No transient faults; torn write landing `frac_per_mille`/1000
+    /// of the dying write at store call `at`.
+    #[must_use]
+    pub fn torn_write(at: u64, frac_per_mille: u32) -> Self {
+        FaultConfig::transient(0, 0).with_crash(CrashMode::TornWrite { at, frac_per_mille })
+    }
+
+    /// This config with its crash mode replaced.
+    #[must_use]
+    pub fn with_crash(mut self, crash: CrashMode) -> Self {
+        self.crash = crash;
+        self
+    }
+}
+
+/// The payload of a crash-injected [`io::Error`] — kind
+/// [`io::ErrorKind::Other`], never matched by the transient retry
+/// predicate.
+#[derive(Debug)]
+pub struct CrashedError {
+    /// The store-call index the crash fired at.
+    pub call: u64,
+    /// Whether a torn prefix of the dying write landed.
+    pub torn: bool,
+}
+
+impl std::fmt::Display for CrashedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected crash at store call {}{}",
+            self.call,
+            if self.torn { " (torn write)" } else { "" }
+        )
+    }
+}
+
+impl std::error::Error for CrashedError {}
+
+/// Whether `e` is an injected crash (see [`CrashMode`]).
+#[must_use]
+pub fn is_crashed(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<CrashedError>())
 }
 
 #[derive(Debug)]
@@ -71,6 +168,20 @@ struct FaultState {
     next_call: u64,
     injected: u64,
     consecutive: u32,
+    /// Sticky once the crash index is reached.
+    crashed: bool,
+}
+
+/// What a single store call does under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Roll {
+    Pass,
+    Transient,
+    Crash {
+        index: u64,
+        /// `Some(frac_per_mille)` when a torn prefix should land.
+        torn: Option<u32>,
+    },
 }
 
 /// A [`Store`] wrapper injecting seeded transient failures.
@@ -95,6 +206,25 @@ impl FaultHandle {
     pub fn injected(&self) -> u64 {
         self.0.lock().expect("fault lock").injected
     }
+
+    /// Store calls attempted so far (including failed ones) — the
+    /// per-store call-index space crash points are expressed in.
+    ///
+    /// # Panics
+    /// Panics if the fault mutex was poisoned.
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.0.lock().expect("fault lock").next_call
+    }
+
+    /// Whether the crash point has fired.
+    ///
+    /// # Panics
+    /// Panics if the fault mutex was poisoned.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.0.lock().expect("fault lock").crashed
+    }
 }
 
 impl<S: Store> FaultStore<S> {
@@ -108,6 +238,7 @@ impl<S: Store> FaultStore<S> {
                 next_call: 0,
                 injected: 0,
                 consecutive: 0,
+                crashed: false,
             })),
         }
     }
@@ -136,36 +267,68 @@ impl<S: Store> FaultStore<S> {
     /// Whether this store's call number `index` fails, as a pure
     /// function of `(config, index)` — the full capped schedule is
     /// replayed from 0, so the answer is independent of when (or from
-    /// which thread) the call actually arrives.
+    /// which thread) the call actually arrives. Covers both the
+    /// transient schedule and the crash point.
     #[must_use]
     pub fn would_fail_at(&self, index: u64) -> bool {
+        if self
+            .config
+            .crash
+            .crash_index()
+            .is_some_and(|at| index >= at)
+        {
+            return true;
+        }
         fault_plan(&self.config, index + 1)
             .last()
             .copied()
             .unwrap_or(false)
     }
 
-    /// Decides (and records) whether the next call fails. The lock
-    /// only serializes the per-store call counter and the running
-    /// caps; the underlying decision is [`raw_fault`] of the index.
-    fn roll(&self) -> bool {
+    /// Decides (and records) what the next call does. The lock only
+    /// serializes the per-store call counter and the running caps;
+    /// the underlying decisions are pure functions of the index —
+    /// [`raw_fault`] for transients, [`CrashMode::crash_index`] for
+    /// the crash point.
+    fn roll(&self) -> Roll {
         let mut s = self.state.lock().expect("fault lock");
         let index = s.next_call;
         s.next_call += 1;
+        if s.crashed {
+            return Roll::Crash { index, torn: None };
+        }
+        if let Some(at) = self.config.crash.crash_index() {
+            if index >= at {
+                s.crashed = true;
+                s.injected += 1;
+                let torn = match self.config.crash {
+                    CrashMode::TornWrite { frac_per_mille, .. } if index == at => {
+                        Some(frac_per_mille)
+                    }
+                    _ => None,
+                };
+                return Roll::Crash { index, torn };
+            }
+        }
         let fail = raw_fault(&self.config, index)
             && s.injected < self.config.max_faults
             && s.consecutive < self.config.max_consecutive;
         if fail {
             s.injected += 1;
             s.consecutive += 1;
+            Roll::Transient
         } else {
             s.consecutive = 0;
+            Roll::Pass
         }
-        fail
     }
 
     fn transient_error() -> io::Error {
         io::Error::new(io::ErrorKind::Interrupted, "injected transient I/O failure")
+    }
+
+    fn crashed_error(index: u64, torn: bool) -> io::Error {
+        io::Error::other(CrashedError { call: index, torn })
     }
 }
 
@@ -217,17 +380,29 @@ impl<S: Store> Store for FaultStore<S> {
     }
 
     fn read_run(&self, offset: u64, buf: &mut [f64]) -> io::Result<()> {
-        if self.roll() {
-            return Err(Self::transient_error());
+        match self.roll() {
+            Roll::Pass => self.inner.read_run(offset, buf),
+            Roll::Transient => Err(Self::transient_error()),
+            Roll::Crash { index, .. } => Err(Self::crashed_error(index, false)),
         }
-        self.inner.read_run(offset, buf)
     }
 
     fn write_run(&mut self, offset: u64, buf: &[f64]) -> io::Result<()> {
-        if self.roll() {
-            return Err(Self::transient_error());
+        match self.roll() {
+            Roll::Pass => self.inner.write_run(offset, buf),
+            Roll::Transient => Err(Self::transient_error()),
+            Roll::Crash { index, torn } => {
+                if let Some(frac) = torn {
+                    // A torn write: the head of the buffer lands, the
+                    // tail is lost, and the caller sees the crash.
+                    let keep = (buf.len() as u64 * u64::from(frac.min(1000)) / 1000) as usize;
+                    if keep > 0 {
+                        let _ = self.inner.write_run(offset, &buf[..keep]);
+                    }
+                }
+                Err(Self::crashed_error(index, torn.is_some()))
+            }
         }
-        self.inner.write_run(offset, buf)
     }
 
     fn reset_metrics(&mut self) {
@@ -366,6 +541,75 @@ mod tests {
             })
             .collect();
         assert_eq!(observed, fault_plan(&config, total));
+    }
+
+    #[test]
+    fn crash_at_is_sticky_and_not_transient() {
+        let mut s = FaultStore::new(MemStore::new(8), FaultConfig::crash_at(3));
+        let mut buf = [0.0; 1];
+        for k in 0..3u64 {
+            s.read_run(k % 4, &mut buf).expect("pre-crash calls pass");
+        }
+        let e = s.write_run(0, &[1.0]).expect_err("call 3 crashes");
+        assert!(is_crashed(&e), "typed crash payload");
+        assert!(
+            !crate::array::RetryPolicy::is_transient(&e),
+            "crashes must not be retried"
+        );
+        // Dead forever: every later call fails too.
+        for _ in 0..5 {
+            let e = s.read_run(0, &mut buf).expect_err("dead store");
+            assert!(is_crashed(&e));
+        }
+        assert!(s.handle().crashed());
+        assert_eq!(s.handle().calls(), 9);
+        // The dying (non-torn) write left no trace.
+        let fresh = FaultStore::new(MemStore::new(8), FaultConfig::transient(0, 0));
+        fresh.read_run(0, &mut buf).expect("read");
+        assert_eq!(buf[0], 0.0);
+    }
+
+    #[test]
+    fn torn_write_lands_a_prefix() {
+        let mut s = FaultStore::new(MemStore::new(8), FaultConfig::torn_write(0, 500));
+        let e = s
+            .write_run(0, &[1.0, 2.0, 3.0, 4.0])
+            .expect_err("call 0 crashes");
+        assert!(is_crashed(&e));
+        assert!(e.to_string().contains("torn write"));
+        // Half the buffer landed before the crash.
+        let inner = s.into_inner();
+        let mut buf = [0.0; 4];
+        inner.read_run(0, &mut buf).expect("read inner");
+        assert_eq!(buf, [1.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn crash_keeps_transient_schedule_below_crash_point() {
+        // The same seeded transient schedule replays identically with
+        // and without a crash bolted on — determinism satellite.
+        let plain = FaultConfig::transient(11, 300);
+        let crashing = plain.with_crash(CrashMode::CrashAt(40));
+        let plan = fault_plan(&plain, 40);
+        let s = FaultStore::new(MemStore::new(8), crashing);
+        let mut buf = [0.0; 1];
+        for (k, planned) in plan.iter().enumerate() {
+            assert_eq!(s.would_fail_at(k as u64), *planned, "plan at {k}");
+            let r = s.read_run(0, &mut buf);
+            match r {
+                Ok(()) => assert!(!planned, "call {k} passed but plan says fail"),
+                Err(e) => {
+                    assert!(planned, "call {k} failed but plan says pass");
+                    assert!(
+                        !is_crashed(&e),
+                        "below the crash point faults are transient"
+                    );
+                }
+            }
+        }
+        assert!(s.would_fail_at(40), "crash point fails");
+        let e = s.read_run(0, &mut buf).expect_err("call 40 crashes");
+        assert!(is_crashed(&e));
     }
 
     #[test]

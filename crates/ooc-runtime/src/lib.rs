@@ -20,7 +20,14 @@
 //!   trace, with seek-distance CDFs, sequential-run statistics, and
 //!   ASCII file heatmaps.
 //! * [`fault`] — [`FaultStore`]: deterministic seeded transient-fault
-//!   injection, recovered by [`RetryPolicy`].
+//!   injection, recovered by [`RetryPolicy`], plus hard
+//!   [`CrashMode`]s (`CrashAt`, torn writes) for crash-consistency
+//!   tests.
+//! * [`checksum`] — [`ChecksummedStore`]: per-chunk CRC64 sidecar;
+//!   corrupt or torn data surfaces as a typed, non-transient error.
+//! * [`journal`] — the write intent [`Journal`]: append-only
+//!   intent/commit log with pre-images, torn-tail-tolerant scan, and
+//!   idempotent [`rollback`].
 //! * [`shared`] — [`SharedStore`]: a cloneable `Arc<Mutex<…>>` handle
 //!   that lets prefetch/write-behind threads share one store.
 //! * [`testing`] — store factories and temp-dir plumbing for
@@ -30,8 +37,10 @@
 
 pub mod array;
 pub mod budget;
+pub mod checksum;
 pub mod fault;
 pub mod interleave;
+pub mod journal;
 pub mod layout;
 pub mod profile;
 pub mod shared;
@@ -41,8 +50,18 @@ pub mod trace;
 
 pub use array::{summary_cost, IoCost, IoStats, OocArray, RetryPolicy, RuntimeConfig, Tile};
 pub use budget::{square_tile_edge, tile_span, BudgetExceeded, MemoryBudget};
-pub use fault::{fault_plan, raw_fault, FaultConfig, FaultHandle, FaultStore};
+pub use checksum::{
+    corrupt_error, crc64, crc64_f64s, is_corrupt, ChecksumHandle, ChecksummedStore, CorruptError,
+};
+pub use fault::{
+    fault_plan, is_crashed, raw_fault, CrashMode, CrashedError, FaultConfig, FaultHandle,
+    FaultStore,
+};
 pub use interleave::InterleavedGroup;
+pub use journal::{
+    parse_journal, rollback, FileLog, Journal, JournalRecord, JournalScan, LogStore, MemLog,
+    SharedJournal, UndoWriter, WriteIntent,
+};
 pub use layout::{FileLayout, Region, Run, RunSummary};
 pub use profile::{
     heatmap, sequential_stats, AccessLog, AccessRecord, ProfilingStore, SeekCdf, SeqStats,

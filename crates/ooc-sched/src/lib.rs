@@ -22,8 +22,10 @@
 //!   main thread computes.
 //! * [`writebehind`] — a [`WriteBehind`] queue that retires dirty
 //!   tiles in the background, with `wait_clear` read-after-write
-//!   fences and a `flush` barrier at nest boundaries so pipelined
-//!   results stay **bit-equal** to the synchronous executor.
+//!   fences, a `flush` barrier at nest boundaries so pipelined
+//!   results stay **bit-equal** to the synchronous executor, and an
+//!   optional [`DurabilityFence`] that commits each tile's journal
+//!   intent before the tile settles (crash consistency).
 //! * [`stats`] — [`PipelineStats`]: hit rates, stall counts, and
 //!   in-flight depth, exportable to `ooc-metrics`.
 //!
@@ -47,4 +49,4 @@ pub use schedule::{
     annotate_next_use, NestSchedule, SlotKey, StageRequest, TileId, TileSchedule, TileStep,
 };
 pub use stats::PipelineStats;
-pub use writebehind::{TileSink, WriteBehind};
+pub use writebehind::{DurabilityFence, TileSink, WriteBehind};

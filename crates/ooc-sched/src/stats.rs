@@ -31,6 +31,15 @@ pub struct PipelineStats {
     /// Distribution of deliveries drained per stall (how much the
     /// main thread had to wait for).
     pub stall_drains: Histogram,
+    /// Transient store-call failures absorbed by the retry policy
+    /// across all arrays (from `IoStats.retries`).
+    pub io_retries: u64,
+    /// Reads that failed checksum verification (torn/corrupt data).
+    pub corrupt_reads: u64,
+    /// Write intents committed to the journal (durable runs only).
+    pub journal_commits: u64,
+    /// Tiles rolled back from journal pre-images during recovery.
+    pub recovery_replayed_tiles: u64,
 }
 
 impl PipelineStats {
@@ -64,6 +73,13 @@ impl PipelineStats {
             self.cache.dirty_evictions,
         );
         c("pipeline_cache_overflows_total", self.cache.overflows);
+        c("pipeline_io_retries_total", self.io_retries);
+        c("pipeline_corrupt_reads_total", self.corrupt_reads);
+        c("pipeline_journal_commits_total", self.journal_commits);
+        c(
+            "pipeline_recovery_replayed_tiles_total",
+            self.recovery_replayed_tiles,
+        );
         registry.gauge_set(
             "pipeline_cache_peak_elems",
             labels,
@@ -108,6 +124,16 @@ impl PipelineStats {
             "  write-behind: {} tiles queued\n",
             self.writebehind_tiles
         ));
+        out.push_str(&format!(
+            "  io: {} transient retries, {} corrupt reads\n",
+            self.io_retries, self.corrupt_reads,
+        ));
+        if self.journal_commits > 0 || self.recovery_replayed_tiles > 0 {
+            out.push_str(&format!(
+                "  durability: {} journal commits, {} tiles replayed in recovery\n",
+                self.journal_commits, self.recovery_replayed_tiles,
+            ));
+        }
         out
     }
 }
@@ -134,6 +160,9 @@ mod tests {
                 peak_elems: 128,
             },
             max_in_flight: 4,
+            io_retries: 5,
+            journal_commits: 4,
+            recovery_replayed_tiles: 1,
             ..PipelineStats::default()
         };
         s.in_flight_depth.observe(2);
@@ -155,6 +184,14 @@ mod tests {
             r.get("pipeline_stalls_total", labels),
             Some(Value::Counter(3))
         );
+        assert_eq!(
+            r.get("pipeline_io_retries_total", labels),
+            Some(Value::Counter(5))
+        );
+        assert_eq!(
+            r.get("pipeline_journal_commits_total", labels),
+            Some(Value::Counter(4))
+        );
         match r.get("pipeline_hit_rate", labels) {
             Some(Value::Gauge(g)) => assert!((g - 0.75).abs() < 1e-12),
             other => panic!("hit rate gauge missing: {other:?}"),
@@ -174,9 +211,14 @@ mod tests {
             "prefetch:",
             "stalls:",
             "write-behind:",
+            "5 transient retries",
+            "4 journal commits",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
+        // Non-durable runs don't print the durability line.
+        let quiet = PipelineStats::default().render();
+        assert!(!quiet.contains("durability:"), "quiet render: {quiet}");
     }
 
     #[test]

@@ -35,13 +35,30 @@ pub trait TileSink: Send {
     fn store(&mut self, id: &TileId, tile: &Tile) -> io::Result<IoStats>;
 }
 
+/// The durability hook a crash-consistent executor installs: after a
+/// tile's data write succeeds, the fence commits its journal intent
+/// — *before* the tile is marked settled, so by the time
+/// [`WriteBehind::wait_clear`] (or [`WriteBehind::flush`]) reports a
+/// region clear, its commit record is durably in the journal. A
+/// fence error is sticky like a write error and surfaces at the next
+/// flush barrier.
+pub trait DurabilityFence: Send {
+    /// Commits the journal intent backing `id`'s write.
+    ///
+    /// # Errors
+    /// Propagates journal I/O errors.
+    fn commit(&mut self, id: &TileId) -> io::Result<()>;
+}
+
 #[derive(Debug, Default)]
 struct WbQueue {
     pending: Vec<(TileId, Tile)>,
     /// The tile currently being written, if any.
     active: Option<TileId>,
-    /// First write error, sticky until observed by `flush`.
-    error: Option<(io::ErrorKind, String)>,
+    /// First write error, sticky until observed by `flush`. The
+    /// original error value is kept so typed payloads (e.g. injected
+    /// crashes, corrupt-read markers) survive to the caller.
+    error: Option<io::Error>,
     /// Per-array accumulated write stats.
     stats: BTreeMap<u32, IoStats>,
     tiles_written: u64,
@@ -81,9 +98,21 @@ pub struct WriteBehind {
 }
 
 impl WriteBehind {
-    /// Spawns the writer thread over `sink`.
+    /// Spawns the writer thread over `sink` with no durability fence.
     #[must_use]
-    pub fn new(mut sink: Box<dyn TileSink>) -> Self {
+    pub fn new(sink: Box<dyn TileSink>) -> Self {
+        WriteBehind::with_fence(sink, None)
+    }
+
+    /// Spawns the writer thread over `sink`; when `fence` is present
+    /// the writer commits each tile's journal intent after the data
+    /// write succeeds and before the tile settles (see
+    /// [`DurabilityFence`]).
+    #[must_use]
+    pub fn with_fence(
+        mut sink: Box<dyn TileSink>,
+        mut fence: Option<Box<dyn DurabilityFence>>,
+    ) -> Self {
         let state = Arc::new(WbState::default());
         let writer = {
             let state = Arc::clone(&state);
@@ -102,7 +131,14 @@ impl WriteBehind {
                         q = state.work.wait(q).expect("writebehind queue");
                     }
                 };
-                let result = sink.store(&id, &tile);
+                // Data first, then the fence's journal commit — the
+                // write-ahead ordering crash recovery depends on.
+                let result = sink.store(&id, &tile).and_then(|stats| {
+                    if let Some(f) = fence.as_mut() {
+                        f.commit(&id)?;
+                    }
+                    Ok(stats)
+                });
                 let mut q = state.queue.lock().expect("writebehind queue");
                 q.active = None;
                 match result {
@@ -112,7 +148,7 @@ impl WriteBehind {
                     }
                     Err(e) => {
                         if q.error.is_none() {
-                            q.error = Some((e.kind(), e.to_string()));
+                            q.error = Some(e);
                         }
                     }
                 }
@@ -156,7 +192,7 @@ impl WriteBehind {
             q = self.state.settled.wait(q).expect("writebehind queue");
         }
         match q.error.take() {
-            Some((kind, msg)) => Err(io::Error::new(kind, msg)),
+            Some(e) => Err(e),
             None => Ok(()),
         }
     }
@@ -322,6 +358,91 @@ mod tests {
         // The error was consumed; the queue keeps working.
         wb.flush().expect("sticky error cleared after observation");
         assert_eq!(wb.tiles_written(), 1, "array-0 write still landed");
+    }
+
+    struct LogFence {
+        log: Arc<Mutex<Vec<String>>>,
+        fail: bool,
+    }
+
+    impl DurabilityFence for LogFence {
+        fn commit(&mut self, id: &TileId) -> io::Result<()> {
+            if self.fail {
+                return Err(io::Error::other("fence failed"));
+            }
+            self.log
+                .lock()
+                .expect("log")
+                .push(format!("commit:{}:{}", id.key.array, id.region.lo[0]));
+            Ok(())
+        }
+    }
+
+    struct LogSink {
+        inner: Box<dyn TileSink>,
+        log: Arc<Mutex<Vec<String>>>,
+    }
+
+    impl TileSink for LogSink {
+        fn store(&mut self, id: &TileId, tile: &Tile) -> io::Result<IoStats> {
+            let stats = self.inner.store(id, tile)?;
+            self.log
+                .lock()
+                .expect("log")
+                .push(format!("store:{}:{}", id.key.array, id.region.lo[0]));
+            Ok(stats)
+        }
+    }
+
+    #[test]
+    fn fence_commits_after_data_before_settle() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (inner, _stores) = sink(None, 1);
+        let wb = WriteBehind::with_fence(
+            Box::new(LogSink {
+                inner,
+                log: Arc::clone(&log),
+            }),
+            Some(Box::new(LogFence {
+                log: Arc::clone(&log),
+                fail: false,
+            })),
+        );
+        wb.enqueue(id(0, 1, 4), filled(1, 4, 1.0));
+        wb.enqueue(id(0, 5, 8), filled(5, 8, 2.0));
+        // wait_clear returning means the overlapping tile both landed
+        // AND committed — the durability-fence guarantee.
+        wb.wait_clear(0, &Region::new(vec![2], vec![3]));
+        {
+            let l = log.lock().expect("log");
+            let store_pos = l.iter().position(|e| e == "store:0:1").expect("stored");
+            let commit_pos = l.iter().position(|e| e == "commit:0:1").expect("committed");
+            assert!(store_pos < commit_pos, "data write precedes journal commit");
+        }
+        wb.flush().expect("clean");
+        let l = log.lock().expect("log");
+        assert_eq!(
+            l.iter().filter(|e| e.starts_with("commit:")).count(),
+            2,
+            "every landed tile committed"
+        );
+    }
+
+    #[test]
+    fn fence_errors_surface_at_the_barrier() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (inner, _stores) = sink(None, 0);
+        let wb = WriteBehind::with_fence(
+            Box::new(LogSink {
+                inner,
+                log: Arc::clone(&log),
+            }),
+            Some(Box::new(LogFence { log, fail: true })),
+        );
+        wb.enqueue(id(0, 1, 4), filled(1, 4, 1.0));
+        let err = wb.flush().expect_err("fence failure surfaces");
+        assert!(err.to_string().contains("fence failed"));
+        assert_eq!(wb.tiles_written(), 0, "an uncommitted tile never settles");
     }
 
     #[test]

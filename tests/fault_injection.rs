@@ -3,10 +3,17 @@
 //! must absorb all of them and produce results identical to a clean
 //! run.
 
-use ooc_opt::core::{run_functional, run_functional_on, FunctionalConfig};
+use ooc_opt::core::{
+    max_intents_per_interval, parse_manifest, resume_functional, run_functional,
+    run_functional_durable, run_functional_on, DirMedium, DurabilityConfig, DurableMedium,
+    FunctionalConfig, MemMedium,
+};
 use ooc_opt::ir::ArrayId;
-use ooc_opt::kernels::{compile, kernel_by_name, Version};
-use ooc_opt::runtime::{FaultConfig, FaultHandle, FaultStore, MemStore, RetryPolicy};
+use ooc_opt::kernels::{all_kernels, compile, kernel_by_name, Version};
+use ooc_opt::runtime::testing::TempDir;
+use ooc_opt::runtime::{
+    is_crashed, parse_journal, FaultConfig, FaultHandle, FaultStore, MemStore, RetryPolicy,
+};
 
 fn seed(a: ArrayId, idx: &[i64]) -> f64 {
     let mut h = (a.0 as i64 + 1) * 2654435761;
@@ -119,4 +126,115 @@ fn without_retries_faults_are_fatal() {
     if let Ok(Ok(_)) = result {
         panic!("run without retries survived injected faults");
     }
+}
+
+/// How many evenly-spaced crash points the matrix drills per kernel.
+const CRASH_POINTS: u64 = 3;
+
+/// The crash matrix body for one storage backend: every kernel's
+/// c-opt version, killed at `CRASH_POINTS` evenly-spaced store-call
+/// indices of its busiest array (alternating clean crashes and torn
+/// writes), then recovered — the recovered contents must be bit-equal
+/// to an uninterrupted run, and the rollback must stay within one
+/// checkpoint interval of journal intents per array.
+fn crash_matrix_on(make_medium: &mut dyn FnMut(&str, u64) -> Box<dyn DurableMedium>) {
+    let fcfg = FunctionalConfig::with_fraction(16);
+    let dur = DurabilityConfig::default();
+    for k in all_kernels() {
+        let cv = compile(&k, Version::COpt);
+
+        // Uninterrupted baseline on a memory medium: the reference
+        // contents, each array's store-call count (the crash-index
+        // domain), and the per-interval intent bound — all independent
+        // of the backend, since the schedule is fixed at compile time.
+        let mut base = MemMedium::new();
+        let baseline = run_functional_durable(
+            &cv.tiled,
+            &k.small_params,
+            &seed,
+            &fcfg,
+            &dur,
+            &mut base,
+            &|_| Some(FaultConfig::transient(17, 0)),
+        )
+        .expect("baseline durable run");
+        let calls: Vec<u64> = baseline
+            .fault_handles
+            .iter()
+            .map(|h| h.as_ref().expect("wrapped").calls())
+            .collect();
+        let target = (0..calls.len()).max_by_key(|&a| calls[a]).expect("arrays");
+        let bound = max_intents_per_interval(
+            &parse_journal(&base.journal_bytes()),
+            &parse_manifest(&base.manifest_bytes()).watermarks(),
+        );
+
+        for i in 1..=CRASH_POINTS {
+            let at = calls[target] * i / (CRASH_POINTS + 1);
+            let torn = i % 2 == 0;
+            let mut medium = make_medium(k.name, i);
+            let err = run_functional_durable(
+                &cv.tiled,
+                &k.small_params,
+                &seed,
+                &fcfg,
+                &dur,
+                medium.as_mut(),
+                &|a| {
+                    (a == target).then(|| {
+                        if torn {
+                            FaultConfig::torn_write(at, 500)
+                        } else {
+                            FaultConfig::crash_at(at)
+                        }
+                    })
+                },
+            )
+            .expect_err("injected crash must abort the run");
+            assert!(is_crashed(&err), "{}: unexpected error: {err}", k.name);
+
+            let out = resume_functional(
+                &cv.tiled,
+                &k.small_params,
+                &seed,
+                &fcfg,
+                &dur,
+                medium.as_mut(),
+                &|_| None,
+            )
+            .unwrap_or_else(|e| panic!("{}: resume after crash at {at}: {e}", k.name));
+            assert!(out.report.resumed, "{}: recovery must resume", k.name);
+            assert_eq!(
+                out.run.data, baseline.run.data,
+                "{}: recovered run diverges from the uninterrupted one \
+                 (crash at {at}, torn {torn})",
+                k.name
+            );
+            for (a, n) in &out.report.rolled_back_by_array {
+                assert!(
+                    *n <= bound.get(a).copied().unwrap_or(0),
+                    "{}: rolled back {n} tiles of array {a}, over the \
+                     one-checkpoint-interval bound {:?}",
+                    k.name,
+                    bound.get(a)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_matrix_recovers_every_kernel_in_memory() {
+    crash_matrix_on(&mut |_, _| Box::new(MemMedium::new()));
+}
+
+#[test]
+fn crash_matrix_recovers_every_kernel_on_files() {
+    let mut dirs: Vec<TempDir> = Vec::new();
+    crash_matrix_on(&mut |kernel, i| {
+        let dir = TempDir::new(&format!("crash-{kernel}-{i}")).expect("tmp dir");
+        let medium = Box::new(DirMedium::new(dir.path()));
+        dirs.push(dir); // keep the directory alive for the resume
+        medium
+    });
 }
