@@ -177,17 +177,37 @@ impl DurableMedium for MemMedium {
 /// A directory-backed [`DurableMedium`]: `<name>.dat` / `<name>.crc`
 /// files per array plus `journal.log` and `manifest.log`. Existing
 /// files are reopened, so state persists across real process crashes.
+///
+/// Durability scope: by default nothing is fsynced, so the crash
+/// guarantees cover **process** crashes (the page cache survives),
+/// not kernel panics or power loss. [`DirMedium::synced`] fsyncs the
+/// journal and manifest appends; full physical-media consistency
+/// would additionally require syncing the data/sidecar files before
+/// each checkpoint record (see DESIGN.md §12).
 #[derive(Debug, Clone)]
 pub struct DirMedium {
     dir: PathBuf,
+    sync_logs: bool,
 }
 
 impl DirMedium {
-    /// A medium rooted at `dir` (which must exist).
+    /// A medium rooted at `dir` (which must exist), durable across
+    /// process crashes only.
     #[must_use]
     pub fn new(dir: &Path) -> Self {
         DirMedium {
             dir: dir.to_path_buf(),
+            sync_logs: false,
+        }
+    }
+
+    /// Like [`DirMedium::new`], but journal and manifest appends are
+    /// fsynced to physical media.
+    #[must_use]
+    pub fn synced(dir: &Path) -> Self {
+        DirMedium {
+            dir: dir.to_path_buf(),
+            sync_logs: true,
         }
     }
 
@@ -199,6 +219,15 @@ impl DirMedium {
             FileStore::create(&path, len)?
         };
         Ok(Box::new(store))
+    }
+
+    fn log(&self, name: &str) -> FileLog {
+        let path = self.dir.join(name);
+        if self.sync_logs {
+            FileLog::synced(&path)
+        } else {
+            FileLog::new(&path)
+        }
     }
 }
 
@@ -212,11 +241,11 @@ impl DurableMedium for DirMedium {
     }
 
     fn journal(&mut self) -> io::Result<Box<dyn LogStore>> {
-        Ok(Box::new(FileLog::new(&self.dir.join("journal.log"))))
+        Ok(Box::new(self.log("journal.log")))
     }
 
     fn manifest(&mut self) -> io::Result<Box<dyn LogStore>> {
-        Ok(Box::new(FileLog::new(&self.dir.join("manifest.log"))))
+        Ok(Box::new(self.log("manifest.log")))
     }
 }
 
@@ -259,6 +288,10 @@ pub struct ManifestScan {
     pub records: Vec<ManifestRecord>,
     /// Whether a torn tail was dropped.
     pub torn_tail: bool,
+    /// Byte length of the parsed-valid prefix; resume truncates the
+    /// manifest here before appending (see [`JournalScan::valid_len`](
+    /// ooc_runtime::JournalScan)).
+    pub valid_len: u64,
 }
 
 impl ManifestScan {
@@ -340,7 +373,10 @@ pub fn parse_manifest(bytes: &[u8]) -> ManifestScan {
         let line = &bytes[pos..pos + nl];
         pos += nl + 1;
         match std::str::from_utf8(line).ok().and_then(parse_manifest_line) {
-            Some(r) => scan.records.push(r),
+            Some(r) => {
+                scan.records.push(r);
+                scan.valid_len = pos as u64;
+            }
             None => {
                 scan.torn_tail = true;
                 break;
@@ -501,10 +537,20 @@ impl DurabilityFence for JournalFence {
                 }
             })
         };
-        if let Some(seq) = seq {
-            self.journal.commit(seq)?;
-        }
-        Ok(())
+        // The sink parks exactly one sequence per store() before the
+        // fence runs; a missing entry means an intent would stay
+        // uncommitted forever (spurious rollback on every resume), so
+        // surface the bookkeeping mismatch instead of masking it.
+        let Some(seq) = seq else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "durability fence: no pending journal intent for array {} tile",
+                    id.key.array
+                ),
+            ));
+        };
+        self.journal.commit(seq)
     }
 }
 
@@ -981,15 +1027,26 @@ pub fn resume_functional(
     medium: &mut dyn DurableMedium,
     faults: &dyn Fn(usize) -> Option<FaultConfig>,
 ) -> io::Result<DurableOutcome> {
-    let mscan = parse_manifest(&medium.manifest()?.read_all()?);
+    let mut mlog = medium.manifest()?;
+    let mscan = parse_manifest(&mlog.read_all()?);
     let Some(boundary) = mscan.boundary() else {
         // Nothing durable yet: the crash predated the seeded
         // milestone; a fresh run re-seeds everything.
         return run_functional_durable(tp, params, init, cfg, dur, medium, faults);
     };
     let _span = ooc_trace::span("recovery", "resume-functional");
-    let jlog = medium.journal()?;
+    let mut jlog = medium.journal()?;
     let jscan = parse_journal(&jlog.read_all()?);
+    // Drop torn tails *before* appending: a partial, newline-less
+    // final record would otherwise merge with this run's first append
+    // into one unparseable line, and a second crash recovery would
+    // lose every record from there on.
+    if jscan.torn_tail {
+        jlog.truncate_to(jscan.valid_len)?;
+    }
+    if mscan.torn_tail {
+        mlog.truncate_to(mscan.valid_len)?;
+    }
     let (mut arrays, fault_handles, checksum_handles) =
         build_arrays(tp, params, cfg, dur, medium, faults)?;
     for arr in arrays.iter_mut() {
@@ -997,7 +1054,7 @@ pub fn resume_functional(
     }
     let mut session = DurableSession::resumed(
         SharedJournal::new(Journal::resume(jlog, jscan.next_seq)),
-        medium.manifest()?,
+        mlog,
         *dur,
         boundary,
         jscan
@@ -1114,16 +1171,25 @@ pub fn resume_pipelined(
     medium: &mut dyn DurableMedium,
     faults: &dyn Fn(usize) -> Option<FaultConfig>,
 ) -> io::Result<PipelinedDurableOutcome> {
-    let mscan = parse_manifest(&medium.manifest()?.read_all()?);
+    let mut mlog = medium.manifest()?;
+    let mscan = parse_manifest(&mlog.read_all()?);
     let Some(boundary) = mscan.boundary() else {
         return exec_pipelined_durable(tp, params, init, cfg, dur, medium, faults);
     };
     let _span = ooc_trace::span("recovery", "resume-pipelined");
-    let jlog = medium.journal()?;
+    let mut jlog = medium.journal()?;
     let jscan = parse_journal(&jlog.read_all()?);
+    // See resume_functional: torn tails must be truncated before the
+    // resumed run appends, or a second recovery loses records.
+    if jscan.torn_tail {
+        jlog.truncate_to(jscan.valid_len)?;
+    }
+    if mscan.torn_tail {
+        mlog.truncate_to(mscan.valid_len)?;
+    }
     let session = DurableSession::resumed(
         SharedJournal::new(Journal::resume(jlog, jscan.next_seq)),
-        medium.manifest()?,
+        mlog,
         *dur,
         boundary,
         jscan
@@ -1366,9 +1432,136 @@ mod tests {
         assert!(is_crashed(&err));
         assert!(tmp.path().join("journal.log").exists());
         assert!(tmp.path().join("manifest.log").exists());
+        // A real process crash mid-append leaves partial, newline-less
+        // final records on both logs; resume must truncate them away.
+        medium
+            .journal()
+            .expect("journal log")
+            .append(b"I 9999 0 dea")
+            .expect("torn journal tail");
+        medium
+            .manifest()
+            .expect("manifest log")
+            .append(b"K 7")
+            .expect("torn manifest tail");
+        let watermark = parse_manifest(&medium.manifest().expect("m").read_all().expect("read"))
+            .boundary()
+            .expect("boundary before resume")
+            .watermark;
         let out = resume_functional(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|_| None)
             .expect("resume from files");
         assert_eq!(out.run.data, reference(&tp, &params));
+        assert!(out.report.torn_tail, "resume saw the torn tails");
+        // The resumed run's appends did not merge with the torn tails:
+        // both logs reparse without loss.
+        let jscan = parse_journal(&medium.journal().expect("journal").read_all().expect("read"));
+        assert!(!jscan.torn_tail, "journal clean after recovery");
+        // Rollback restores data without appending compensation
+        // records, so the crashed run's in-flight intents stay
+        // uncommitted — but only those at or past the rolled-back
+        // watermark may be; everything the resumed run wrote committed.
+        for w in jscan.uncommitted() {
+            assert!(
+                w.seq >= watermark,
+                "pre-watermark intent {} left uncommitted",
+                w.seq
+            );
+        }
+        let mscan = parse_manifest(
+            &medium
+                .manifest()
+                .expect("manifest")
+                .read_all()
+                .expect("read"),
+        );
+        assert!(!mscan.torn_tail, "manifest clean after recovery");
+        let b = mscan.boundary().expect("boundary");
+        assert_eq!((b.nest, b.step), (tp.nests.len(), 0));
+    }
+
+    #[test]
+    fn torn_log_tails_survive_a_second_crash_recovery() {
+        // The double-crash scenario: crash #1 leaves torn journal and
+        // manifest tails; the resumed run appends new records; crash
+        // #2 kills the resume mid-flight. Without truncating the torn
+        // tails first, the resume's first append merges with the
+        // partial line and the second recovery silently drops every
+        // record the resume wrote — skipping their rollback and
+        // breaking bit-equality.
+        let tp = tiled();
+        let params = [10i64];
+        let expected = reference(&tp, &params);
+        let dur = DurabilityConfig::default();
+        let mut medium = MemMedium::new();
+        let err = run_functional_durable(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|a| {
+            (a == 0).then(|| FaultConfig::crash_at(30))
+        })
+        .expect_err("first crash injected");
+        assert!(is_crashed(&err));
+        medium
+            .journal()
+            .expect("journal log")
+            .append(b"I 9999 0 dea")
+            .expect("torn journal tail");
+        medium
+            .manifest()
+            .expect("manifest log")
+            .append(b"K 7")
+            .expect("torn manifest tail");
+
+        let err = resume_functional(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|a| {
+            (a == 0).then(|| FaultConfig::crash_at(12))
+        })
+        .expect_err("second crash injected");
+        assert!(is_crashed(&err), "unexpected error: {err}");
+        // The crashed resume's records all survive: nothing merged
+        // into the (now truncated) torn tails, so the second scan
+        // keeps every intent for rollback.
+        let jscan = parse_journal(&medium.journal_bytes());
+        assert!(!jscan.torn_tail, "journal poisoned by merged tail");
+        let mscan = parse_manifest(&medium.manifest_bytes());
+        assert!(!mscan.torn_tail, "manifest poisoned by merged tail");
+
+        let out = resume_functional(&tp, &params, &seed, &fcfg(), &dur, &mut medium, &|_| None)
+            .expect("second resume");
+        assert_eq!(out.run.data, expected, "second recovery diverged");
+        assert!(out.report.resumed);
+    }
+
+    #[test]
+    fn pipelined_resume_truncates_torn_tails() {
+        let tp = tiled();
+        let params = [10i64];
+        let expected = reference(&tp, &params);
+        let dur = DurabilityConfig::default();
+        let pcfg = PipelineConfig {
+            functional: fcfg(),
+            ..PipelineConfig::default()
+        };
+        let mut medium = MemMedium::new();
+        let err = exec_pipelined_durable(&tp, &params, &seed, &pcfg, &dur, &mut medium, &|a| {
+            (a == 0).then(|| FaultConfig::crash_at(25))
+        })
+        .expect_err("crash injected");
+        assert!(is_crashed(&err));
+        medium
+            .journal()
+            .expect("journal log")
+            .append(b"I 9999 0 dea")
+            .expect("torn journal tail");
+        medium
+            .manifest()
+            .expect("manifest log")
+            .append(b"K 7")
+            .expect("torn manifest tail");
+        let out = resume_pipelined(&tp, &params, &seed, &pcfg, &dur, &mut medium, &|_| None)
+            .expect("pipelined resume");
+        assert_eq!(out.run.run.data, expected);
+        assert!(out.report.torn_tail);
+        let jscan = parse_journal(&medium.journal_bytes());
+        assert!(!jscan.torn_tail, "journal clean after pipelined recovery");
+        let mscan = parse_manifest(&medium.manifest_bytes());
+        assert!(!mscan.torn_tail, "manifest clean after pipelined recovery");
     }
 
     #[test]
@@ -1463,12 +1656,20 @@ mod tests {
             if cut <= 4 {
                 assert!(scan.boundary().is_none() || scan.records.len() == 1);
             }
+            // The valid prefix reparses torn-free to the same records.
+            let len = usize::try_from(scan.valid_len).expect("len");
+            assert!(len <= cut);
+            let again = parse_manifest(&full[..len]);
+            assert!(!again.torn_tail);
+            assert_eq!(again.records, scan.records);
         }
-        // Garbage line: dropped with everything after it.
+        // Garbage line: dropped with everything after it; the valid
+        // prefix ends before the garbage.
         log.append(b"garbage\nK 9 9 9\n").expect("append");
         let scan = parse_manifest(&log.snapshot());
         assert!(scan.torn_tail);
         assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.valid_len, full.len() as u64);
     }
 
     #[test]

@@ -50,6 +50,15 @@ pub trait LogStore: Send {
     /// # Errors
     /// Propagates I/O errors.
     fn truncate(&mut self) -> io::Result<()>;
+
+    /// Shortens the log to its first `len` bytes — how recovery drops
+    /// a torn tail before appending new records (otherwise the first
+    /// new append would merge with the partial, newline-less final
+    /// record into one unparseable line).
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    fn truncate_to(&mut self, len: u64) -> io::Result<()>;
 }
 
 /// An in-memory [`LogStore`]; clones share the same bytes, so a
@@ -97,21 +106,48 @@ impl LogStore for MemLog {
         self.0.lock().expect("log lock").clear();
         Ok(())
     }
+
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.0
+            .lock()
+            .expect("log lock")
+            .truncate(usize::try_from(len).unwrap_or(usize::MAX));
+        Ok(())
+    }
 }
 
 /// A file-backed [`LogStore`] at a fixed path; a missing file reads
 /// as an empty log.
+///
+/// By default appends reach the OS page cache but are **not** fsynced:
+/// records survive a process crash (the scope the fault matrix tests)
+/// but not a kernel panic or power loss. [`FileLog::synced`] adds a
+/// `sync_all` per append for callers that need the log itself on
+/// physical media — note full power-loss consistency would also
+/// require syncing the data files before each checkpoint record.
 #[derive(Debug, Clone)]
 pub struct FileLog {
     path: PathBuf,
+    sync: bool,
 }
 
 impl FileLog {
-    /// A log at `path` (created on first append).
+    /// A log at `path` (created on first append), durable across
+    /// process crashes only.
     #[must_use]
     pub fn new(path: &Path) -> Self {
         FileLog {
             path: path.to_path_buf(),
+            sync: false,
+        }
+    }
+
+    /// A log at `path` that fsyncs every append.
+    #[must_use]
+    pub fn synced(path: &Path) -> Self {
+        FileLog {
+            path: path.to_path_buf(),
+            sync: true,
         }
     }
 }
@@ -124,7 +160,11 @@ impl LogStore for FileLog {
             .append(true)
             .open(&self.path)?;
         f.write_all(bytes)?;
-        f.flush()
+        if self.sync {
+            f.sync_all()
+        } else {
+            f.flush()
+        }
     }
 
     fn read_all(&self) -> io::Result<Vec<u8>> {
@@ -137,6 +177,21 @@ impl LogStore for FileLog {
 
     fn truncate(&mut self) -> io::Result<()> {
         std::fs::write(&self.path, b"")
+    }
+
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        match std::fs::OpenOptions::new().write(true).open(&self.path) {
+            Ok(f) => {
+                f.set_len(len)?;
+                if self.sync {
+                    f.sync_all()?;
+                }
+                Ok(())
+            }
+            // A missing log is already an empty prefix.
+            Err(e) if e.kind() == io::ErrorKind::NotFound && len == 0 => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -405,6 +460,11 @@ pub struct JournalScan {
     /// One past the highest intent sequence seen — what
     /// [`Journal::resume`] should continue from.
     pub next_seq: u64,
+    /// Byte length of the parsed-valid prefix. When `torn_tail` is
+    /// set, recovery must [`LogStore::truncate_to`] this length before
+    /// appending, or the first new record merges with the partial tail
+    /// into one unparseable line.
+    pub valid_len: u64,
 }
 
 impl JournalScan {
@@ -490,6 +550,7 @@ pub fn parse_journal(bytes: &[u8]) -> JournalScan {
                     scan.next_seq = scan.next_seq.max(w.seq + 1);
                 }
                 scan.records.push(r);
+                scan.valid_len = pos as u64;
             }
             None => {
                 scan.torn_tail = true;
@@ -616,6 +677,80 @@ mod tests {
         .expect("rollback");
         assert_eq!(n, 2);
         assert_eq!(state, vec![10.0, 11.0], "oldest pre-image wins");
+    }
+
+    #[test]
+    fn truncating_torn_tail_keeps_later_appends_parseable() {
+        let log = MemLog::new();
+        let mut j = Journal::new(Box::new(log.clone()));
+        let s = j
+            .intent(0, &region(1, 4), &[1.0; 4], &[0.0; 4])
+            .expect("intent");
+        j.commit(s).expect("commit");
+        // A crash mid-append leaves a partial, newline-less record.
+        log.clone().append(b"I 1 0 dead").expect("torn tail");
+        let scan = parse_journal(&log.snapshot());
+        assert!(scan.torn_tail);
+        assert_eq!(scan.records.len(), 2);
+
+        // Without truncation, the next append would merge with the
+        // torn tail and the merged line would poison the log. After
+        // truncate_to(valid_len) the journal stays fully parseable.
+        log.clone().truncate_to(scan.valid_len).expect("truncate");
+        let mut resumed = Journal::resume(Box::new(log.clone()), scan.next_seq);
+        let s2 = resumed
+            .intent(0, &region(5, 8), &[2.0; 4], &[1.0; 4])
+            .expect("intent after recovery");
+        resumed.commit(s2).expect("commit after recovery");
+        let rescan = parse_journal(&log.snapshot());
+        assert!(!rescan.torn_tail, "truncated log reparses clean");
+        assert_eq!(rescan.records.len(), 4);
+        assert_eq!(rescan.next_seq, 2);
+    }
+
+    #[test]
+    fn valid_len_covers_exactly_the_parsed_records() {
+        let log = MemLog::new();
+        let mut j = Journal::new(Box::new(log.clone()));
+        let s = j
+            .intent(2, &region(0, 3), &[1.0; 4], &[0.5; 4])
+            .expect("intent");
+        j.commit(s).expect("commit");
+        let full = log.snapshot();
+        let whole = parse_journal(&full);
+        assert!(!whole.torn_tail);
+        assert_eq!(whole.valid_len, full.len() as u64);
+        for cut in 0..full.len() {
+            let scan = parse_journal(&full[..cut]);
+            // The valid prefix reparses to the same records, torn-free.
+            let len = usize::try_from(scan.valid_len).expect("len");
+            assert!(len <= cut);
+            let again = parse_journal(&full[..len]);
+            assert!(!again.torn_tail);
+            assert_eq!(again.records, scan.records);
+        }
+        // A complete but garbage line invalidates itself and the tail.
+        log.clone().append(b"garbage\nC 0\n").expect("append");
+        let scan = parse_journal(&log.snapshot());
+        assert!(scan.torn_tail);
+        assert_eq!(scan.valid_len, full.len() as u64);
+        assert_eq!(scan.records.len(), 2);
+    }
+
+    #[test]
+    fn file_log_truncate_to_and_synced_append() {
+        let dir = crate::testing::TempDir::new("journal-truncto").expect("tmp");
+        let path = dir.path().join("j.log");
+        let mut log = FileLog::synced(&path);
+        log.truncate_to(0).expect("missing file, empty prefix ok");
+        log.append(b"C 0\nC 1\npartial").expect("append");
+        let scan = parse_journal(&log.read_all().expect("read"));
+        assert!(scan.torn_tail);
+        log.truncate_to(scan.valid_len).expect("truncate");
+        log.append(b"C 2\n").expect("append after truncate");
+        let rescan = parse_journal(&log.read_all().expect("read"));
+        assert!(!rescan.torn_tail);
+        assert_eq!(rescan.records.len(), 3);
     }
 
     #[test]

@@ -173,6 +173,40 @@ proptest! {
         prop_assert_eq!(&contents(&store), &reference_after(&ops, w));
     }
 
+    /// Resume discipline: whatever byte the crash tore the journal at,
+    /// truncating to the scan's valid prefix and then appending new
+    /// records keeps the log fully parseable — no surviving record is
+    /// lost and nothing merges into the torn tail. (This is the
+    /// invariant a *second* crash recovery depends on.)
+    #[test]
+    fn truncated_valid_prefix_accepts_appends_cleanly(
+        ops in ops_strategy(),
+        cut_pm in 0u64..1001,
+    ) {
+        let mut store = fresh_store();
+        let (log, _) = run_ops(&mut store, &ops);
+        let bytes = log.snapshot();
+        let cut = usize::try_from(bytes.len() as u64 * cut_pm / 1000).expect("cut");
+        let torn = &bytes[..cut.min(bytes.len())];
+        let scan = parse_journal(torn);
+        log.replace(torn.to_vec());
+
+        let mut resumed_log: Box<dyn ooc_runtime::LogStore> = Box::new(log.clone());
+        resumed_log.truncate_to(scan.valid_len).expect("truncate");
+        let mut journal = Journal::resume(resumed_log, scan.next_seq);
+        let region = block_region(0);
+        let vals = op_values(0, 1);
+        let seq = journal.intent(0, &region, &vals, &vals).expect("intent");
+        prop_assert_eq!(seq, scan.next_seq, "resume continues the sequence");
+        journal.commit(seq).expect("commit");
+
+        let rescan = parse_journal(&log.snapshot());
+        prop_assert!(!rescan.torn_tail, "resumed log must reparse clean");
+        prop_assert_eq!(rescan.records.len(), scan.records.len() + 2);
+        prop_assert_eq!(&rescan.records[..scan.records.len()], &scan.records[..]);
+        prop_assert!(rescan.intents().iter().any(|w| w.seq == seq));
+    }
+
     /// The uncommitted-rollback flavor (what the pipelined executor's
     /// fence enables): undoing only uncommitted intents leaves every
     /// block at its latest *committed* write, whose stored checksum
