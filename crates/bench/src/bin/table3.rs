@@ -2,17 +2,64 @@
 //! every kernel on 16/32/64/128 processors, relative to the same
 //! version on a single node.
 //!
-//! Usage: `table3 [scale] [--trace out.json]`
+//! Usage: `table3 [scale] [--workers N] [--trace out.json]`
+//!
+//! With `--workers N` the binary switches to the **measured** mode:
+//! every kernel version actually executes through the parallel
+//! executor with N worker shards over stores striped across 4/8/16
+//! simulated I/O nodes, against a single-shard baseline. Per-node
+//! traffic registers as deterministic counters, timings as warn-only
+//! gauges (gate with `bench-compare` vs `BENCH_table3_seed.json`).
 use ooc_bench::trace::TraceScope;
 use ooc_bench::{
-    paper_table3_entry, run_table3, table3_register, MetricsScope, PAPER_TABLE3_KERNELS,
+    measured_table3_register, paper_table3_entry, run_measured_table3, run_table3, table3_register,
+    MetricsScope, MEASURED_NODE_COUNTS, PAPER_TABLE3_KERNELS,
 };
+
+fn measured_main(scale: i64, workers: usize, metrics: MetricsScope) {
+    eprintln!(
+        "running measured Table 3 with {workers} workers over {MEASURED_NODE_COUNTS:?} I/O nodes..."
+    );
+    let entries = run_measured_table3(scale, workers);
+    println!("Table 3 (measured): {workers}-worker speedup over 1 worker, same striped stores.");
+    println!("{:-<76}", "");
+    println!(
+        "{:10} {:7} {:>12} {:>12} {:>12} {:>18}",
+        "program", "version", "4 nodes", "8 nodes", "16 nodes", "calls (16 nodes)"
+    );
+    println!("{:-<76}", "");
+    for (kernel, _) in PAPER_TABLE3_KERNELS {
+        for version in ["col", "row", "l-opt", "d-opt", "c-opt", "h-opt"] {
+            let cell = |nodes: usize| {
+                entries
+                    .iter()
+                    .find(|e| e.kernel == kernel && e.version == version && e.nodes == nodes)
+            };
+            print!("{kernel:10} {version:7}");
+            for nodes in MEASURED_NODE_COUNTS {
+                print!(" {:>11.2}x", cell(nodes).map_or(f64::NAN, |e| e.speedup));
+            }
+            println!(" {:>18}", cell(16).map_or(0, |e| e.total_calls()));
+        }
+        println!("{:-<76}", "");
+    }
+    println!("(per-node traffic is deterministic and exact-gated; timings are warn-only)");
+    measured_table3_register(metrics.registry(), &entries);
+    let _ = metrics.finish();
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = TraceScope::from_args(&mut args);
     let metrics = MetricsScope::from_args(&mut args, "table3");
+    let workers = ooc_bench::trace::take_value_flag(&mut args, "--workers")
+        .and_then(|w| w.parse::<usize>().ok());
     let scale: i64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    if let Some(workers) = workers {
+        measured_main(scale, workers.max(1), metrics);
+        let _ = trace.finish();
+        return;
+    }
     let procs = [16usize, 32, 64, 128];
     eprintln!("running Table 3 at 1/{scale} scale (this sweeps 10 kernels x 6 versions x 5 processor counts)...");
     let entries = run_table3(scale, &procs);

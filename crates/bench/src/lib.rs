@@ -8,6 +8,7 @@
 //! | Table 1 | `table1` | kernel inventory (source, iter, arrays) |
 //! | Table 2 | `table2` | per-version times on 16 nodes, % of `col` |
 //! | Table 3 | `table3` | speedups for 16/32/64/128 processors |
+//! | Table 3 (measured) | `table3 --workers N` | measured parallel speedups over striped I/O nodes |
 //! | Figure 1 | `figure1` | normalization + connected components |
 //! | Figure 2 | `figure2` | file layouts and hyperplane vectors |
 //! | Figure 3 | `figure3` | tile access patterns and I/O call counts |
@@ -18,12 +19,17 @@
 
 pub mod experiments;
 pub mod json;
+pub mod measured;
 pub mod metrics;
 pub mod recovery;
 pub mod reference;
 pub mod trace;
 
 pub use experiments::{run_table2, run_table3, table2_row, Table2Cell, Table2Row, Table3Entry};
+pub use measured::{
+    measured_params, measured_table3_register, run_measured_table3, MeasuredEntry,
+    MEASURED_NODE_COUNTS, MEASURED_STRIPE_ELEMS,
+};
 pub use metrics::{table2_register, table3_register, MetricsScope};
 pub use recovery::{
     interval_summary, recovery_register, run_recovery_demo, RecoveryCell, RecoveryDemo,

@@ -23,7 +23,7 @@ pub struct TraceScope {
 
 /// Removes `--flag VALUE` / `--flag=VALUE` from `args`, returning the
 /// value if present.
-pub(crate) fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+pub fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let prefix = format!("{flag}=");
     let mut value = None;
     let mut i = 0;

@@ -29,6 +29,10 @@
 //!     checksums, a write intent journal, checkpoint manifests at
 //!     tile-row boundaries, and checkpoint/restart that recovers a
 //!     crashed run bit-equal to an uninterrupted one.
+//! 11. [`parallel`] — the measured multi-node executor: nests
+//!     partitioned by tile-walk ownership at their communication-free
+//!     level and driven by worker threads over shared (typically
+//!     striped) stores, bit-equal to the single-threaded pipeline.
 //!
 //! # Example: the paper's worked example, end to end
 //!
@@ -64,6 +68,7 @@ pub mod global;
 pub mod interference;
 pub mod locality;
 pub mod optimizer;
+pub mod parallel;
 pub mod pipeline;
 pub mod recovery;
 pub mod report;
@@ -87,12 +92,13 @@ pub use optimizer::{
     best_transform_for, modeled_program_cost, optimize, optimize_data_only, optimize_loop_only,
     OptimizeOptions, OptimizedProgram,
 };
+pub use parallel::{exec_parallel, ownership_level, ParallelConfig, ParallelRun, PartitionSummary};
 pub use pipeline::{exec_pipelined, extract_schedule, PipelineConfig, PipelinedRun};
 pub use recovery::{
-    exec_pipelined_durable, max_intents_per_interval, parse_manifest, resume_functional,
-    resume_pipelined, run_functional_durable, Boundary, DirMedium, DurabilityConfig, DurableMedium,
-    DurableOutcome, DurableStore, ManifestRecord, ManifestScan, MemMedium, PipelinedDurableOutcome,
-    RecoveryReport,
+    exec_parallel_durable, exec_pipelined_durable, max_intents_per_interval, parse_manifest,
+    resume_functional, resume_parallel, resume_pipelined, run_functional_durable, Boundary,
+    DirMedium, DurabilityConfig, DurableMedium, DurableOutcome, DurableStore, ManifestRecord,
+    ManifestScan, MemMedium, ParallelDurableOutcome, PipelinedDurableOutcome, RecoveryReport,
 };
 pub use report::{optimization_report, IoComparison, NestReport, OptimizationReport, RefReport};
 pub use storage::{bounding_box, reduce_storage, StorageReduction};

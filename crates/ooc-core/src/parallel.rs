@@ -1,0 +1,598 @@
+//! The measured multi-node parallel executor: shard a nest's static
+//! tile walk across worker threads and drive each shard with the same
+//! pipelined machinery (prefetch pool, tile cache, write-behind) the
+//! single-threaded executor uses, over the same shared store stack —
+//! typically striped across simulated I/O nodes
+//! ([`StripedStore`](ooc_runtime::StripedStore)) so queueing contention
+//! is *experienced*, not just priced.
+//!
+//! # Partitioning
+//!
+//! Each nest is split by **tile-walk ownership** at its
+//! communication-free parallelization level — the first loop level
+//! where every dependence carried by the nest is exactly zero (the
+//! same rule `build_workload` uses to chunk the simulated Table 3
+//! machine). [`partition_nest_checked`] block-partitions the distinct
+//! tile-origin values at that level with the `i*n/p` chunks rule and
+//! recomputes per-shard Belady next-use deltas; nests with no
+//! communication-free level, or whose written tile regions are not
+//! shard-disjoint, fall back to a single serial shard.
+//!
+//! # Why results are bit-equal to the single-threaded executor
+//!
+//! * Read slots only stage arrays the nest never writes, so every
+//!   prefetch observes immutable data regardless of which thread
+//!   issues it.
+//! * Written slot regions are disjoint across shards (checked at
+//!   partition time), so all intra-nest data flow is shard-local and
+//!   each element's final value is produced by exactly one shard's
+//!   serial-order walk.
+//! * Shard threads are joined and every write-behind queue is flushed
+//!   before the next nest (or the final dump) reads anything, so
+//!   cross-nest flow sees complete results.
+//! * Each step's compute is byte-identical
+//!   ([`exec_box`](crate::exec) on the same staged tiles in the same
+//!   shard-local order).
+//!
+//! Analytic **write** I/O is likewise conserved: the steps of the
+//! serial walk are partitioned exactly (every step executes on exactly
+//! one shard) and written regions are shard-disjoint, so per-array
+//! write call/element totals match the single-threaded run at every
+//! shard count. Read totals are deterministic at a *fixed* shard
+//! count (and identical across backends and repeated runs) but may
+//! shift between shard counts: each shard stages through a private
+//! tile pool, so the aggregate cache grows with shards — absorbing
+//! capacity re-reads — while read-shared tiles staged once serially
+//! may be staged once *per shard* in parallel.
+//!
+//! # Durability
+//!
+//! A durable parallel run reuses the journal/fence/manifest protocol
+//! wholesale: every worker's write-behind sink journals intents
+//! against the shared session and commits them through its own fence.
+//! Multi-shard nests checkpoint at **iteration barriers** (all shards
+//! joined, all queues flushed) with the serial watermark
+//! `(it + 1) * steps_per_iteration`; serial-fallback nests keep the
+//! single-threaded executor's tile-row checkpoint cadence. Resume
+//! therefore lands on a serial-schedule boundary and replays at most
+//! one checkpoint interval per array, exactly as in the
+//! single-threaded case.
+
+use crate::exec::{ArrayProfile, FunctionalRun};
+use crate::pipeline::{
+    plan_nest, setup_run, worker_handles, DurableHooks, NestPlan, NestRun, PipelineConfig,
+    RunSetup, ShardWorker,
+};
+use crate::recovery::DurableSession;
+use crate::tiling::TiledProgram;
+use ooc_ir::{ArrayId, DepElem};
+use ooc_runtime::{IoStats, MemoryBudget, Store};
+use ooc_sched::{partition_nest_checked, PipelineStats};
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+
+/// Configuration of the parallel executor: the per-shard pipeline
+/// settings plus the number of worker shards.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Pipeline settings applied to every shard worker (prefetch
+    /// depth, write-behind, cache capacity, functional config).
+    pub pipeline: PipelineConfig,
+    /// Worker shards the tile walk is partitioned across. `1` (or any
+    /// nest without a communication-free level) degenerates to the
+    /// single-threaded executor.
+    pub shards: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            pipeline: PipelineConfig::default(),
+            shards: 2,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Same settings with a different shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+}
+
+/// How one nest was partitioned — recorded per nest so tests and the
+/// bench harness can assert which nests actually ran parallel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSummary {
+    /// Nest index in the tiled program.
+    pub nest: usize,
+    /// The communication-free ownership level, or `None` when every
+    /// level carries a dependence.
+    pub level: Option<usize>,
+    /// Shards that own at least one tile-walk step.
+    pub active_shards: usize,
+    /// Whether the nest fell back to the serial single-shard path
+    /// (no level, one shard requested, or overlapping writes).
+    pub serial_fallback: bool,
+}
+
+/// Result of a parallel run: the functional result (bit-equal to the
+/// synchronous and pipelined executors), merged and per-shard pipeline
+/// counters, and the per-nest partition summaries.
+#[derive(Debug)]
+pub struct ParallelRun {
+    /// Contents and per-array profiles; analytic totals equal the
+    /// single-threaded run's.
+    pub run: FunctionalRun,
+    /// All shards' pipeline counters merged
+    /// ([`PipelineStats::merge`]).
+    pub pipeline: PipelineStats,
+    /// Each shard worker's own counters, index = shard.
+    pub shard_stats: Vec<PipelineStats>,
+    /// How each executed nest was partitioned.
+    pub partitions: Vec<PartitionSummary>,
+}
+
+/// Functionally executes a tiled program with `cfg.shards` worker
+/// threads, each driving its shard of every nest's tile walk with the
+/// full pipelined machinery over shared stores. Results are bit-equal
+/// to [`exec_pipelined`](crate::pipeline::exec_pipelined) (see the
+/// module docs for the argument).
+///
+/// # Errors
+/// Propagates store construction/seeding errors, staging I/O errors
+/// the retry policy cannot recover, and write-behind flush failures —
+/// from any shard.
+///
+/// # Panics
+/// Panics on internal inconsistencies (compiler bugs) and when a shard
+/// worker thread itself panics.
+pub fn exec_parallel<S: Store + Send + 'static>(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &ParallelConfig,
+    make_store: impl FnMut(usize, &str, u64) -> io::Result<S>,
+) -> io::Result<ParallelRun> {
+    exec_parallel_inner(tp, params, init, cfg, make_store, None)
+}
+
+/// The communication-free ownership level of `nest`: the first loop
+/// level at which every carried dependence is exactly zero, so
+/// distinct values of that level's index can execute on distinct
+/// workers with no cross-worker flow. This is the same rule the
+/// simulated Table 3 machine uses to chunk nests across processors.
+#[must_use]
+pub fn ownership_level(nest: &ooc_ir::LoopNest) -> Option<usize> {
+    let deps = ooc_ir::nest_dependences(nest);
+    (0..nest.depth).find(|&l| deps.iter().all(|d| d.vector[l] == DepElem::Exact(0)))
+}
+
+/// The parallel executor body, with the optional durable session the
+/// recovery layer drives (see the module docs for the checkpoint
+/// placement).
+pub(crate) fn exec_parallel_inner<S: Store + Send + 'static>(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &ParallelConfig,
+    mut make_store: impl FnMut(usize, &str, u64) -> io::Result<S>,
+    mut dur: Option<&mut DurableSession>,
+) -> io::Result<ParallelRun> {
+    let pcfg = &cfg.pipeline;
+    let shards = cfg.shards.max(1);
+    let _span = ooc_trace::span_with(
+        "parallel",
+        "exec-parallel",
+        vec![
+            ("shards", (shards as u64).into()),
+            ("workers", (pcfg.workers as u64).into()),
+            ("depth", (pcfg.prefetch_depth as u64).into()),
+        ],
+    );
+    let RunSetup {
+        dims_of,
+        shared,
+        arrays: mut main_arrays,
+    } = setup_run(tp, params, init, pcfg, &mut make_store, &mut dur)?;
+
+    // One ShardWorker per shard, each with its own array handles,
+    // prefetch pool, write-behind queue, and durability fence.
+    let mk_arrays = || worker_handles(tp, &dims_of, &shared, pcfg);
+    let mut workers: Vec<ShardWorker<S>> = (0..shards)
+        .map(|_| {
+            let hooks = dur.as_ref().map(|d| DurableHooks {
+                journal: d.journal.clone(),
+                pending: Arc::clone(&d.pending),
+                fence: d.fence(),
+            });
+            ShardWorker::build(&mk_arrays, pcfg, hooks)
+        })
+        .collect();
+
+    let total_elems = u64::try_from(tp.program.total_elements(params)).expect("size");
+    let budget = MemoryBudget::paper_fraction(total_elems, pcfg.functional.memory_fraction);
+    let mut partitions: Vec<PartitionSummary> = Vec::new();
+
+    for ni in 0..tp.nests.len() {
+        if dur.as_ref().is_some_and(|d| d.skip_nest(ni)) {
+            continue;
+        }
+        let Some(NestPlan { staging, schedule }) = plan_nest(
+            tp,
+            ni,
+            params,
+            &budget,
+            pcfg.functional.runtime.max_call_elems,
+        ) else {
+            if let Some(d) = dur.as_deref_mut() {
+                d.checkpoint(ni + 1, 0)?;
+            }
+            continue;
+        };
+        let nest = &tp.nests[ni].nest;
+        let n = schedule.steps.len() as u64;
+        let iterations = schedule.iterations;
+        if n == 0 || iterations == 0 {
+            if let Some(d) = dur.as_deref_mut() {
+                d.checkpoint(ni + 1, 0)?;
+            }
+            continue;
+        }
+        let level = ownership_level(nest);
+        let part = partition_nest_checked(&schedule, level, shards);
+        partitions.push(PartitionSummary {
+            nest: ni,
+            level,
+            active_shards: part.active_shards(),
+            serial_fallback: part.serial_fallback,
+        });
+
+        let start_g = dur.as_ref().map_or(0, |d| d.start_step(ni));
+        if start_g > 0 {
+            if let Some(d) = dur.as_deref_mut() {
+                d.report.skipped_steps += start_g;
+            }
+        }
+        let _nest_span = ooc_trace::span("parallel", &format!("nest:{}", nest.name));
+
+        if part.serial_fallback || part.active_shards() <= 1 {
+            // Serial path: worker 0 drives the full serial schedule on
+            // the main thread with the durable session attached, so
+            // tile-row checkpoints behave exactly as in the
+            // single-threaded executor.
+            let mut nr = NestRun::new(ni, nest, params, &staging, schedule, start_g, pcfg);
+            for g in start_g..nr.total_steps() {
+                nr.step(&mut workers[0], g, &mut dur)?;
+            }
+            nr.finish(&mut workers[0])?;
+        } else {
+            let mut from_it = start_g / n;
+            if start_g % n != 0 {
+                // A resume boundary inside an iteration (e.g. a
+                // tile-row checkpoint written by an earlier
+                // serial-fallback configuration): finish that
+                // iteration serially so row accounting stays exact,
+                // then shard from the next iteration barrier.
+                let to = (from_it + 1) * n;
+                let mut nr =
+                    NestRun::new(ni, nest, params, &staging, schedule.clone(), start_g, pcfg);
+                for g in start_g..to {
+                    nr.step(&mut workers[0], g, &mut dur)?;
+                }
+                nr.finish(&mut workers[0])?;
+                from_it += 1;
+            }
+
+            // Per-shard walk state persists across iteration barriers:
+            // caches and write-behind residency carry over exactly as
+            // in the serial walk, because each shard's schedule IS a
+            // serial walk of its owned steps.
+            let mut runs: Vec<Option<NestRun<'_>>> = part
+                .shards
+                .iter()
+                .map(|sh| {
+                    (!sh.schedule.steps.is_empty()).then(|| {
+                        let n_s = sh.schedule.steps.len() as u64;
+                        NestRun::new(
+                            ni,
+                            nest,
+                            params,
+                            &staging,
+                            sh.schedule.clone(),
+                            from_it * n_s,
+                            pcfg,
+                        )
+                    })
+                })
+                .collect();
+
+            for it in from_it..iterations {
+                std::thread::scope(|scope| -> io::Result<()> {
+                    let mut handles = Vec::new();
+                    for (nr, w) in runs.iter_mut().zip(workers.iter_mut()) {
+                        let Some(nr) = nr.as_mut() else { continue };
+                        handles.push(scope.spawn(move || -> io::Result<()> {
+                            let n_s = nr.steps_per_iter();
+                            let mut none: Option<&mut DurableSession> = None;
+                            for g in it * n_s..(it + 1) * n_s {
+                                nr.step(w, g, &mut none)?;
+                            }
+                            Ok(())
+                        }));
+                    }
+                    // Join every shard before propagating the first
+                    // error, so no thread outlives the barrier.
+                    let mut first_err = None;
+                    for h in handles {
+                        let res = h.join().expect("shard worker thread panicked");
+                        if first_err.is_none() {
+                            first_err = res.err();
+                        }
+                    }
+                    match first_err {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    }
+                })?;
+                if let Some(d) = dur.as_deref_mut() {
+                    // Iteration barrier: every shard retired its
+                    // written tiles at its local iteration end; fence
+                    // every queue, then record the serial watermark.
+                    for w in &workers {
+                        if let Some(wb) = &w.wb {
+                            wb.flush()?;
+                        }
+                    }
+                    d.checkpoint(ni, (it + 1) * n)?;
+                }
+            }
+            for (nr, w) in runs.iter_mut().zip(workers.iter_mut()) {
+                if let Some(nr) = nr.as_mut() {
+                    nr.finish(w)?;
+                }
+            }
+        }
+        if let Some(d) = dur.as_deref_mut() {
+            d.checkpoint(ni + 1, 0)?;
+        }
+        if ooc_trace::enabled() {
+            ooc_trace::instant(
+                "parallel",
+                "flush-barrier",
+                vec![("nest", nest.name.clone().into())],
+            );
+        }
+    }
+
+    if let Some(d) = dur {
+        // Shard threads run without the session; fold their step
+        // counts into the recovery report here.
+        d.report.executed_steps += workers.iter().map(|w| w.executed_steps).sum::<u64>();
+    }
+
+    // Tear down every worker before capturing profiles so all
+    // deliveries and write-backs are accounted.
+    let wb_stats: Vec<BTreeMap<u32, IoStats>> = workers
+        .iter_mut()
+        .map(ShardWorker::shutdown)
+        .collect::<io::Result<_>>()?;
+
+    // Analytic profiles fold the main-thread handles (seeding resets
+    // leave only recovery rollback writes) with every worker's staging
+    // handles, prefetch deliveries, and write-behind retirements.
+    // Measured I/O accumulates in the shared store stack across all
+    // threads, so the main handle sees it whole.
+    let profiles: Vec<ArrayProfile> = main_arrays
+        .iter()
+        .enumerate()
+        .map(|(a, arr)| {
+            let mut s = arr.stats();
+            for (w, wbs) in workers.iter().zip(&wb_stats) {
+                s.merge(&w.arrays[a].stats());
+                if let Some(p) = w.prefetch_stats.get(&(a as u32)) {
+                    s.merge(p);
+                }
+                if let Some(x) = wbs.get(&(a as u32)) {
+                    s.merge(x);
+                }
+            }
+            ArrayProfile {
+                name: arr.name().to_string(),
+                stats: s,
+                measured: arr.measured(),
+                accesses: arr.access_log(),
+            }
+        })
+        .collect();
+
+    let shard_stats: Vec<PipelineStats> = workers.iter().map(|w| w.stats.clone()).collect();
+    let mut pipeline = PipelineStats::default();
+    for st in &shard_stats {
+        pipeline.merge(st);
+    }
+    pipeline.io_retries = profiles.iter().map(|p| p.stats.retries).sum();
+
+    let mut data = Vec::with_capacity(main_arrays.len());
+    for arr in main_arrays.iter_mut() {
+        let region = ooc_runtime::Region::full(arr.dims());
+        data.push(arr.read_tile(&region)?.data().to_vec());
+    }
+
+    Ok(ParallelRun {
+        run: FunctionalRun { data, profiles },
+        pipeline,
+        shard_stats,
+        partitions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_functional_on, FunctionalConfig};
+    use crate::optimizer::{optimize, OptimizeOptions};
+    use crate::tiling::TilingStrategy;
+    use ooc_ir::{ArrayRef, Expr, LoopNest, Program, Statement};
+    use ooc_runtime::MemStore;
+
+    fn paper_example() -> Program {
+        let mut p = Program::new(&["N"]);
+        let u = p.declare_array("U", 2, 0);
+        let v = p.declare_array("V", 2, 0);
+        let w = p.declare_array("W", 2, 0);
+        let s1 = Statement::assign(
+            ArrayRef::new(u, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+            Expr::Add(
+                Box::new(Expr::Ref(ArrayRef::new(
+                    v,
+                    &[vec![0, 1], vec![1, 0]],
+                    vec![0, 0],
+                ))),
+                Box::new(Expr::Const(1.0)),
+            ),
+        );
+        p.add_nest(LoopNest::rectangular("nest1", 2, 1, 0, vec![s1]));
+        let s2 = Statement::assign(
+            ArrayRef::new(v, &[vec![1, 0], vec![0, 1]], vec![0, 0]),
+            Expr::Add(
+                Box::new(Expr::Ref(ArrayRef::new(
+                    w,
+                    &[vec![0, 1], vec![1, 0]],
+                    vec![0, 0],
+                ))),
+                Box::new(Expr::Const(2.0)),
+            ),
+        );
+        p.add_nest(LoopNest::rectangular("nest2", 2, 1, 0, vec![s2]));
+        p
+    }
+
+    fn tiled() -> TiledProgram {
+        let p = paper_example();
+        let opt = optimize(&p, &OptimizeOptions::default());
+        TiledProgram::from_optimized(&opt, TilingStrategy::OutOfCore)
+    }
+
+    fn seed(a: ArrayId, idx: &[i64]) -> f64 {
+        (a.0 as f64 + 1.0) * 1000.0 + idx.iter().fold(0.0, |acc, &x| acc * 17.0 + x as f64)
+    }
+
+    fn sync_reference(tp: &TiledProgram, params: &[i64]) -> FunctionalRun {
+        run_functional_on(
+            tp,
+            params,
+            &seed,
+            &FunctionalConfig::with_fraction(16),
+            |_, _, len| Ok(MemStore::new(len)),
+        )
+        .expect("sync run")
+    }
+
+    fn parallel_cfg(shards: usize) -> ParallelConfig {
+        ParallelConfig {
+            pipeline: PipelineConfig {
+                functional: FunctionalConfig::with_fraction(16),
+                ..PipelineConfig::default()
+            },
+            shards,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sync_bit_for_bit_at_every_shard_count() {
+        let tp = tiled();
+        let params = [12i64];
+        let reference = sync_reference(&tp, &params);
+        for shards in [1usize, 2, 3, 4, 8] {
+            let run = exec_parallel(&tp, &params, &seed, &parallel_cfg(shards), |_, _, len| {
+                Ok(MemStore::new(len))
+            })
+            .expect("parallel run");
+            assert_eq!(run.run.data, reference.data, "shards={shards} diverge");
+            assert_eq!(run.shard_stats.len(), shards.max(1));
+        }
+    }
+
+    #[test]
+    fn analytic_io_is_conserved_across_shards() {
+        let tp = tiled();
+        let params = [12i64];
+        let serial = exec_parallel(&tp, &params, &seed, &parallel_cfg(1), |_, _, len| {
+            Ok(MemStore::new(len))
+        })
+        .expect("serial run");
+        let par = exec_parallel(&tp, &params, &seed, &parallel_cfg(4), |_, _, len| {
+            Ok(MemStore::new(len))
+        })
+        .expect("parallel run");
+        let rerun = exec_parallel(&tp, &params, &seed, &parallel_cfg(4), |_, _, len| {
+            Ok(MemStore::new(len))
+        })
+        .expect("parallel rerun");
+        for (s, p) in serial.run.profiles.iter().zip(&par.run.profiles) {
+            // Writes are conserved exactly at every shard count.
+            assert_eq!(
+                (s.stats.write_calls, s.stats.write_elems),
+                (p.stats.write_calls, p.stats.write_elems),
+                "{} writes move",
+                s.name
+            );
+        }
+        for (p, r) in par.run.profiles.iter().zip(&rerun.run.profiles) {
+            // Reads are deterministic at a fixed shard count.
+            assert_eq!(
+                (p.stats.read_calls, p.stats.read_elems),
+                (r.stats.read_calls, r.stats.read_elems),
+                "{} reads vary between identical runs",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn nests_actually_shard() {
+        let tp = tiled();
+        let params = [12i64];
+        let run = exec_parallel(&tp, &params, &seed, &parallel_cfg(2), |_, _, len| {
+            Ok(MemStore::new(len))
+        })
+        .expect("parallel run");
+        assert_eq!(run.partitions.len(), tp.nests.len());
+        assert!(
+            run.partitions
+                .iter()
+                .any(|p| !p.serial_fallback && p.active_shards > 1),
+            "no nest sharded: {:?}",
+            run.partitions
+        );
+        // Both shards did real work.
+        let busy = run
+            .shard_stats
+            .iter()
+            .filter(|s| s.sync_reads + s.prefetched_reads > 0)
+            .count();
+        assert!(busy > 1, "only {busy} shard(s) busy");
+    }
+
+    #[test]
+    fn single_shard_reports_serial_fallback() {
+        let tp = tiled();
+        let run = exec_parallel(&tp, &[9i64], &seed, &parallel_cfg(1), |_, _, len| {
+            Ok(MemStore::new(len))
+        })
+        .expect("serial run");
+        assert!(run.partitions.iter().all(|p| p.serial_fallback));
+    }
+
+    #[test]
+    fn ownership_level_is_zero_for_independent_nests() {
+        let tp = tiled();
+        for tn in &tp.nests {
+            assert_eq!(ownership_level(&tn.nest), Some(0), "{}", tn.nest.name);
+        }
+    }
+}

@@ -127,12 +127,12 @@ pub struct PipelinedRun {
 
 /// One nest's executable plan: the staging layout plus the annotated
 /// schedule.
-struct NestPlan {
-    staging: Staging,
-    schedule: NestSchedule,
+pub(crate) struct NestPlan {
+    pub(crate) staging: Staging,
+    pub(crate) schedule: NestSchedule,
 }
 
-fn plan_nest(
+pub(crate) fn plan_nest(
     tp: &TiledProgram,
     ni: usize,
     params: &[i64],
@@ -353,56 +353,515 @@ fn accept_delivery(
     }
 }
 
-/// Functionally executes a tiled program with the asynchronous tile
-/// pipeline: prefetch workers stage upcoming read tiles over
-/// [`SharedStore`] clones while the main thread computes, a bounded
-/// tile cache keeps reused tiles resident, and dirty tiles retire
-/// through write-behind with a flush barrier at every nest boundary.
-/// Results are bit-equal to
-/// [`run_functional_on`](crate::exec::run_functional_on) over the same
-/// stores (see the module docs for the argument).
-///
-/// `make_store` builds each array's backing store exactly as for the
-/// synchronous executor; it only additionally needs `Send` so clones
-/// of the shared handle may cross into worker threads.
-///
-/// # Errors
-/// Propagates store construction/seeding errors, staging I/O errors
-/// the retry policy cannot recover, and write-behind flush failures.
-///
-/// # Panics
-/// Panics on internal inconsistencies — these indicate compiler bugs
-/// and must surface in tests, like the synchronous executor.
-pub fn exec_pipelined<S: Store + Send + 'static>(
-    tp: &TiledProgram,
-    params: &[i64],
-    init: &dyn Fn(ArrayId, &[i64]) -> f64,
-    cfg: &PipelineConfig,
-    make_store: impl FnMut(usize, &str, u64) -> io::Result<S>,
-) -> io::Result<PipelinedRun> {
-    exec_pipelined_inner(tp, params, init, cfg, make_store, None)
+/// The durability plumbing one executor thread's write path needs,
+/// cloned off a `DurableSession` (the fence is per-worker: each
+/// write-behind queue commits its own tiles' intents).
+pub(crate) struct DurableHooks {
+    pub(crate) journal: SharedJournal,
+    pub(crate) pending: Arc<Mutex<BTreeMap<TileId, Vec<u64>>>>,
+    pub(crate) fence: Box<dyn ooc_sched::DurabilityFence>,
 }
 
-/// The pipelined executor body, with the optional durability hooks the
-/// recovery layer drives: journaled write-back, checkpoint records at
-/// tile-row / iteration / nest boundaries, and boundary-driven step
-/// skipping plus pre-image rollback on resume.
-pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
+/// One executor thread's private pipeline machinery: its own array
+/// handles over the shared stores, its own prefetch pool and
+/// write-behind queue, and its own counters. The single-threaded
+/// executor is exactly one `ShardWorker` driving the full schedule;
+/// the parallel executor builds one per schedule shard.
+pub(crate) struct ShardWorker<S: Store + Send + 'static> {
+    pub(crate) arrays: Vec<OocArray<SharedStore<S>>>,
+    pub(crate) pool: Option<PrefetchPool>,
+    pub(crate) wb: Option<WriteBehind>,
+    pub(crate) sync_journal: Option<SharedJournal>,
+    pub(crate) stats: PipelineStats,
+    pub(crate) prefetch_stats: BTreeMap<u32, IoStats>,
+    /// Steps executed while driven without a durable session (the
+    /// parallel executor folds these into the recovery report).
+    pub(crate) executed_steps: u64,
+}
+
+impl<S: Store + Send + 'static> ShardWorker<S> {
+    /// Builds a worker from fresh array handles produced by
+    /// `mk_arrays` (one set for the worker itself, one per prefetch
+    /// source, one for the write-behind sink), with the durable write
+    /// path when `hooks` is given.
+    pub(crate) fn build(
+        mk_arrays: &dyn Fn() -> Vec<OocArray<SharedStore<S>>>,
+        cfg: &PipelineConfig,
+        hooks: Option<DurableHooks>,
+    ) -> Self {
+        let pool = (cfg.workers > 0 && cfg.prefetch_depth > 0).then(|| {
+            PrefetchPool::new(
+                (0..cfg.workers)
+                    .map(|_| {
+                        Box::new(SharedTileSource {
+                            arrays: mk_arrays(),
+                        }) as Box<dyn TileSource>
+                    })
+                    .collect(),
+            )
+        });
+        let (wb, sync_journal) = match hooks {
+            Some(h) => {
+                let journal = h.journal.clone();
+                let wb = cfg.write_behind.then(|| {
+                    WriteBehind::with_fence(
+                        Box::new(DurableSink {
+                            arrays: mk_arrays(),
+                            journal: h.journal,
+                            pending: h.pending,
+                        }),
+                        Some(h.fence),
+                    )
+                });
+                (wb, Some(journal))
+            }
+            None => (
+                cfg.write_behind.then(|| {
+                    WriteBehind::new(Box::new(SharedTileSink {
+                        arrays: mk_arrays(),
+                    }))
+                }),
+                None,
+            ),
+        };
+        ShardWorker {
+            arrays: mk_arrays(),
+            pool,
+            wb,
+            sync_journal,
+            stats: PipelineStats::default(),
+            prefetch_stats: BTreeMap::new(),
+            executed_steps: 0,
+        }
+    }
+
+    /// Tears down the worker's background threads in accounting order:
+    /// prefetch pool first (so every delivery is in), then the
+    /// write-behind flush, returning the queue's per-array stats
+    /// before dropping it.
+    pub(crate) fn shutdown(&mut self) -> io::Result<BTreeMap<u32, IoStats>> {
+        if let Some(pool) = self.pool.as_mut() {
+            pool.shutdown();
+        }
+        let wb_stats = match &self.wb {
+            Some(wb) => {
+                wb.flush()?;
+                wb.stats()
+            }
+            None => BTreeMap::new(),
+        };
+        self.wb = None;
+        Ok(wb_stats)
+    }
+}
+
+/// The per-nest, per-worker execution state of the tile walk: cache,
+/// arrival buffer, in-flight prefetches, resident written tiles, and
+/// the issue window. [`NestRun::step`] is the pipelined executor's
+/// loop body for one global step; the single-threaded executor drives
+/// one `NestRun` over the whole serial schedule, the parallel
+/// executor one per shard over that shard's schedule.
+pub(crate) struct NestRun<'a> {
+    ni: usize,
+    nest: &'a ooc_ir::LoopNest,
+    bounds: Vec<ooc_linalg::LoopBounds>,
+    params: &'a [i64],
+    staging: &'a Staging,
+    schedule: NestSchedule,
+    /// Steps per iteration of this run's schedule.
+    n: u64,
+    start_g: u64,
+    depth: u64,
+    row_start: Vec<bool>,
+    rows_done: u64,
+    cache: TileCache,
+    arrived: BTreeMap<TileId, Tile>,
+    inflight: BTreeMap<TileId, u64>,
+    written_tiles: BTreeMap<(ArrayId, usize), Tile>,
+    issued_until: u64,
+}
+
+impl<'a> NestRun<'a> {
+    /// Sets up the walk state to start at global step `start_g` of
+    /// `schedule` (row accounting is a pure function of the step
+    /// index, so a resumed run checkpoints at exactly the same steps
+    /// as an uninterrupted one).
+    pub(crate) fn new(
+        ni: usize,
+        nest: &'a ooc_ir::LoopNest,
+        params: &'a [i64],
+        staging: &'a Staging,
+        schedule: NestSchedule,
+        start_g: u64,
+        cfg: &PipelineConfig,
+    ) -> Self {
+        let n = schedule.steps.len() as u64;
+        debug_assert!(n > 0, "a nest run needs at least one step");
+        let row_start: Vec<bool> = (0..schedule.steps.len())
+            .map(|s| s == 0 || schedule.steps[s].box_lo[0] != schedule.steps[s - 1].box_lo[0])
+            .collect();
+        let rows_done: u64 = (1..=start_g)
+            .filter(|&g2| row_start[(g2 % n) as usize])
+            .count() as u64;
+        let capacity = cfg.cache_capacity.unwrap_or_else(|| {
+            schedule
+                .read_footprint_max
+                .saturating_mul(cfg.prefetch_depth as u64 + 2)
+                .max(1)
+        });
+        NestRun {
+            ni,
+            nest,
+            bounds: nest.bounds.loop_bounds(),
+            params,
+            staging,
+            schedule,
+            n,
+            start_g,
+            depth: cfg.prefetch_depth as u64,
+            row_start,
+            rows_done,
+            cache: TileCache::new(capacity),
+            arrived: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            written_tiles: BTreeMap::new(),
+            issued_until: start_g,
+        }
+    }
+
+    /// Total steps of this run's schedule (steps × iterations).
+    pub(crate) fn total_steps(&self) -> u64 {
+        self.schedule.total_steps()
+    }
+
+    /// Steps per iteration of this run's schedule.
+    pub(crate) fn steps_per_iter(&self) -> u64 {
+        self.n
+    }
+
+    /// Executes global step `g` of this run's schedule on `w`:
+    /// advance the issue window, stage reads (cache / arrival /
+    /// stall / sync), stage written slots, compute the tile box, and
+    /// return tiles to cache or residency — plus the durability
+    /// checkpoints when `dur` is present.
+    pub(crate) fn step<S: Store + Send + 'static>(
+        &mut self,
+        w: &mut ShardWorker<S>,
+        g: u64,
+        dur: &mut Option<&mut DurableSession>,
+    ) -> io::Result<()> {
+        let s = (g % self.n) as usize;
+
+        // Periodic durability checkpoint at tile-row boundaries:
+        // drain resident written tiles through the journaled write
+        // path, fence the queue, then append the manifest record.
+        if self.row_start[s] && g > self.start_g {
+            self.rows_done += 1;
+            if let Some(d) = dur.as_deref_mut() {
+                if d.cfg.checkpoint_rows > 0 && self.rows_done % d.cfg.checkpoint_rows == 0 {
+                    for (key, tile) in std::mem::take(&mut self.written_tiles) {
+                        let id = TileId {
+                            key: SlotKey {
+                                array: u32::try_from(key.0 .0).expect("array index"),
+                                slot: u32::try_from(key.1).expect("slot index"),
+                            },
+                            region: tile.region().clone(),
+                        };
+                        retire(
+                            w.wb.as_ref(),
+                            &mut w.arrays,
+                            &mut w.stats,
+                            w.sync_journal.as_ref(),
+                            id,
+                            tile,
+                        )?;
+                    }
+                    if let Some(wb) = &w.wb {
+                        wb.flush()?;
+                    }
+                    d.checkpoint(self.ni, g)?;
+                }
+            }
+        }
+
+        // Advance the issue window: every read of steps
+        // [issued_until, g + depth] is either resident (pin it),
+        // airborne (skip), or submitted now. The window advances
+        // on step counts alone — never on timing — so the issue
+        // sequence is deterministic.
+        if let Some(pool) = w.pool.as_mut() {
+            let window_end = (g + self.depth + 1).min(self.total_steps());
+            while self.issued_until < window_end {
+                let fs = (self.issued_until % self.n) as usize;
+                for req in &self.schedule.steps[fs].reads {
+                    let id = &req.tile;
+                    if self.arrived.contains_key(id) || self.inflight.contains_key(id) {
+                        continue;
+                    }
+                    if self.cache.contains(id.key, &id.region) {
+                        // Resident already: protect it until this
+                        // step consumes it.
+                        self.cache.pin(id.key, &id.region);
+                        continue;
+                    }
+                    let seq = pool.submit(id.clone());
+                    self.inflight.insert(id.clone(), seq);
+                    w.stats.prefetch_issued += 1;
+                    if ooc_trace::enabled() {
+                        ooc_trace::instant(
+                            "pipeline",
+                            "prefetch-issue",
+                            vec![("seq", seq.into()), ("step", self.issued_until.into())],
+                        );
+                    }
+                }
+                self.issued_until += 1;
+            }
+            // Opportunistic drain keeps the arrival buffer small.
+            while let Some(d) = pool.try_recv() {
+                accept_delivery(
+                    d,
+                    &mut self.inflight,
+                    &mut self.arrived,
+                    &mut w.prefetch_stats,
+                );
+            }
+            let depth_now = pool.in_flight();
+            w.stats.in_flight_depth.observe(depth_now);
+            w.stats.max_in_flight = w.stats.max_in_flight.max(depth_now);
+        }
+
+        // Stage this step's tiles.
+        let step = &self.schedule.steps[s];
+        let mut tiles: BTreeMap<(ArrayId, usize), Tile> = BTreeMap::new();
+        let mut stalled = false;
+        for req in &step.reads {
+            let id = &req.tile;
+            let key = slot_key_pair(id);
+            let tile = if let Some(t) = self.cache.take(id.key, &id.region) {
+                t
+            } else if let Some(t) = self.arrived.remove(id) {
+                w.stats.prefetched_reads += 1;
+                t
+            } else if self.inflight.contains_key(id) {
+                // Stall: block on deliveries until ours lands.
+                stalled = true;
+                let _stall =
+                    ooc_trace::enabled().then(|| ooc_trace::span("pipeline", "prefetch-stall"));
+                let mut drains = 0u64;
+                let pool = w.pool.as_mut().expect("in-flight implies pool");
+                while self.inflight.contains_key(id) {
+                    match pool.recv() {
+                        Some(d) => {
+                            drains += 1;
+                            accept_delivery(
+                                d,
+                                &mut self.inflight,
+                                &mut self.arrived,
+                                &mut w.prefetch_stats,
+                            );
+                        }
+                        None => {
+                            // Worker died or accounting drift:
+                            // degrade to a synchronous read.
+                            self.inflight.remove(id);
+                        }
+                    }
+                }
+                w.stats.stall_drains.observe(drains);
+                match self.arrived.remove(id) {
+                    Some(t) => {
+                        w.stats.prefetched_reads += 1;
+                        t
+                    }
+                    None => {
+                        w.stats.sync_reads += 1;
+                        w.arrays[key.0 .0].read_tile(&id.region)?
+                    }
+                }
+            } else {
+                // Never issued (prefetch off, window miss, or
+                // failed fetch): read on the main thread.
+                w.stats.sync_reads += 1;
+                if ooc_trace::enabled() {
+                    ooc_trace::instant("pipeline", "sync-read", vec![("step", g.into())]);
+                }
+                w.arrays[key.0 .0].read_tile(&id.region)?
+            };
+            tiles.insert(key, tile);
+        }
+        if stalled {
+            w.stats.stalls += 1;
+        } else {
+            w.stats.steps_unstalled += 1;
+        }
+
+        // Written slots: synchronous staging with write-behind
+        // retirement, mirroring the synchronous executor.
+        for id in &step.writes {
+            let key = slot_key_pair(id);
+            let stale = self
+                .written_tiles
+                .get(&key)
+                .is_none_or(|t| t.region() != &id.region);
+            if stale {
+                if let Some(old) = self.written_tiles.remove(&key) {
+                    // Retire under the *old* tile's identity: the
+                    // queue's RAW fence and the durable sink's journal
+                    // intent must name the region actually written,
+                    // not this step's new region.
+                    let old_id = TileId {
+                        key: id.key,
+                        region: old.region().clone(),
+                    };
+                    retire(
+                        w.wb.as_ref(),
+                        &mut w.arrays,
+                        &mut w.stats,
+                        w.sync_journal.as_ref(),
+                        old_id,
+                        old,
+                    )?;
+                }
+                if let Some(wb) = &w.wb {
+                    // Read-after-write fence: the region we are
+                    // about to stage may overlap a queued write.
+                    wb.wait_clear(id.key.array, &id.region);
+                }
+                let t = w.arrays[key.0 .0].read_tile(&id.region)?;
+                self.written_tiles.insert(key, t);
+            }
+            let t = self
+                .written_tiles
+                .remove(&key)
+                .expect("written tile staged");
+            tiles.insert(key, t);
+        }
+
+        // Compute — byte-identical to the synchronous executor.
+        let mut iter: Vec<i64> = Vec::with_capacity(self.nest.depth);
+        exec_box(
+            self.nest,
+            &self.bounds,
+            self.params,
+            &step.box_lo,
+            &step.box_hi,
+            &mut iter,
+            &mut tiles,
+            self.staging,
+        );
+        match dur.as_deref_mut() {
+            Some(d) => d.report.executed_steps += 1,
+            None => w.executed_steps += 1,
+        }
+
+        // Return read tiles to the cache with their schedule-known
+        // next use; evictees are clean by construction (written
+        // tiles never enter the cache).
+        for req in &step.reads {
+            let key = slot_key_pair(&req.tile);
+            if let Some(t) = tiles.remove(&key) {
+                let next = self.schedule.absolute_next_use(g, req.next_use_delta);
+                let out = self.cache.insert(req.tile.key, t, false, next);
+                debug_assert!(
+                    out.evicted.iter().all(|e| !e.dirty),
+                    "dirty tile escaped the write path"
+                );
+            }
+        }
+        for id in &step.writes {
+            let key = slot_key_pair(id);
+            if let Some(t) = tiles.remove(&key) {
+                self.written_tiles.insert(key, t);
+            }
+        }
+
+        // End-of-iteration flush of written tiles (the synchronous
+        // executor writes them back here too), then an iteration
+        // checkpoint for durable runs.
+        if (g + 1) % self.n == 0 {
+            for (key, tile) in std::mem::take(&mut self.written_tiles) {
+                let id = TileId {
+                    key: SlotKey {
+                        array: u32::try_from(key.0 .0).expect("array index"),
+                        slot: u32::try_from(key.1).expect("slot index"),
+                    },
+                    region: tile.region().clone(),
+                };
+                retire(
+                    w.wb.as_ref(),
+                    &mut w.arrays,
+                    &mut w.stats,
+                    w.sync_journal.as_ref(),
+                    id,
+                    tile,
+                )?;
+            }
+            if let Some(d) = dur.as_deref_mut() {
+                if let Some(wb) = &w.wb {
+                    wb.flush()?;
+                }
+                d.checkpoint(self.ni, g + 1)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Nest-boundary barrier: drain straggler deliveries, drop the
+    /// cache (merging its stats), and flush write-behind before the
+    /// next nest (or the final dump) reads anything this nest
+    /// produced.
+    pub(crate) fn finish<S: Store + Send + 'static>(
+        &mut self,
+        w: &mut ShardWorker<S>,
+    ) -> io::Result<()> {
+        if let Some(pool) = w.pool.as_mut() {
+            while pool.in_flight() > 0 {
+                match pool.recv() {
+                    Some(d) => accept_delivery(
+                        d,
+                        &mut self.inflight,
+                        &mut self.arrived,
+                        &mut w.prefetch_stats,
+                    ),
+                    None => break,
+                }
+            }
+        }
+        self.arrived.clear();
+        self.inflight.clear();
+        w.stats.cache.merge(&self.cache.stats());
+        let drained = self.cache.clear();
+        debug_assert!(drained.iter().all(|e| !e.dirty));
+        if let Some(wb) = &w.wb {
+            wb.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared run preamble for the pipelined and parallel executors:
+/// resolved array dims, the shared store stack, and the seeded
+/// main-thread array handles, with journal pre-image rollback applied
+/// when resuming a durable run.
+pub(crate) struct RunSetup<S: Store + Send + 'static> {
+    pub(crate) dims_of: Vec<Vec<i64>>,
+    pub(crate) shared: Vec<SharedStore<S>>,
+    pub(crate) arrays: Vec<OocArray<SharedStore<S>>>,
+}
+
+/// Builds every array's shared store, seeds it (unless the durable
+/// session says seeding is already durable), resets metrics so only
+/// the compute phase is profiled, and rolls back uncommitted journal
+/// writes before marking the run begun.
+pub(crate) fn setup_run<S: Store + Send + 'static>(
     tp: &TiledProgram,
     params: &[i64],
     init: &dyn Fn(ArrayId, &[i64]) -> f64,
     cfg: &PipelineConfig,
-    mut make_store: impl FnMut(usize, &str, u64) -> io::Result<S>,
-    mut dur: Option<&mut DurableSession>,
-) -> io::Result<PipelinedRun> {
-    let _span = ooc_trace::span_with(
-        "pipeline",
-        "exec-pipelined",
-        vec![
-            ("workers", (cfg.workers as u64).into()),
-            ("depth", (cfg.prefetch_depth as u64).into()),
-        ],
-    );
+    make_store: &mut dyn FnMut(usize, &str, u64) -> io::Result<S>,
+    dur: &mut Option<&mut DurableSession>,
+) -> io::Result<RunSetup<S>> {
     let dims_of: Vec<Vec<i64>> = tp
         .program
         .arrays
@@ -453,32 +912,103 @@ pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
         })?;
         d.begin()?;
     }
+    Ok(RunSetup {
+        dims_of,
+        shared,
+        arrays,
+    })
+}
+
+/// Fresh per-thread array handles over the same shared stores. Workers
+/// never touch analytic or measured reset paths — their per-fetch
+/// stats are isolated by `reset_stats()` on their own handles, and
+/// store-level measurement accumulates in the shared stack.
+pub(crate) fn worker_handles<S: Store + Send + 'static>(
+    tp: &TiledProgram,
+    dims_of: &[Vec<i64>],
+    shared: &[SharedStore<S>],
+    cfg: &PipelineConfig,
+) -> Vec<OocArray<SharedStore<S>>> {
+    tp.program
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(a, decl)| {
+            OocArray::new(
+                &decl.name,
+                &dims_of[a],
+                tp.layouts[a].clone(),
+                shared[a].clone(),
+                cfg.functional.runtime,
+            )
+        })
+        .collect()
+}
+
+/// Functionally executes a tiled program with the asynchronous tile
+/// pipeline: prefetch workers stage upcoming read tiles over
+/// [`SharedStore`] clones while the main thread computes, a bounded
+/// tile cache keeps reused tiles resident, and dirty tiles retire
+/// through write-behind with a flush barrier at every nest boundary.
+/// Results are bit-equal to
+/// [`run_functional_on`](crate::exec::run_functional_on) over the same
+/// stores (see the module docs for the argument).
+///
+/// `make_store` builds each array's backing store exactly as for the
+/// synchronous executor; it only additionally needs `Send` so clones
+/// of the shared handle may cross into worker threads.
+///
+/// # Errors
+/// Propagates store construction/seeding errors, staging I/O errors
+/// the retry policy cannot recover, and write-behind flush failures.
+///
+/// # Panics
+/// Panics on internal inconsistencies — these indicate compiler bugs
+/// and must surface in tests, like the synchronous executor.
+pub fn exec_pipelined<S: Store + Send + 'static>(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &PipelineConfig,
+    make_store: impl FnMut(usize, &str, u64) -> io::Result<S>,
+) -> io::Result<PipelinedRun> {
+    exec_pipelined_inner(tp, params, init, cfg, make_store, None)
+}
+
+/// The pipelined executor body, with the optional durability hooks the
+/// recovery layer drives: journaled write-back, checkpoint records at
+/// tile-row / iteration / nest boundaries, and boundary-driven step
+/// skipping plus pre-image rollback on resume.
+pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &PipelineConfig,
+    mut make_store: impl FnMut(usize, &str, u64) -> io::Result<S>,
+    mut dur: Option<&mut DurableSession>,
+) -> io::Result<PipelinedRun> {
+    let _span = ooc_trace::span_with(
+        "pipeline",
+        "exec-pipelined",
+        vec![
+            ("workers", (cfg.workers as u64).into()),
+            ("depth", (cfg.prefetch_depth as u64).into()),
+        ],
+    );
+    let RunSetup {
+        dims_of,
+        shared,
+        arrays,
+    } = setup_run(tp, params, init, cfg, &mut make_store, &mut dur)?;
     // Main-thread journal handle for synchronous (non-write-behind)
     // durable retirement.
     let sync_journal: Option<SharedJournal> = dur.as_ref().map(|d| d.journal.clone());
 
-    // Per-thread array handles over the same shared stores. Workers
-    // never touch analytic or measured reset paths — their per-fetch
-    // stats are isolated by reset_stats() on their own handles, and
-    // store-level measurement accumulates in the shared stack.
     let worker_arrays = |shared: &[SharedStore<S>]| -> Vec<OocArray<SharedStore<S>>> {
-        tp.program
-            .arrays
-            .iter()
-            .enumerate()
-            .map(|(a, decl)| {
-                OocArray::new(
-                    &decl.name,
-                    &dims_of[a],
-                    tp.layouts[a].clone(),
-                    shared[a].clone(),
-                    cfg.functional.runtime,
-                )
-            })
-            .collect()
+        worker_handles(tp, &dims_of, shared, cfg)
     };
 
-    let mut pool = (cfg.workers > 0 && cfg.prefetch_depth > 0).then(|| {
+    let pool = (cfg.workers > 0 && cfg.prefetch_depth > 0).then(|| {
         PrefetchPool::new(
             (0..cfg.workers)
                 .map(|_| {
@@ -502,11 +1032,20 @@ pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
             arrays: worker_arrays(&shared),
         })),
     });
+    // The single-threaded executor is one shard worker driving the
+    // full serial schedule — the main arrays double as its handles.
+    let mut w = ShardWorker {
+        arrays,
+        pool,
+        wb,
+        sync_journal,
+        stats: PipelineStats::default(),
+        prefetch_stats: BTreeMap::new(),
+        executed_steps: 0,
+    };
 
     let total_elems = u64::try_from(tp.program.total_elements(params)).expect("size");
     let budget = MemoryBudget::paper_fraction(total_elems, cfg.functional.memory_fraction);
-    let mut stats = PipelineStats::default();
-    let mut prefetch_stats: BTreeMap<u32, IoStats> = BTreeMap::new();
 
     for ni in 0..tp.nests.len() {
         // Resume: nests the checkpoint boundary already covers are
@@ -527,7 +1066,6 @@ pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
             continue;
         };
         let nest = &tp.nests[ni].nest;
-        let bounds = nest.bounds.loop_bounds();
         let n = schedule.steps.len() as u64;
         if n == 0 || schedule.iterations == 0 {
             if let Some(d) = dur.as_deref_mut() {
@@ -535,298 +1073,20 @@ pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
             }
             continue;
         }
-        let total_steps = schedule.total_steps();
-        // Steps this nest's checkpoint boundary already covers, and the
-        // tile-row starts of the cyclic schedule (outermost-coordinate
-        // transitions) where periodic checkpoints may fire. The row
-        // accounting is a pure function of the step index, so a resumed
-        // run checkpoints at exactly the same steps as an uninterrupted
-        // one.
+        // Steps this nest's checkpoint boundary already covers.
         let start_g = dur.as_ref().map_or(0, |d| d.start_step(ni));
         if start_g > 0 {
             if let Some(d) = dur.as_deref_mut() {
                 d.report.skipped_steps += start_g;
             }
         }
-        let row_start: Vec<bool> = (0..schedule.steps.len())
-            .map(|s| s == 0 || schedule.steps[s].box_lo[0] != schedule.steps[s - 1].box_lo[0])
-            .collect();
-        let mut rows_done: u64 = (1..=start_g)
-            .filter(|&g2| row_start[(g2 % n) as usize])
-            .count() as u64;
-        let capacity = cfg.cache_capacity.unwrap_or_else(|| {
-            schedule
-                .read_footprint_max
-                .saturating_mul(cfg.prefetch_depth as u64 + 2)
-                .max(1)
-        });
-        let mut cache = TileCache::new(capacity);
-        let mut arrived: BTreeMap<TileId, Tile> = BTreeMap::new();
-        let mut inflight: BTreeMap<TileId, u64> = BTreeMap::new();
-        // Written slots resident on the main thread, mirroring the
-        // synchronous executor's hoisting.
-        let mut written_tiles: BTreeMap<(ArrayId, usize), Tile> = BTreeMap::new();
-        let mut issued_until: u64 = start_g;
+        let mut nr = NestRun::new(ni, nest, params, &staging, schedule, start_g, cfg);
         let _nest_span = ooc_trace::span("pipeline", &format!("nest:{}", nest.name));
 
-        for g in start_g..total_steps {
-            let s = (g % n) as usize;
-
-            // Periodic durability checkpoint at tile-row boundaries:
-            // drain resident written tiles through the journaled write
-            // path, fence the queue, then append the manifest record.
-            if row_start[s] && g > start_g {
-                rows_done += 1;
-                if let Some(d) = dur.as_deref_mut() {
-                    if d.cfg.checkpoint_rows > 0 && rows_done % d.cfg.checkpoint_rows == 0 {
-                        for (key, tile) in std::mem::take(&mut written_tiles) {
-                            let id = TileId {
-                                key: SlotKey {
-                                    array: u32::try_from(key.0 .0).expect("array index"),
-                                    slot: u32::try_from(key.1).expect("slot index"),
-                                },
-                                region: tile.region().clone(),
-                            };
-                            retire(
-                                wb.as_ref(),
-                                &mut arrays,
-                                &mut stats,
-                                sync_journal.as_ref(),
-                                id,
-                                tile,
-                            )?;
-                        }
-                        if let Some(wb) = &wb {
-                            wb.flush()?;
-                        }
-                        d.checkpoint(ni, g)?;
-                    }
-                }
-            }
-
-            // Advance the issue window: every read of steps
-            // [issued_until, g + depth] is either resident (pin it),
-            // airborne (skip), or submitted now. The window advances
-            // on step counts alone — never on timing — so the issue
-            // sequence is deterministic.
-            if let Some(pool) = pool.as_mut() {
-                let window_end = (g + cfg.prefetch_depth as u64 + 1).min(total_steps);
-                while issued_until < window_end {
-                    let fs = (issued_until % n) as usize;
-                    for req in &schedule.steps[fs].reads {
-                        let id = &req.tile;
-                        if arrived.contains_key(id) || inflight.contains_key(id) {
-                            continue;
-                        }
-                        if cache.contains(id.key, &id.region) {
-                            // Resident already: protect it until this
-                            // step consumes it.
-                            cache.pin(id.key, &id.region);
-                            continue;
-                        }
-                        let seq = pool.submit(id.clone());
-                        inflight.insert(id.clone(), seq);
-                        stats.prefetch_issued += 1;
-                        if ooc_trace::enabled() {
-                            ooc_trace::instant(
-                                "pipeline",
-                                "prefetch-issue",
-                                vec![("seq", seq.into()), ("step", issued_until.into())],
-                            );
-                        }
-                    }
-                    issued_until += 1;
-                }
-                // Opportunistic drain keeps the arrival buffer small.
-                while let Some(d) = pool.try_recv() {
-                    accept_delivery(d, &mut inflight, &mut arrived, &mut prefetch_stats);
-                }
-                let depth_now = pool.in_flight();
-                stats.in_flight_depth.observe(depth_now);
-                stats.max_in_flight = stats.max_in_flight.max(depth_now);
-            }
-
-            // Stage this step's tiles.
-            let step = &schedule.steps[s];
-            let mut tiles: BTreeMap<(ArrayId, usize), Tile> = BTreeMap::new();
-            let mut stalled = false;
-            for req in &step.reads {
-                let id = &req.tile;
-                let key = slot_key_pair(id);
-                let tile = if let Some(t) = cache.take(id.key, &id.region) {
-                    t
-                } else if let Some(t) = arrived.remove(id) {
-                    stats.prefetched_reads += 1;
-                    t
-                } else if inflight.contains_key(id) {
-                    // Stall: block on deliveries until ours lands.
-                    stalled = true;
-                    let _stall =
-                        ooc_trace::enabled().then(|| ooc_trace::span("pipeline", "prefetch-stall"));
-                    let mut drains = 0u64;
-                    let pool = pool.as_mut().expect("in-flight implies pool");
-                    while inflight.contains_key(id) {
-                        match pool.recv() {
-                            Some(d) => {
-                                drains += 1;
-                                accept_delivery(
-                                    d,
-                                    &mut inflight,
-                                    &mut arrived,
-                                    &mut prefetch_stats,
-                                );
-                            }
-                            None => {
-                                // Worker died or accounting drift:
-                                // degrade to a synchronous read.
-                                inflight.remove(id);
-                            }
-                        }
-                    }
-                    stats.stall_drains.observe(drains);
-                    match arrived.remove(id) {
-                        Some(t) => {
-                            stats.prefetched_reads += 1;
-                            t
-                        }
-                        None => {
-                            stats.sync_reads += 1;
-                            arrays[key.0 .0].read_tile(&id.region)?
-                        }
-                    }
-                } else {
-                    // Never issued (prefetch off, window miss, or
-                    // failed fetch): read on the main thread.
-                    stats.sync_reads += 1;
-                    if ooc_trace::enabled() {
-                        ooc_trace::instant("pipeline", "sync-read", vec![("step", g.into())]);
-                    }
-                    arrays[key.0 .0].read_tile(&id.region)?
-                };
-                tiles.insert(key, tile);
-            }
-            if stalled {
-                stats.stalls += 1;
-            } else {
-                stats.steps_unstalled += 1;
-            }
-
-            // Written slots: synchronous staging with write-behind
-            // retirement, mirroring the synchronous executor.
-            for id in &step.writes {
-                let key = slot_key_pair(id);
-                let stale = written_tiles
-                    .get(&key)
-                    .is_none_or(|t| t.region() != &id.region);
-                if stale {
-                    if let Some(old) = written_tiles.remove(&key) {
-                        retire(
-                            wb.as_ref(),
-                            &mut arrays,
-                            &mut stats,
-                            sync_journal.as_ref(),
-                            id.clone(),
-                            old,
-                        )?;
-                    }
-                    if let Some(wb) = &wb {
-                        // Read-after-write fence: the region we are
-                        // about to stage may overlap a queued write.
-                        wb.wait_clear(id.key.array, &id.region);
-                    }
-                    let t = arrays[key.0 .0].read_tile(&id.region)?;
-                    written_tiles.insert(key, t);
-                }
-                let t = written_tiles.remove(&key).expect("written tile staged");
-                tiles.insert(key, t);
-            }
-
-            // Compute — byte-identical to the synchronous executor.
-            let mut iter: Vec<i64> = Vec::with_capacity(nest.depth);
-            exec_box(
-                nest,
-                &bounds,
-                params,
-                &step.box_lo,
-                &step.box_hi,
-                &mut iter,
-                &mut tiles,
-                &staging,
-            );
-            if let Some(d) = dur.as_deref_mut() {
-                d.report.executed_steps += 1;
-            }
-
-            // Return read tiles to the cache with their schedule-known
-            // next use; evictees are clean by construction (written
-            // tiles never enter the cache).
-            for req in &step.reads {
-                let key = slot_key_pair(&req.tile);
-                if let Some(t) = tiles.remove(&key) {
-                    let next = schedule.absolute_next_use(g, req.next_use_delta);
-                    let out = cache.insert(req.tile.key, t, false, next);
-                    debug_assert!(
-                        out.evicted.iter().all(|e| !e.dirty),
-                        "dirty tile escaped the write path"
-                    );
-                }
-            }
-            for id in &step.writes {
-                let key = slot_key_pair(id);
-                if let Some(t) = tiles.remove(&key) {
-                    written_tiles.insert(key, t);
-                }
-            }
-
-            // End-of-iteration flush of written tiles (the synchronous
-            // executor writes them back here too), then an iteration
-            // checkpoint for durable runs.
-            if (g + 1) % n == 0 {
-                for (key, tile) in std::mem::take(&mut written_tiles) {
-                    let id = TileId {
-                        key: SlotKey {
-                            array: u32::try_from(key.0 .0).expect("array index"),
-                            slot: u32::try_from(key.1).expect("slot index"),
-                        },
-                        region: tile.region().clone(),
-                    };
-                    retire(
-                        wb.as_ref(),
-                        &mut arrays,
-                        &mut stats,
-                        sync_journal.as_ref(),
-                        id,
-                        tile,
-                    )?;
-                }
-                if let Some(d) = dur.as_deref_mut() {
-                    if let Some(wb) = &wb {
-                        wb.flush()?;
-                    }
-                    d.checkpoint(ni, g + 1)?;
-                }
-            }
+        for g in start_g..nr.total_steps() {
+            nr.step(&mut w, g, &mut dur)?;
         }
-
-        // Nest-boundary barrier: drain stragglers, drop the cache,
-        // and flush write-behind before the next nest (or the final
-        // dump) reads anything this nest produced.
-        if let Some(pool) = pool.as_mut() {
-            while pool.in_flight() > 0 {
-                match pool.recv() {
-                    Some(d) => accept_delivery(d, &mut inflight, &mut arrived, &mut prefetch_stats),
-                    None => break,
-                }
-            }
-        }
-        arrived.clear();
-        inflight.clear();
-        stats.cache.merge(&cache.stats());
-        let drained = cache.clear();
-        debug_assert!(drained.iter().all(|e| !e.dirty));
-        if let Some(wb) = &wb {
-            wb.flush()?;
-        }
+        nr.finish(&mut w)?;
         if let Some(d) = dur.as_deref_mut() {
             // Everything this nest wrote is durable and committed.
             d.checkpoint(ni + 1, 0)?;
@@ -842,32 +1102,23 @@ pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
 
     // Tear down the workers before capturing profiles so every
     // delivery and write-back is accounted.
-    if let Some(pool) = pool.as_mut() {
-        pool.shutdown();
-    }
-    let wb_stats = match &wb {
-        Some(wb) => {
-            wb.flush()?;
-            wb.stats()
-        }
-        None => BTreeMap::new(),
-    };
-    drop(wb);
+    let wb_stats = w.shutdown()?;
 
     // Profiles before the final dump, as in the synchronous executor:
     // analytic stats fold main-thread staging, prefetch deliveries,
     // and write-behind retirements; measured I/O accumulated in the
     // shared store stack across all threads.
-    let profiles: Vec<ArrayProfile> = arrays
+    let profiles: Vec<ArrayProfile> = w
+        .arrays
         .iter()
         .enumerate()
         .map(|(a, arr)| {
             let mut s = arr.stats();
-            if let Some(p) = prefetch_stats.get(&(a as u32)) {
+            if let Some(p) = w.prefetch_stats.get(&(a as u32)) {
                 s.merge(p);
             }
-            if let Some(w) = wb_stats.get(&(a as u32)) {
-                s.merge(w);
+            if let Some(wbs) = wb_stats.get(&(a as u32)) {
+                s.merge(wbs);
             }
             ArrayProfile {
                 name: arr.name().to_string(),
@@ -877,17 +1128,17 @@ pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
             }
         })
         .collect();
-    stats.io_retries = profiles.iter().map(|p| p.stats.retries).sum();
+    w.stats.io_retries = profiles.iter().map(|p| p.stats.retries).sum();
 
-    let mut data = Vec::with_capacity(arrays.len());
-    for arr in arrays.iter_mut() {
+    let mut data = Vec::with_capacity(w.arrays.len());
+    for arr in w.arrays.iter_mut() {
         let region = ooc_runtime::Region::full(arr.dims());
         data.push(arr.read_tile(&region)?.data().to_vec());
     }
 
     Ok(PipelinedRun {
         run: FunctionalRun { data, profiles },
-        pipeline: stats,
+        pipeline: w.stats,
     })
 }
 

@@ -35,6 +35,7 @@ use crate::exec::{
     exec_box, level_ranges, rw_arrays, walk_tiles, ArrayProfile, FunctionalConfig, FunctionalRun,
     Staging,
 };
+use crate::parallel::{ParallelConfig, ParallelRun};
 use crate::pipeline::{PipelineConfig, PipelinedRun};
 use crate::tiling::{plan_spans, IoWeights, TiledProgram};
 use ooc_ir::ArrayId;
@@ -483,6 +484,21 @@ pub struct PipelinedDurableOutcome {
     /// with the durability counters folded into its
     /// [`PipelineStats`](ooc_sched::PipelineStats).
     pub run: PipelinedRun,
+    /// Journal / checkpoint / recovery counters.
+    pub report: RecoveryReport,
+    /// Per-array fault handle when the array was fault-wrapped.
+    pub fault_handles: Vec<Option<FaultHandle>>,
+    /// Per-array checksum counters.
+    pub checksum_handles: Vec<ChecksumHandle>,
+}
+
+/// Result of a durable parallel run.
+#[derive(Debug)]
+pub struct ParallelDurableOutcome {
+    /// The parallel result (bit-equal to the single-threaded
+    /// executors), with the durability counters folded into its merged
+    /// [`PipelineStats`](ooc_sched::PipelineStats).
+    pub run: ParallelRun,
     /// Journal / checkpoint / recovery counters.
     pub report: RecoveryReport,
     /// Per-array fault handle when the array was fault-wrapped.
@@ -1200,6 +1216,133 @@ pub fn resume_pipelined(
         jscan.torn_tail || mscan.torn_tail,
     );
     drive_pipelined(tp, params, init, cfg, dur, medium, faults, session)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_parallel(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &ParallelConfig,
+    dur: &DurabilityConfig,
+    medium: &mut dyn DurableMedium,
+    faults: &dyn Fn(usize) -> Option<FaultConfig>,
+    mut session: DurableSession,
+) -> io::Result<ParallelDurableOutcome> {
+    let mut fault_handles: Vec<Option<FaultHandle>> = Vec::new();
+    let mut checksum_handles: Vec<ChecksumHandle> = Vec::new();
+    let mut run = crate::parallel::exec_parallel_inner(
+        tp,
+        params,
+        init,
+        cfg,
+        |a, name, len| {
+            let (store, fh, ch) = durable_store(medium, a, name, len, dur, faults)?;
+            fault_handles.push(fh);
+            checksum_handles.push(ch);
+            Ok(store)
+        },
+        Some(&mut session),
+    )?;
+    let (intents, commits) = session.journal.written();
+    let mut report = session.report;
+    report.journal_intents = intents;
+    report.journal_commits = commits;
+    report.corrupt_reads = checksum_handles
+        .iter()
+        .map(ChecksumHandle::corrupt_reads)
+        .sum();
+    run.pipeline.journal_commits = commits;
+    run.pipeline.recovery_replayed_tiles = report.rolled_back_tiles;
+    run.pipeline.corrupt_reads = report.corrupt_reads;
+    Ok(ParallelDurableOutcome {
+        run,
+        report,
+        fault_handles,
+        checksum_handles,
+    })
+}
+
+/// [`exec_pipelined_durable`]'s parallel sibling: every shard worker's
+/// write path journals intents against the shared session and commits
+/// them through its own fence; multi-shard nests checkpoint at
+/// iteration barriers after all queues flush, serial-fallback nests at
+/// tile-row boundaries. Crash recovery via [`resume_parallel`].
+///
+/// # Errors
+/// Propagates store/journal I/O errors, including injected crashes —
+/// from any shard.
+///
+/// # Panics
+/// Panics on internal inconsistencies (compiler bugs).
+pub fn exec_parallel_durable(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &ParallelConfig,
+    dur: &DurabilityConfig,
+    medium: &mut dyn DurableMedium,
+    faults: &dyn Fn(usize) -> Option<FaultConfig>,
+) -> io::Result<ParallelDurableOutcome> {
+    let _span = ooc_trace::span("recovery", "exec-parallel-durable");
+    let mut jlog = medium.journal()?;
+    jlog.truncate()?;
+    let mut mlog = medium.manifest()?;
+    mlog.truncate()?;
+    let session = DurableSession::fresh(SharedJournal::new(Journal::new(jlog)), mlog, *dur);
+    drive_parallel(tp, params, init, cfg, dur, medium, faults, session)
+}
+
+/// Resumes a crashed durable *parallel* run from its last consistent
+/// checkpoint boundary. Boundaries are serial-schedule watermarks
+/// (iteration barriers, or tile rows of serial-fallback nests), so the
+/// resumed run — at any worker count — replays at most one checkpoint
+/// interval per array and lands bit-equal to an uninterrupted run.
+///
+/// # Errors
+/// Propagates store/journal I/O errors, including injected crashes on
+/// a re-crashed resume.
+///
+/// # Panics
+/// Panics on internal inconsistencies (compiler bugs).
+pub fn resume_parallel(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &ParallelConfig,
+    dur: &DurabilityConfig,
+    medium: &mut dyn DurableMedium,
+    faults: &dyn Fn(usize) -> Option<FaultConfig>,
+) -> io::Result<ParallelDurableOutcome> {
+    let mut mlog = medium.manifest()?;
+    let mscan = parse_manifest(&mlog.read_all()?);
+    let Some(boundary) = mscan.boundary() else {
+        return exec_parallel_durable(tp, params, init, cfg, dur, medium, faults);
+    };
+    let _span = ooc_trace::span("recovery", "resume-parallel");
+    let mut jlog = medium.journal()?;
+    let jscan = parse_journal(&jlog.read_all()?);
+    // See resume_functional: torn tails must be truncated before the
+    // resumed run appends, or a second recovery loses records.
+    if jscan.torn_tail {
+        jlog.truncate_to(jscan.valid_len)?;
+    }
+    if mscan.torn_tail {
+        mlog.truncate_to(mscan.valid_len)?;
+    }
+    let session = DurableSession::resumed(
+        SharedJournal::new(Journal::resume(jlog, jscan.next_seq)),
+        mlog,
+        *dur,
+        boundary,
+        jscan
+            .intents_after(boundary.watermark)
+            .into_iter()
+            .cloned()
+            .collect(),
+        jscan.torn_tail || mscan.torn_tail,
+    );
+    drive_parallel(tp, params, init, cfg, dur, medium, faults, session)
 }
 
 #[cfg(test)]

@@ -30,6 +30,10 @@
 //!   idempotent [`rollback`].
 //! * [`shared`] — [`SharedStore`]: a cloneable `Arc<Mutex<…>>` handle
 //!   that lets prefetch/write-behind threads share one store.
+//! * [`striped`] — [`StripedStore`]: 64 KB stripes round-robined over
+//!   K per-node stores behind bounded FIFO lanes ([`IoNodePool`]),
+//!   with deterministic per-node traffic counters and timing
+//!   histograms — measured multi-I/O-node contention.
 //! * [`testing`] — store factories and temp-dir plumbing for
 //!   differential tests.
 
@@ -45,6 +49,7 @@ pub mod layout;
 pub mod profile;
 pub mod shared;
 pub mod store;
+pub mod striped;
 pub mod testing;
 pub mod trace;
 
@@ -68,4 +73,7 @@ pub use profile::{
 };
 pub use shared::SharedStore;
 pub use store::{FileStore, MemStore, Store, ELEM_BYTES};
+pub use striped::{
+    part_len, IoNodePool, NodeStats, NodeTiming, ServiceModel, StripeConfig, StripedStore,
+};
 pub use trace::{MeasuredIo, TraceHandle, TracingStore, RUN_HIST_BUCKETS};

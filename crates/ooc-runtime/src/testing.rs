@@ -4,12 +4,17 @@
 //! run the same program against both and compare measured I/O.
 
 use crate::store::{FileStore, MemStore, Store};
+use crate::striped::{IoNodePool, StripedStore};
 use crate::trace::{TraceHandle, TracingStore};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A traced, striped, sendable store as built by
+/// [`Backend::open_striped_traced`].
+pub type TracedStriped = TracingStore<StripedStore<Box<dyn Store + Send>>>;
 
 /// A process-unique temporary directory removed on drop.
 #[derive(Debug)]
@@ -129,6 +134,42 @@ impl Backend {
         len: u64,
     ) -> io::Result<(TracingStore<Box<dyn Store + Send>>, TraceHandle)> {
         let store = TracingStore::new(self.open_sendable(dir, name, len)?);
+        let trace = store.trace();
+        Ok((store, trace))
+    }
+
+    /// Builds a [`StripedStore`] over this backend: one part store per
+    /// I/O node of `pool` (file parts at `dir/<name>.n<k>.dat`),
+    /// routed through the pool's FIFO lanes.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn open_striped(
+        self,
+        dir: &Path,
+        name: &str,
+        len: u64,
+        pool: &IoNodePool,
+    ) -> io::Result<StripedStore<Box<dyn Store + Send>>> {
+        StripedStore::build(pool, len, |node, part_len| {
+            self.open_sendable(dir, &format!("{name}.n{node}"), part_len)
+        })
+    }
+
+    /// Like [`Backend::open_striped`], wrapped in a [`TracingStore`]
+    /// so differential tests see the array's measured store-level I/O
+    /// alongside the pool's per-node statistics.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn open_striped_traced(
+        self,
+        dir: &Path,
+        name: &str,
+        len: u64,
+        pool: &IoNodePool,
+    ) -> io::Result<(TracedStriped, TraceHandle)> {
+        let store = TracingStore::new(self.open_striped(dir, name, len, pool)?);
         let trace = store.trace();
         Ok((store, trace))
     }

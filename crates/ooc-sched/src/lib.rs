@@ -12,6 +12,10 @@
 //! * [`schedule`] — the walk itself, as ordered [`TileStep`]s whose
 //!   read requests carry cyclic **next-use distances**
 //!   ([`annotate_next_use`]).
+//! * [`partition`] — [`PartitionedSchedule`]: the walk cut across N
+//!   worker shards by tile-walk ownership, next-use deltas recomputed
+//!   per shard, with a written-region disjointness check and serial
+//!   fallback so the cut is always safe.
 //! * [`cache`] — a bounded [`TileCache`] whose eviction is
 //!   Belady-informed by those distances (farthest next use goes
 //!   first), with an LRU fallback and pin/unpin for tiles a step is
@@ -38,12 +42,16 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod partition;
 pub mod prefetch;
 pub mod schedule;
 pub mod stats;
 pub mod writebehind;
 
 pub use cache::{CacheStats, Evicted, InsertOutcome, TileCache};
+pub use partition::{
+    partition_nest, partition_nest_checked, written_disjoint, PartitionedSchedule, ShardSchedule,
+};
 pub use prefetch::{Delivery, PrefetchPool, PrefetchRequest, TileSource};
 pub use schedule::{
     annotate_next_use, NestSchedule, SlotKey, StageRequest, TileId, TileSchedule, TileStep,

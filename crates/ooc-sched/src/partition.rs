@@ -1,0 +1,353 @@
+//! Schedule partitioning: splitting one nest's static tile walk
+//! across N worker shards by **tile-walk ownership**.
+//!
+//! The tiling pass fixes the walk order before the program runs, so a
+//! parallel executor does not need dynamic work stealing — it can cut
+//! the walk statically. A [`PartitionedSchedule`] assigns every step
+//! of the serial walk to exactly one shard, keyed on the step's
+//! iteration-space coordinate at one loop level (the *ownership
+//! level*, chosen by the executor from dependence analysis — the same
+//! communication-free rule `build_workload` uses for the simulated
+//! Table 3 decomposition). Three invariants make the cut safe:
+//!
+//! 1. **Disjoint exhaustive cover** — every serial step is owned by
+//!    exactly one shard ([`partition_nest`] constructs it that way;
+//!    the proptest suite verifies it on random schedules).
+//! 2. **Serial-order preservation** — a shard's local step order is
+//!    the serial relative order of the steps it owns, so per-shard
+//!    hoisting and write-back mirror the serial executor's.
+//! 3. **Belady safety** — next-use deltas are recomputed per shard
+//!    with [`annotate_next_use`]. A shard sees a *subset* of a tile's
+//!    serial occurrences, so its next-use distance (mapped back to
+//!    serial positions) can only grow: the per-shard cache never
+//!    evicts a tile sooner than the serial schedule would justify.
+//!
+//! Bit-equality additionally needs the shards' *written* regions to be
+//! pairwise disjoint across shards (a shared hull would let one
+//! shard's retirement clobber another's); [`written_disjoint`] checks
+//! it and [`partition_nest_checked`] falls back to a single serial
+//! shard when the check fails or no ownership level is available.
+
+use crate::schedule::{annotate_next_use, NestSchedule, SlotKey};
+use ooc_runtime::Region;
+use std::collections::BTreeMap;
+
+/// One shard of a partitioned nest schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSchedule {
+    /// Shard index within the partition.
+    pub shard: usize,
+    /// The shard's own walk: the serial steps it owns, in serial
+    /// relative order, with next-use deltas recomputed over this
+    /// shard's walk alone.
+    pub schedule: NestSchedule,
+    /// For each local step, its index within the *serial* walk
+    /// (`0..serial_len`) — the witness of the cover invariants.
+    pub serial_steps: Vec<usize>,
+}
+
+/// A serial nest schedule split across shards by tile-walk ownership.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionedSchedule {
+    /// Index of the nest within the program.
+    pub nest: usize,
+    /// Loop level whose `box_lo` coordinate keyed ownership.
+    pub level: usize,
+    /// Length of the serial walk this partition covers.
+    pub serial_len: usize,
+    /// `true` when the requested shard count could not be honored
+    /// safely and the partition collapsed to one serial shard.
+    pub serial_fallback: bool,
+    /// The shards, in index order. Shards may own zero steps (more
+    /// shards than distinct ownership values).
+    pub shards: Vec<ShardSchedule>,
+}
+
+impl PartitionedSchedule {
+    /// Shards that actually own at least one step.
+    #[must_use]
+    pub fn active_shards(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| !s.schedule.steps.is_empty())
+            .count()
+    }
+}
+
+/// Splits `0..n` distinct ownership values into `p` near-equal blocks
+/// — the same `i·n/p` rule the simulated decomposition uses
+/// (`chunks` in `ooc-core`), so measured and priced partitions agree.
+fn block_of(value_index: usize, values: usize, shards: usize) -> usize {
+    debug_assert!(value_index < values);
+    // Inverse of start(i) = i*n/p: the unique i with
+    // start(i) <= v < start(i+1).
+    (0..shards)
+        .rfind(|&i| i * values / shards <= value_index)
+        .unwrap_or(0)
+}
+
+/// Partitions `serial` across `shards` workers by the `box_lo[level]`
+/// coordinate: the distinct coordinate values, in order of first
+/// appearance in the serial walk, are block-partitioned into `shards`
+/// near-equal runs, and each step goes to the shard owning its value.
+///
+/// Every serial step lands in exactly one shard and shard-local order
+/// is serial relative order (both by construction). Next-use deltas
+/// and `read_footprint_max` are recomputed per shard.
+///
+/// # Panics
+/// Panics when `level` is out of range for the schedule's steps or
+/// `shards` is zero.
+#[must_use]
+pub fn partition_nest(serial: &NestSchedule, level: usize, shards: usize) -> PartitionedSchedule {
+    assert!(shards > 0, "a partition needs at least one shard");
+    // Distinct ownership values in order of first appearance: for the
+    // outermost tiled level this is ascending walk order, so block
+    // runs of values are contiguous runs of the serial walk.
+    let mut value_index: BTreeMap<i64, usize> = BTreeMap::new();
+    let mut order: Vec<i64> = Vec::new();
+    for step in &serial.steps {
+        assert!(
+            level < step.box_lo.len(),
+            "ownership level {level} out of range for depth {}",
+            step.box_lo.len()
+        );
+        let v = step.box_lo[level];
+        value_index.entry(v).or_insert_with(|| {
+            order.push(v);
+            order.len() - 1
+        });
+    }
+    let values = order.len();
+    let mut out: Vec<ShardSchedule> = (0..shards)
+        .map(|shard| ShardSchedule {
+            shard,
+            schedule: NestSchedule {
+                nest: serial.nest,
+                iterations: serial.iterations,
+                steps: Vec::new(),
+                read_footprint_max: 0,
+            },
+            serial_steps: Vec::new(),
+        })
+        .collect();
+    for (i, step) in serial.steps.iter().enumerate() {
+        let vi = value_index[&step.box_lo[level]];
+        let owner = block_of(vi, values.max(1), shards);
+        let mut step = step.clone();
+        for req in &mut step.reads {
+            req.next_use_delta = None; // re-annotated per shard below
+        }
+        out[owner].schedule.steps.push(step);
+        out[owner].serial_steps.push(i);
+    }
+    for shard in &mut out {
+        annotate_next_use(&mut shard.schedule);
+    }
+    PartitionedSchedule {
+        nest: serial.nest,
+        level,
+        serial_len: serial.steps.len(),
+        serial_fallback: false,
+        shards: out,
+    }
+}
+
+/// Collects each shard's written regions per slot.
+fn written_by_shard(p: &PartitionedSchedule) -> BTreeMap<SlotKey, Vec<(usize, Region)>> {
+    let mut out: BTreeMap<SlotKey, Vec<(usize, Region)>> = BTreeMap::new();
+    for shard in &p.shards {
+        for step in &shard.schedule.steps {
+            for id in &step.writes {
+                let entry = out.entry(id.key).or_default();
+                // Consecutive steps usually rewrite the same hull
+                // region; dedup keeps the pairwise check small.
+                if entry
+                    .iter()
+                    .any(|(s, r)| *s == shard.shard && *r == id.region)
+                {
+                    continue;
+                }
+                entry.push((shard.shard, id.region.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// `true` when no two *different* shards write overlapping regions of
+/// the same slot — the structural precondition for bit-equality of
+/// the parallel executor (a shared written hull would let one shard's
+/// retirement clobber another shard's in-flight values).
+#[must_use]
+pub fn written_disjoint(p: &PartitionedSchedule) -> bool {
+    for regions in written_by_shard(p).values() {
+        for (i, (sa, ra)) in regions.iter().enumerate() {
+            for (sb, rb) in &regions[i + 1..] {
+                if sa != sb && ra.overlaps(rb) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// [`partition_nest`] with the safety net the executor relies on:
+/// when no ownership level is known (`level == None`), only one shard
+/// is requested, or the resulting shards' written regions are not
+/// pairwise disjoint, the partition collapses to a single serial
+/// shard (`serial_fallback` set) — the parallel executor then runs
+/// that nest exactly like the single-threaded pipeline.
+#[must_use]
+pub fn partition_nest_checked(
+    serial: &NestSchedule,
+    level: Option<usize>,
+    shards: usize,
+) -> PartitionedSchedule {
+    let serial_shard = |level: usize| {
+        let mut p = partition_nest(serial, level, 1);
+        p.serial_fallback = true;
+        p
+    };
+    let Some(level) = level else {
+        return serial_shard(0);
+    };
+    if shards <= 1 || serial.steps.is_empty() {
+        let mut p = partition_nest(serial, level, shards.max(1));
+        p.serial_fallback = shards <= 1;
+        return p;
+    }
+    let p = partition_nest(serial, level, shards);
+    if written_disjoint(&p) {
+        p
+    } else {
+        serial_shard(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{StageRequest, TileId, TileStep};
+
+    fn tile(array: u32, slot: u32, lo: i64, hi: i64) -> TileId {
+        TileId {
+            key: SlotKey { array, slot },
+            region: Region::new(vec![lo], vec![hi]),
+        }
+    }
+
+    /// A 1-level serial walk: step i owns coordinate i, reads tile
+    /// `r` every step, writes `w_i` (disjoint per step).
+    fn walk(n: usize) -> NestSchedule {
+        let steps = (0..n)
+            .map(|i| {
+                let lo = i as i64 * 4 + 1;
+                TileStep {
+                    box_lo: vec![i as i64],
+                    box_hi: vec![i as i64],
+                    reads: vec![StageRequest::new(tile(0, 0, 1, 8))],
+                    writes: vec![tile(1, 0, lo, lo + 3)],
+                }
+            })
+            .collect();
+        let mut s = NestSchedule {
+            nest: 0,
+            iterations: 2,
+            steps,
+            read_footprint_max: 0,
+        };
+        annotate_next_use(&mut s);
+        s
+    }
+
+    #[test]
+    fn covers_serially_and_disjointly() {
+        let serial = walk(10);
+        let p = partition_nest(&serial, 0, 3);
+        let mut seen = [false; 10];
+        for shard in &p.shards {
+            assert!(
+                shard.serial_steps.windows(2).all(|w| w[0] < w[1]),
+                "shard order must be serial relative order"
+            );
+            for (&si, step) in shard.serial_steps.iter().zip(&shard.schedule.steps) {
+                assert!(!seen[si], "step {si} owned twice");
+                seen[si] = true;
+                assert_eq!(step.box_lo, serial.steps[si].box_lo);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every serial step owned");
+        assert_eq!(p.active_shards(), 3);
+    }
+
+    #[test]
+    fn block_partition_matches_chunks_rule() {
+        // 10 values over 3 shards: starts at 0, 3, 6 → sizes 3, 3, 4.
+        let sizes: Vec<usize> = (0..3)
+            .map(|s| (0..10).filter(|&v| block_of(v, 10, 3) == s).count())
+            .collect();
+        assert_eq!(sizes, vec![3, 3, 4]);
+        // Ownership is monotone in the value index.
+        let owners: Vec<usize> = (0..10).map(|v| block_of(v, 10, 3)).collect();
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn per_shard_next_use_is_annotated() {
+        let serial = walk(8);
+        let p = partition_nest(&serial, 0, 2);
+        for shard in &p.shards {
+            let n = shard.schedule.steps.len() as u64;
+            for step in &shard.schedule.steps {
+                for req in &step.reads {
+                    let d = req.next_use_delta.expect("annotated per shard");
+                    assert!(d >= 1 && d <= n, "delta {d} outside shard walk {n}");
+                }
+            }
+            assert!(shard.schedule.read_footprint_max > 0);
+        }
+    }
+
+    #[test]
+    fn disjoint_writes_pass_the_check() {
+        let p = partition_nest(&walk(6), 0, 3);
+        assert!(written_disjoint(&p));
+        let checked = partition_nest_checked(&walk(6), Some(0), 3);
+        assert!(!checked.serial_fallback);
+        assert_eq!(checked.shards.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_writes_force_serial_fallback() {
+        // Every step writes the same hull: any 2-shard cut overlaps.
+        let mut serial = walk(6);
+        for step in &mut serial.steps {
+            step.writes = vec![tile(1, 0, 1, 8)];
+        }
+        let p = partition_nest(&serial, 0, 2);
+        assert!(!written_disjoint(&p));
+        let checked = partition_nest_checked(&serial, Some(0), 2);
+        assert!(checked.serial_fallback);
+        assert_eq!(checked.shards.len(), 1);
+        assert_eq!(checked.shards[0].schedule.steps.len(), 6);
+    }
+
+    #[test]
+    fn no_level_means_serial_fallback() {
+        let checked = partition_nest_checked(&walk(4), None, 4);
+        assert!(checked.serial_fallback);
+        assert_eq!(checked.shards.len(), 1);
+        assert_eq!(checked.shards[0].serial_steps, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn more_shards_than_values_leaves_empty_shards() {
+        let p = partition_nest(&walk(2), 0, 5);
+        assert_eq!(p.shards.len(), 5);
+        assert_eq!(p.active_shards(), 2);
+        let total: usize = p.shards.iter().map(|s| s.schedule.steps.len()).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -54,6 +54,27 @@ impl PipelineStats {
         }
     }
 
+    /// Folds another shard's counters into this one — used by the
+    /// parallel executor to report one run-wide [`PipelineStats`]
+    /// across worker shards. Counters and histograms add; high-water
+    /// marks take the max.
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.prefetch_issued += other.prefetch_issued;
+        self.steps_unstalled += other.steps_unstalled;
+        self.stalls += other.stalls;
+        self.prefetched_reads += other.prefetched_reads;
+        self.sync_reads += other.sync_reads;
+        self.writebehind_tiles += other.writebehind_tiles;
+        self.cache.merge(&other.cache);
+        self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
+        self.in_flight_depth.merge(&other.in_flight_depth);
+        self.stall_drains.merge(&other.stall_drains);
+        self.io_retries += other.io_retries;
+        self.corrupt_reads += other.corrupt_reads;
+        self.journal_commits += other.journal_commits;
+        self.recovery_replayed_tiles += other.recovery_replayed_tiles;
+    }
+
     /// Registers every counter under `pipeline_*` with a `kernel`
     /// label, following the repo's metrics naming scheme.
     pub fn register_into(&self, registry: &Registry, kernel: &str, version: &str) {
@@ -224,5 +245,24 @@ mod tests {
     #[test]
     fn hit_rate_handles_idle() {
         assert_eq!(PipelineStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_high_water() {
+        let mut a = sample();
+        let mut b = sample();
+        b.max_in_flight = 9;
+        b.stalls = 1;
+        a.merge(&b);
+        assert_eq!(a.prefetch_issued, 20);
+        assert_eq!(a.stalls, 4);
+        assert_eq!(a.cache.hits, 12);
+        assert_eq!(a.max_in_flight, 9);
+        assert_eq!(a.in_flight_depth.count, 4);
+        assert_eq!(a.io_retries, 10);
+        // Merging the default is the identity.
+        let before = a.clone();
+        a.merge(&PipelineStats::default());
+        assert_eq!(a, before);
     }
 }

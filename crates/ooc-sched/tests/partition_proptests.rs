@@ -1,0 +1,184 @@
+//! Property tests of schedule partitioning: on randomized tile walks,
+//! [`partition_nest`] must produce a **disjoint exhaustive cover** of
+//! the serial walk (every serial step owned by exactly one shard, in
+//! serial relative order, content preserved), ownership must be
+//! consistent per coordinate value, and the per-shard Belady next-use
+//! deltas must **never under-estimate**: mapped back to absolute
+//! serial positions, a shard's predicted next use of a tile is never
+//! earlier than the serial schedule's — the eviction-safety half of
+//! the parallel executor's correctness argument.
+//!
+//! [`partition_nest_checked`] is additionally pinned to its contract:
+//! a non-fallback partition has pairwise-disjoint written regions and
+//! the requested shard count; a fallback partition is one serial
+//! shard covering the whole walk.
+
+use ooc_runtime::Region;
+use ooc_sched::{
+    annotate_next_use, partition_nest, partition_nest_checked, written_disjoint, NestSchedule,
+    PartitionedSchedule, SlotKey, StageRequest, TileId, TileStep,
+};
+use proptest::prelude::*;
+
+fn tile(array: u32, lo: i64, elems: i64) -> TileId {
+    TileId {
+        key: SlotKey { array, slot: 0 },
+        region: Region::new(vec![lo], vec![lo + elems - 1]),
+    }
+}
+
+/// Decodes one raw tuple per step into a depth-2 tile walk. The
+/// ownership coordinate comes from a small range so values repeat
+/// across steps (multi-step shards) and appear in arbitrary order;
+/// reads draw from a 9-tile universe so next-use chains cross shard
+/// boundaries; writes draw from a 4-slot range so the disjointness
+/// check passes on some walks and fails on others.
+fn build_walk(raw: &[(u8, u8, u8, u8)], level: usize) -> NestSchedule {
+    let steps = raw
+        .iter()
+        .map(|&(own, other, mask, wlo)| {
+            let mut box_lo = vec![other as i64 % 4, 0];
+            box_lo[level] = own as i64;
+            let mut reads = Vec::new();
+            for b in 0..3u32 {
+                if mask & (1 << b) != 0 {
+                    let lo = 1 + 16 * ((other as i64 + b as i64) % 3);
+                    reads.push(StageRequest::new(tile(b, lo, 8)));
+                }
+            }
+            TileStep {
+                box_hi: box_lo.clone(),
+                box_lo,
+                reads,
+                writes: vec![tile(3, 1 + 8 * (wlo as i64 % 4), 8)],
+            }
+        })
+        .collect();
+    let mut s = NestSchedule {
+        nest: 0,
+        iterations: 2,
+        steps,
+        read_footprint_max: 0,
+    };
+    annotate_next_use(&mut s);
+    s
+}
+
+/// Checks the disjoint-exhaustive-cover and order invariants, and
+/// returns the owner shard of every serial step.
+fn assert_cover(p: &PartitionedSchedule, serial: &NestSchedule) -> Vec<usize> {
+    let n = serial.steps.len();
+    let mut owner: Vec<Option<usize>> = vec![None; n];
+    for shard in &p.shards {
+        assert_eq!(shard.schedule.nest, serial.nest);
+        assert_eq!(shard.schedule.iterations, serial.iterations);
+        assert!(
+            shard.serial_steps.windows(2).all(|w| w[0] < w[1]),
+            "shard {} local order breaks serial relative order: {:?}",
+            shard.shard,
+            shard.serial_steps
+        );
+        assert_eq!(shard.serial_steps.len(), shard.schedule.steps.len());
+        for (&si, step) in shard.serial_steps.iter().zip(&shard.schedule.steps) {
+            assert!(owner[si].is_none(), "serial step {si} owned twice");
+            owner[si] = Some(shard.shard);
+            let s = &serial.steps[si];
+            assert_eq!(step.box_lo, s.box_lo, "step {si}: box_lo changed");
+            assert_eq!(step.box_hi, s.box_hi, "step {si}: box_hi changed");
+            assert_eq!(step.writes, s.writes, "step {si}: writes changed");
+            let tiles: Vec<&TileId> = step.reads.iter().map(|r| &r.tile).collect();
+            let serial_tiles: Vec<&TileId> = s.reads.iter().map(|r| &r.tile).collect();
+            assert_eq!(tiles, serial_tiles, "step {si}: read set changed");
+        }
+    }
+    owner
+        .into_iter()
+        .map(|o| o.expect("uncovered step"))
+        .collect()
+}
+
+proptest! {
+    /// The three partition invariants on arbitrary walks, shard
+    /// counts, and ownership levels.
+    #[test]
+    fn partition_covers_disjointly_and_never_underestimates_next_use(
+        shards in 1usize..6,
+        level in 0usize..2,
+        raw in proptest::collection::vec((0u8..6, 0u8..8, 0u8..8, 0u8..8), 1..48),
+    ) {
+        let serial = build_walk(&raw, level);
+        let n = serial.steps.len();
+        let p = partition_nest(&serial, level, shards);
+        prop_assert_eq!(p.shards.len(), shards);
+        prop_assert_eq!(p.serial_len, n);
+        let owner = assert_cover(&p, &serial);
+
+        // Ownership consistency: one shard per coordinate value.
+        let mut value_owner = std::collections::BTreeMap::new();
+        for (si, step) in serial.steps.iter().enumerate() {
+            let prev = value_owner.insert(step.box_lo[level], owner[si]);
+            if let Some(prev) = prev {
+                prop_assert_eq!(
+                    prev, owner[si],
+                    "coordinate {} owned by two shards", step.box_lo[level]
+                );
+            }
+        }
+
+        // Belady safety: per-shard next-use deltas, mapped to absolute
+        // serial positions (walks repeat with their own period), are
+        // never earlier than the serial schedule's.
+        for shard in &p.shards {
+            let ns = shard.schedule.steps.len();
+            for (i, step) in shard.schedule.steps.iter().enumerate() {
+                let si = shard.serial_steps[i];
+                for r in &step.reads {
+                    let ds = r.next_use_delta.expect("annotated") as usize;
+                    prop_assert!(ds >= 1 && ds <= ns, "delta {} outside walk {}", ds, ns);
+                    let shard_abs =
+                        shard.serial_steps[(i + ds) % ns] + ((i + ds) / ns) * n;
+                    let d = serial.steps[si]
+                        .reads
+                        .iter()
+                        .find(|q| q.tile == r.tile)
+                        .and_then(|q| q.next_use_delta)
+                        .expect("serial annotated") as usize;
+                    prop_assert!(
+                        shard_abs >= si + d,
+                        "shard {} under-estimates: tile next use at serial {} \
+                         but shard predicts {} (step {}, delta {})",
+                        shard.shard, si + d, shard_abs, si, ds
+                    );
+                }
+            }
+        }
+    }
+
+    /// `partition_nest_checked` either returns a safe multi-shard
+    /// partition (disjoint writes, requested width) or collapses to a
+    /// single serial shard covering the whole walk — never anything in
+    /// between.
+    #[test]
+    fn checked_partition_is_safe_or_serial(
+        shards in 1usize..6,
+        raw in proptest::collection::vec((0u8..6, 0u8..8, 0u8..8, 0u8..8), 1..48),
+    ) {
+        let serial = build_walk(&raw, 0);
+        let p = partition_nest_checked(&serial, Some(0), shards);
+        let owner = assert_cover(&p, &serial);
+        prop_assert_eq!(owner.len(), serial.steps.len());
+        if p.serial_fallback {
+            prop_assert_eq!(p.shards.len(), 1);
+            prop_assert!(owner.iter().all(|&o| o == 0));
+        } else {
+            prop_assert_eq!(p.shards.len(), shards);
+            prop_assert!(written_disjoint(&p), "unsafe partition not caught");
+        }
+
+        // No ownership level always collapses to serial.
+        let no_level = partition_nest_checked(&serial, None, shards);
+        prop_assert!(no_level.serial_fallback);
+        prop_assert_eq!(no_level.shards.len(), 1);
+        assert_cover(&no_level, &serial);
+    }
+}

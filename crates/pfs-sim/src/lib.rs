@@ -10,18 +10,23 @@
 //! and (c) contention when many processors share the fixed I/O-node
 //! pool. [`PfsSim`] models exactly those with an exact discrete-event
 //! simulation at I/O-operation granularity; [`analytic`] provides
-//! closed-form bounds used for cross-checks and compiler cost queries.
+//! closed-form bounds used for cross-checks and compiler cost queries;
+//! [`contention`] prices measured per-I/O-node load distributions
+//! (from the runtime's striped store layer) into makespan, speedup,
+//! and skew.
 
 #![warn(missing_docs)]
 
 pub mod analytic;
 pub mod config;
+pub mod contention;
 pub mod pipeline;
 pub mod pricing;
 pub mod sim;
 
 pub use analytic::{estimate, lower_bound, stats, WorkloadStats};
 pub use config::{ComputeParams, DiskParams, MachineConfig, PfsConfig};
+pub use contention::{price_node_loads, ContentionReport, NodeLoad};
 pub use pipeline::{
     op_io_seconds, overlap_lower_bound, overlap_report, pipelined_makespan, sequential_makespan,
     stages_from_trace, OverlapReport, Stage,
