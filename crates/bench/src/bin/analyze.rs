@@ -1,0 +1,140 @@
+//! Scaling forensics: where did the wall-clock of a parallel run go?
+//!
+//! For each kernel × version this traces real parallel executions at
+//! 1/2/4/8 workers over striped I/O-node stores and reports:
+//!
+//! * the **blame waterfall** — compute, sync read/write, prefetch
+//!   stall, fence wait, I/O-node queue wait, checkpoint/replay,
+//!   barrier skew — per lane, summing *exactly* to the measured
+//!   wall-clock (`=` marks the conservation check);
+//! * a per-lane ASCII **Gantt** chart and the **critical path** with
+//!   its bounding resource;
+//! * the **efficiency-loss-at-N** summary across all cells;
+//! * the **model-vs-measured contention gap** table (priced contention
+//!   vs experienced queue waits) over 4/8/16 nodes.
+//!
+//! Usage: `analyze [scale] [--kernels a,b,c] [--workers-detail N]
+//!         [--metrics out.json] [--serve ADDR]`
+//!
+//! `--kernels` restricts the sweep (CSV of kernel names); the detail
+//! blocks (waterfall/Gantt/critical path) print for the highest worker
+//! count unless `--workers-detail` picks another; `--serve ADDR`
+//! starts the live HTTP endpoint (`/metrics`, `/analyze`) for the
+//! duration of the sweep. Gate with `bench-compare` against
+//! `BENCH_analyze_seed.json`.
+
+use ooc_analyze::{registry_provider, LiveServer};
+use ooc_bench::{
+    analyze_register, efficiency_summary, gap_report, run_analyze_cell, MetricsScope,
+    ANALYZE_WORKER_COUNTS, MEASURED_NODE_COUNTS,
+};
+use ooc_kernels::{all_kernels, Version};
+use std::sync::{Arc, Mutex};
+
+const SWEEP_NODES: usize = 8;
+const GAP_WORKERS: usize = 4;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = MetricsScope::from_args(&mut args, "analyze");
+    let kernels: Vec<String> = ooc_bench::trace::take_value_flag(&mut args, "--kernels")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+    let detail_workers: usize = ooc_bench::trace::take_value_flag(&mut args, "--workers-detail")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(*ANALYZE_WORKER_COUNTS.last().expect("non-empty"));
+    let serve = ooc_bench::trace::take_value_flag(&mut args, "--serve");
+    let scale: i64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    // The live endpoint shares the metrics registry (scrapes see cells
+    // as they land) and a report slot refreshed after every cell.
+    let live_registry = Arc::new(ooc_metrics::Registry::new());
+    let live_report = Arc::new(Mutex::new(String::new()));
+    let mut server = serve.map(|addr| {
+        let provider = registry_provider(
+            "analyze-live",
+            Arc::clone(&live_registry),
+            Arc::clone(&live_report),
+        );
+        let server = LiveServer::start(&addr, provider)
+            .unwrap_or_else(|e| panic!("cannot bind live endpoint {addr}: {e}"));
+        eprintln!(
+            "live endpoint: http://{}/metrics and /analyze",
+            server.local_addr()
+        );
+        server
+    });
+
+    eprintln!(
+        "tracing parallel runs at 1/{} of measured scale: {} kernels x 6 versions x {:?} workers \
+         at {SWEEP_NODES} nodes (+{:?} nodes at {GAP_WORKERS} workers for the gap table)...",
+        scale * 32,
+        if kernels.is_empty() {
+            all_kernels().len()
+        } else {
+            kernels.len()
+        },
+        ANALYZE_WORKER_COUNTS,
+        MEASURED_NODE_COUNTS
+            .iter()
+            .filter(|&&n| n != SWEEP_NODES)
+            .collect::<Vec<_>>(),
+    );
+
+    // Sequential by construction: trace sessions are process-exclusive.
+    let mut cells = Vec::new();
+    for k in all_kernels() {
+        if !kernels.is_empty() && !kernels.iter().any(|n| n == k.name) {
+            continue;
+        }
+        for &v in Version::ALL.iter() {
+            for workers in ANALYZE_WORKER_COUNTS {
+                cells.push(run_analyze_cell(&k, v, scale, workers, SWEEP_NODES));
+            }
+            for nodes in MEASURED_NODE_COUNTS {
+                if nodes != SWEEP_NODES {
+                    cells.push(run_analyze_cell(&k, v, scale, GAP_WORKERS, nodes));
+                }
+            }
+            // Refresh the live endpoint at version granularity.
+            if server.is_some() {
+                let last = cells.last().expect("cells non-empty");
+                *live_report.lock().expect("live report") = last.report.render(80);
+                ooc_bench::analyze_register(&live_registry, std::slice::from_ref(last));
+            }
+            let detail = cells
+                .iter()
+                .rev()
+                .find(|c| {
+                    c.kernel == k.name
+                        && c.version == v.label()
+                        && c.workers == detail_workers
+                        && c.nodes == SWEEP_NODES
+                })
+                .expect("detail cell ran");
+            println!(
+                "=== {} {} (workers={}, nodes={SWEEP_NODES}, {:.1} ms measured)",
+                k.name,
+                v.label(),
+                detail.workers,
+                detail.seconds * 1e3
+            );
+            print!("{}", detail.report.render(72));
+            println!();
+        }
+    }
+
+    println!("== efficiency loss at N workers ({SWEEP_NODES} nodes)");
+    print!("{}", efficiency_summary(&cells, SWEEP_NODES));
+    println!();
+    println!("== model-vs-measured contention gap ({GAP_WORKERS} workers)");
+    print!("{}", gap_report(&cells, GAP_WORKERS).render());
+    println!("(gap = measured busy makespan / priced makespan; w-share = experienced");
+    println!(" queue wait over busy time — contention the analytic model leaves unpriced)");
+
+    analyze_register(metrics.registry(), &cells);
+    let _ = metrics.finish();
+    if let Some(s) = server.as_mut() {
+        s.stop();
+    }
+}

@@ -8,8 +8,8 @@
 //! histograms, seek distance).
 //!
 //! Usage: `inspect <kernel> [procs] [scale-divisor] [--trace out.json]
-//!         [--explain] [--profile] [--pipeline] [--recovery]
-//!         [--metrics out.json]`
+//!         [--explain] [--profile] [--pipeline] [--shards N]
+//!         [--analyze] [--recovery] [--metrics out.json]`
 //!
 //! `--trace out.json` records every compiler decision and runtime tile
 //! access into a Chrome-trace file (open in <https://ui.perfetto.dev>);
@@ -19,7 +19,13 @@
 //! priced by the `pfs-sim` cost model; `--pipeline` additionally runs
 //! each version through the asynchronous tile pipeline
 //! (`exec_pipelined`), asserts bit-equality with the synchronous run,
-//! and prints the cache/prefetch/stall counters; `--recovery` runs the
+//! and prints the cache/prefetch/stall counters (with `--shards N`,
+//! N > 1, it runs the *parallel* executor instead and prints each
+//! shard's counters plus the merged view); `--analyze` runs each
+//! version through a traced parallel execution and prints the
+//! scaling-forensics report (blame waterfall, Gantt, critical path —
+//! mutually exclusive with `--trace`/`--explain`, which own the
+//! process's trace session); `--recovery` runs the
 //! kernel's c-opt version through the crash-consistent durable
 //! executor (crash, torn write, checksum scan, resume) and prints the
 //! recovery counters; `--metrics out.json` writes a metrics snapshot
@@ -27,8 +33,8 @@
 use ooc_bench::trace::{render_explain, TraceScope};
 use ooc_bench::{interval_summary, recovery_register, run_recovery_demo, MetricsScope};
 use ooc_core::{
-    exec_pipelined, profile_functional, simulate, ExecConfig, FunctionalConfig, IoComparison,
-    PipelineConfig,
+    exec_parallel, exec_pipelined, profile_functional, simulate, ExecConfig, FunctionalConfig,
+    IoComparison, ParallelConfig, PipelineConfig,
 };
 use ooc_ir::ArrayId;
 use ooc_kernels::{compile, kernel_by_name, Version};
@@ -89,6 +95,12 @@ fn main() {
     args.retain(|a| a != "--profile");
     let pipeline = args.iter().any(|a| a == "--pipeline");
     args.retain(|a| a != "--pipeline");
+    let analyze = args.iter().any(|a| a == "--analyze");
+    args.retain(|a| a != "--analyze");
+    let shards: usize = ooc_bench::trace::take_value_flag(&mut args, "--shards")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1);
     let recovery = args.iter().any(|a| a == "--recovery");
     args.retain(|a| a != "--recovery");
     let name = args.first().cloned().unwrap_or_else(|| "trans".into());
@@ -192,24 +204,72 @@ fn main() {
                 functional: FunctionalConfig::with_fraction(16),
                 ..PipelineConfig::default()
             };
-            let prun = exec_pipelined(&cv.tiled, &k.small_params, &seed, &pcfg, |_, _, len| {
-                Ok(ooc_runtime::MemStore::new(len))
-            })
-            .expect("pipelined run");
-            assert_eq!(
-                prun.run.data,
-                run.data,
-                "{} {}: pipeline diverged from the synchronous executor",
-                k.name,
-                v.label()
-            );
-            println!(
-                "       pipeline at {:?} (workers={} depth={}) — bit-equal to sync:",
-                k.small_params, pcfg.workers, pcfg.prefetch_depth
-            );
-            print!("{}", prun.pipeline.render());
-            prun.pipeline
-                .register_into(metrics.registry(), k.name, v.label());
+            if shards > 1 {
+                let pcfg = ParallelConfig {
+                    pipeline: pcfg,
+                    shards,
+                };
+                let prun = exec_parallel(&cv.tiled, &k.small_params, &seed, &pcfg, |_, _, len| {
+                    Ok(ooc_runtime::MemStore::new(len))
+                })
+                .expect("parallel run");
+                assert_eq!(
+                    prun.run.data,
+                    run.data,
+                    "{} {}: parallel executor diverged from the synchronous one",
+                    k.name,
+                    v.label()
+                );
+                println!(
+                    "       parallel pipeline at {:?} ({shards} shards) — bit-equal to sync:",
+                    k.small_params
+                );
+                for (si, stats) in prun.shard_stats.iter().enumerate() {
+                    println!("       shard {si}:");
+                    print!("{}", stats.render());
+                }
+                println!("       merged across {shards} shards:");
+                print!("{}", prun.pipeline.render());
+                prun.pipeline
+                    .register_into(metrics.registry(), k.name, v.label());
+            } else {
+                let prun = exec_pipelined(&cv.tiled, &k.small_params, &seed, &pcfg, |_, _, len| {
+                    Ok(ooc_runtime::MemStore::new(len))
+                })
+                .expect("pipelined run");
+                assert_eq!(
+                    prun.run.data,
+                    run.data,
+                    "{} {}: pipeline diverged from the synchronous executor",
+                    k.name,
+                    v.label()
+                );
+                println!(
+                    "       pipeline at {:?} (workers={} depth={}) — bit-equal to sync:",
+                    k.small_params, pcfg.workers, pcfg.prefetch_depth
+                );
+                print!("{}", prun.pipeline.render());
+                prun.pipeline
+                    .register_into(metrics.registry(), k.name, v.label());
+            }
+        }
+        if analyze {
+            if trace.active() {
+                eprintln!(
+                    "--analyze skipped for {}: --trace/--explain owns the process trace session",
+                    v.label()
+                );
+            } else {
+                let cell = ooc_bench::run_analyze_cell(&k, v, scale, shards.max(2), 8);
+                println!(
+                    "       forensics (workers={}, nodes={}, {:.1} ms measured):",
+                    cell.workers,
+                    cell.nodes,
+                    cell.seconds * 1e3
+                );
+                print!("{}", cell.report.render(72));
+                ooc_bench::analyze_register(metrics.registry(), std::slice::from_ref(&cell));
+            }
         }
     }
     if recovery {

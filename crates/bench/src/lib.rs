@@ -14,9 +14,11 @@
 //! | Figure 3 | `figure3` | tile access patterns and I/O call counts |
 //! | Figure 4 (ext.) | `figure4` | async tile pipeline vs synchronous |
 //! | Figure 5 (ext.) | `figure5` | crash points × checkpoint intervals: recovery cost |
+//! | Forensics (ext.) | `analyze` | blame waterfalls, critical paths, contention gap |
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod experiments;
 pub mod json;
 pub mod measured;
@@ -25,6 +27,10 @@ pub mod recovery;
 pub mod reference;
 pub mod trace;
 
+pub use analyze::{
+    analyze_register, efficiency_summary, gap_report, run_analyze_cell, run_analyze_sweep,
+    AnalyzeCell, ANALYZE_WORKER_COUNTS,
+};
 pub use experiments::{run_table2, run_table3, table2_row, Table2Cell, Table2Row, Table3Entry};
 pub use measured::{
     measured_params, measured_table3_register, run_measured_table3, MeasuredEntry,

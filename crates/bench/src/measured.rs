@@ -96,7 +96,7 @@ pub fn measured_seed(a: ArrayId, idx: &[i64]) -> f64 {
     (h % 1009) as f64 / 64.0 + 1.0
 }
 
-fn pipeline_config() -> PipelineConfig {
+pub(crate) fn pipeline_config() -> PipelineConfig {
     PipelineConfig {
         functional: FunctionalConfig::with_fraction(16),
         ..PipelineConfig::default()
@@ -173,8 +173,7 @@ pub fn run_measured_table3(scale: i64, workers: usize) -> Vec<MeasuredEntry> {
                         .iter()
                         .map(|n| NodeLoad {
                             calls: n.io.read_calls + n.io.write_calls,
-                            bytes: (n.io.read_elems + n.io.write_elems)
-                                * ooc_runtime::ELEM_BYTES,
+                            bytes: (n.io.read_elems + n.io.write_elems) * ooc_runtime::ELEM_BYTES,
                         })
                         .collect();
                     let priced = price_node_loads(&loads, &DiskParams::default());
@@ -239,6 +238,8 @@ pub fn measured_table3_register(registry: &Registry, entries: &[MeasuredEntry]) 
         // Deterministic: totals and the per-node split.
         let mut wait_ns = 0u64;
         let mut depth_n = 0u64;
+        let mut wait_hist = ooc_metrics::Histogram::default();
+        let mut depth_hist = ooc_metrics::Histogram::default();
         for (kn, n) in e.node_stats.iter().enumerate() {
             let node = kn.to_string();
             let nl = [labels[0], labels[1], labels[2], ("node", node.as_str())];
@@ -254,7 +255,15 @@ pub fn measured_table3_register(registry: &Registry, entries: &[MeasuredEntry]) 
             );
             wait_ns += n.timing.wait_ns;
             depth_n += n.timing.depth_hist.count;
+            wait_hist.merge(&n.timing.wait_hist);
+            depth_hist.merge(&n.timing.depth_hist);
         }
+        // Queue histograms, merged across nodes. The `timing_` prefix
+        // tells `bench-compare` to gate on observation *count* only
+        // (one observation per I/O call — deterministic), never on the
+        // wall-clock-dependent bucket shape.
+        registry.record_hist("timing_queue_wait_ns", &labels, &wait_hist);
+        registry.record_hist("timing_queue_depth", &labels, &depth_hist);
         registry.counter_add(
             "striped_read_calls_total",
             &labels,
@@ -376,5 +385,15 @@ mod tests {
             .sum();
         assert_eq!(per_node, entry.total_calls());
         assert!(!snap.samples.is_empty());
+        // Queue histograms register under the timing_ prefix with one
+        // observation per I/O call (count-gated by bench-compare).
+        match r.get("timing_queue_wait_ns", &labels) {
+            Some(Value::Histogram(h)) => assert_eq!(h.count, entry.total_calls()),
+            other => panic!("expected timing histogram, got {other:?}"),
+        }
+        match r.get("timing_queue_depth", &labels) {
+            Some(Value::Histogram(h)) => assert_eq!(h.count, entry.total_calls()),
+            other => panic!("expected timing histogram, got {other:?}"),
+        }
     }
 }

@@ -184,6 +184,7 @@ pub(crate) fn exec_parallel_inner<S: Store + Send + 'static>(
 ) -> io::Result<ParallelRun> {
     let pcfg = &cfg.pipeline;
     let shards = cfg.shards.max(1);
+    let _lane = ooc_trace::lane_scope(ooc_trace::Lane::main());
     let _span = ooc_trace::span_with(
         "parallel",
         "exec-parallel",
@@ -313,9 +314,19 @@ pub(crate) fn exec_parallel_inner<S: Store + Send + 'static>(
             for it in from_it..iterations {
                 std::thread::scope(|scope| -> io::Result<()> {
                     let mut handles = Vec::new();
-                    for (nr, w) in runs.iter_mut().zip(workers.iter_mut()) {
+                    for (si, (nr, w)) in runs.iter_mut().zip(workers.iter_mut()).enumerate() {
                         let Some(nr) = nr.as_mut() else { continue };
                         handles.push(scope.spawn(move || -> io::Result<()> {
+                            let lane =
+                                ooc_trace::Lane::shard(u32::try_from(si).unwrap_or(u32::MAX));
+                            let _lane = ooc_trace::lane_scope(lane);
+                            let _run = ooc_trace::enabled().then(|| {
+                                ooc_trace::span_with(
+                                    "parallel",
+                                    "shard-run",
+                                    vec![("shard", (si as u64).into()), ("iter", it.into())],
+                                )
+                            });
                             let n_s = nr.steps_per_iter();
                             let mut none: Option<&mut DurableSession> = None;
                             for g in it * n_s..(it + 1) * n_s {
@@ -326,6 +337,8 @@ pub(crate) fn exec_parallel_inner<S: Store + Send + 'static>(
                     }
                     // Join every shard before propagating the first
                     // error, so no thread outlives the barrier.
+                    let _join =
+                        ooc_trace::enabled().then(|| ooc_trace::span("parallel", "join-wait"));
                     let mut first_err = None;
                     for h in handles {
                         let res = h.join().expect("shard worker thread panicked");
@@ -342,6 +355,8 @@ pub(crate) fn exec_parallel_inner<S: Store + Send + 'static>(
                     // Iteration barrier: every shard retired its
                     // written tiles at its local iteration end; fence
                     // every queue, then record the serial watermark.
+                    let _ckpt =
+                        ooc_trace::enabled().then(|| ooc_trace::span("durable", "checkpoint"));
                     for w in &workers {
                         if let Some(wb) = &w.wb {
                             wb.flush()?;
@@ -357,6 +372,7 @@ pub(crate) fn exec_parallel_inner<S: Store + Send + 'static>(
             }
         }
         if let Some(d) = dur.as_deref_mut() {
+            let _ckpt = ooc_trace::enabled().then(|| ooc_trace::span("durable", "checkpoint"));
             d.checkpoint(ni + 1, 0)?;
         }
         if ooc_trace::enabled() {

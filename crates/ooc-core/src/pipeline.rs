@@ -307,6 +307,7 @@ fn retire<S: Store>(
             wb.enqueue(id, tile);
         }
         None => {
+            let _sync = ooc_trace::enabled().then(|| ooc_trace::span("pipeline", "sync-write"));
             let arr = &mut arrays[id.key.array as usize];
             if let Some(journal) = journal {
                 let pre = arr.read_tile(&id.region)?;
@@ -332,6 +333,11 @@ fn accept_delivery(
     arrived: &mut BTreeMap<TileId, Tile>,
     prefetch_stats: &mut BTreeMap<u32, IoStats>,
 ) {
+    // Close the causal link the prefetch worker opened when it sent
+    // this delivery (critical-path edge across threads).
+    if ooc_trace::enabled() {
+        ooc_trace::flow_finish("pipeline", "delivery", d.seq);
+    }
     inflight.remove(&d.tile);
     match d.result {
         Ok((tile, stats)) => {
@@ -559,6 +565,8 @@ impl<'a> NestRun<'a> {
             self.rows_done += 1;
             if let Some(d) = dur.as_deref_mut() {
                 if d.cfg.checkpoint_rows > 0 && self.rows_done % d.cfg.checkpoint_rows == 0 {
+                    let _ckpt =
+                        ooc_trace::enabled().then(|| ooc_trace::span("durable", "checkpoint"));
                     for (key, tile) in std::mem::take(&mut self.written_tiles) {
                         let id = TileId {
                             key: SlotKey {
@@ -676,6 +684,9 @@ impl<'a> NestRun<'a> {
                     }
                     None => {
                         w.stats.sync_reads += 1;
+                        let _sync = ooc_trace::enabled().then(|| {
+                            ooc_trace::span_with("pipeline", "sync-read", vec![("step", g.into())])
+                        });
                         w.arrays[key.0 .0].read_tile(&id.region)?
                     }
                 }
@@ -683,9 +694,9 @@ impl<'a> NestRun<'a> {
                 // Never issued (prefetch off, window miss, or
                 // failed fetch): read on the main thread.
                 w.stats.sync_reads += 1;
-                if ooc_trace::enabled() {
-                    ooc_trace::instant("pipeline", "sync-read", vec![("step", g.into())]);
-                }
+                let _sync = ooc_trace::enabled().then(|| {
+                    ooc_trace::span_with("pipeline", "sync-read", vec![("step", g.into())])
+                });
                 w.arrays[key.0 .0].read_tile(&id.region)?
             };
             tiles.insert(key, tile);
@@ -798,6 +809,7 @@ impl<'a> NestRun<'a> {
                 )?;
             }
             if let Some(d) = dur.as_deref_mut() {
+                let _ckpt = ooc_trace::enabled().then(|| ooc_trace::span("durable", "checkpoint"));
                 if let Some(wb) = &w.wb {
                     wb.flush()?;
                 }
@@ -899,6 +911,7 @@ pub(crate) fn setup_run<S: Store + Send + 'static>(
     // post-boundary) write of the crashed run, then mark seeding
     // durable for fresh runs.
     if let Some(d) = dur.as_deref_mut() {
+        let _replay = ooc_trace::enabled().then(|| ooc_trace::span("durable", "recovery-replay"));
         d.rollback_now(&mut |a, region, pre| {
             let mut t = Tile::zeroed(region.clone());
             if t.data().len() != pre.len() {
@@ -987,6 +1000,7 @@ pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
     mut make_store: impl FnMut(usize, &str, u64) -> io::Result<S>,
     mut dur: Option<&mut DurableSession>,
 ) -> io::Result<PipelinedRun> {
+    let _lane = ooc_trace::lane_scope(ooc_trace::Lane::main());
     let _span = ooc_trace::span_with(
         "pipeline",
         "exec-pipelined",
@@ -1089,6 +1103,7 @@ pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
         nr.finish(&mut w)?;
         if let Some(d) = dur.as_deref_mut() {
             // Everything this nest wrote is durable and committed.
+            let _ckpt = ooc_trace::enabled().then(|| ooc_trace::span("durable", "checkpoint"));
             d.checkpoint(ni + 1, 0)?;
         }
         if ooc_trace::enabled() {

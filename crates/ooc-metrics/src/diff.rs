@@ -7,6 +7,12 @@
 //!   so *any* change against the baseline is a hard failure — a
 //!   regression if the number got worse, an un-recorded improvement if
 //!   it got better (refresh the committed baseline in the same change).
+//! * **Timing histograms are half-deterministic.** Series named
+//!   `timing_*` record *measured durations* (queue waits, stall
+//!   drains): how *often* the instrumented path ran is deterministic
+//!   and gates exactly on the observation count, but where the
+//!   samples land moves with the host clock, so bucket-shape and sum
+//!   drift at equal count is tolerated ([`TIMING_HIST_PREFIX`]).
 //! * **Gauges drift.** Wall-clock and simulated-seconds vary with the
 //!   host or legitimately move as code evolves; a gauge only *warns*,
 //!   and only beyond a relative threshold.
@@ -149,8 +155,28 @@ fn fmt_value(v: &Option<Value>) -> String {
         .map_or_else(|| "absent".to_string(), Value::to_string)
 }
 
-fn judge(old: &Value, new: &Value, policy: &DiffPolicy) -> (Verdict, String) {
+/// Series whose name starts with this prefix hold *measured-time*
+/// histograms (queue waits, stall drains): their observation **count**
+/// is deterministic and gates exactly, but bucket shape and sum move
+/// with the host clock, so shape drift at equal count is tolerated.
+pub const TIMING_HIST_PREFIX: &str = "timing_";
+
+fn judge(key: &Key, old: &Value, new: &Value, policy: &DiffPolicy) -> (Verdict, String) {
     match (old, new) {
+        (Value::Histogram(a), Value::Histogram(b)) if key.name.starts_with(TIMING_HIST_PREFIX) => {
+            if a.count == b.count {
+                (Verdict::Unchanged, String::new())
+            } else {
+                (
+                    Verdict::HardFail,
+                    format!(
+                        "timing histogram observation count changed ({} -> {}); \
+                         the instrumented path ran a different number of times",
+                        a.count, b.count
+                    ),
+                )
+            }
+        }
         (Value::Counter(a), Value::Counter(b)) => {
             if a == b {
                 (Verdict::Unchanged, String::new())
@@ -229,7 +255,7 @@ pub fn diff_snapshots(old: &Snapshot, new: &Snapshot, policy: &DiffPolicy) -> Di
     for (key, old_value) in &old.samples {
         match new_map.get(key) {
             Some(new_value) => {
-                let (verdict, detail) = judge(old_value, new_value, policy);
+                let (verdict, detail) = judge(key, old_value, new_value, policy);
                 entries.push(DiffEntry {
                     key: key.clone(),
                     old: Some(old_value.clone()),
@@ -356,6 +382,29 @@ mod tests {
         let new = snap(|r| r.observe("run_len", &[], 16));
         let rep = diff_snapshots(&old, &new, &DiffPolicy::default());
         assert_eq!(rep.hard_fails(), 1);
+    }
+
+    #[test]
+    fn timing_histogram_gates_on_count_only() {
+        // Same number of observations, different durations: clean.
+        let old = snap(|r| {
+            r.observe("timing_queue_wait_ns", &[("node", "0")], 100);
+            r.observe("timing_queue_wait_ns", &[("node", "0")], 900);
+        });
+        let shifted = snap(|r| {
+            r.observe("timing_queue_wait_ns", &[("node", "0")], 5_000_000);
+            r.observe("timing_queue_wait_ns", &[("node", "0")], 7);
+        });
+        let rep = diff_snapshots(&old, &shifted, &DiffPolicy::default());
+        assert!(rep.is_clean(), "{rep}");
+        assert!(rep.entries.iter().all(|e| e.verdict == Verdict::Unchanged));
+        // A different observation count still hard-fails.
+        let fewer = snap(|r| {
+            r.observe("timing_queue_wait_ns", &[("node", "0")], 100);
+        });
+        let rep = diff_snapshots(&old, &fewer, &DiffPolicy::default());
+        assert_eq!(rep.hard_fails(), 1);
+        assert!(rep.entries[0].detail.contains("observation count"), "{rep}");
     }
 
     #[test]

@@ -200,6 +200,17 @@ impl IoNodePool {
         let ticket;
         {
             let mut st = lane.state.lock().expect("lane poisoned");
+            // Queue-wait blame span: covers bounded admission plus the
+            // FIFO grant wait, attributed to the *calling* lane.
+            let _qwait = (ooc_trace::enabled()
+                && (st.next_ticket - st.serving >= capacity || st.serving != st.next_ticket))
+                .then(|| {
+                    ooc_trace::span_with(
+                        "striped",
+                        "queue-wait",
+                        vec![("node", (node as u64).into())],
+                    )
+                });
             while st.next_ticket - st.serving >= capacity {
                 st = lane.grant.wait(st).expect("lane poisoned");
             }

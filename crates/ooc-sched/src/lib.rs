@@ -56,5 +56,5 @@ pub use prefetch::{Delivery, PrefetchPool, PrefetchRequest, TileSource};
 pub use schedule::{
     annotate_next_use, NestSchedule, SlotKey, StageRequest, TileId, TileSchedule, TileStep,
 };
-pub use stats::PipelineStats;
+pub use stats::{hist_compact, PipelineStats};
 pub use writebehind::{DurabilityFence, TileSink, WriteBehind};

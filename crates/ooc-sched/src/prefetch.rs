@@ -89,33 +89,53 @@ impl PrefetchPool {
         let (tx, rx) = mpsc::channel();
         let workers = sources
             .into_iter()
-            .map(|mut source| {
+            .enumerate()
+            .map(|(wi, mut source)| {
                 let state = Arc::clone(&state);
                 let tx = tx.clone();
-                std::thread::spawn(move || loop {
-                    let request = {
-                        let mut q = state.queue.lock().expect("prefetch queue");
-                        loop {
-                            if let Some(r) = q.requests.pop_front() {
-                                break r;
+                std::thread::spawn(move || {
+                    let lane = ooc_trace::Lane::new(
+                        ooc_trace::LaneKind::Prefetch,
+                        u32::try_from(wi).unwrap_or(u32::MAX),
+                    );
+                    let _lane = ooc_trace::lane_scope(lane);
+                    loop {
+                        let request = {
+                            let mut q = state.queue.lock().expect("prefetch queue");
+                            loop {
+                                if let Some(r) = q.requests.pop_front() {
+                                    break r;
+                                }
+                                if q.closed {
+                                    return;
+                                }
+                                q = state.ready.wait(q).expect("prefetch queue");
                             }
-                            if q.closed {
-                                return;
-                            }
-                            q = state.ready.wait(q).expect("prefetch queue");
+                        };
+                        let result = {
+                            let _fetch = ooc_trace::enabled().then(|| {
+                                ooc_trace::span_with(
+                                    "pipeline",
+                                    "prefetch-fetch",
+                                    vec![("seq", request.seq.into())],
+                                )
+                            });
+                            source.fetch(&request.tile)
+                        };
+                        // Causal link: this delivery's consumption on a
+                        // shard lane closes flow `seq`.
+                        ooc_trace::flow_start("pipeline", "delivery", request.seq);
+                        if tx
+                            .send(Delivery {
+                                seq: request.seq,
+                                tile: request.tile,
+                                result,
+                            })
+                            .is_err()
+                        {
+                            // Receiver gone: the pool is shutting down.
+                            return;
                         }
-                    };
-                    let result = source.fetch(&request.tile);
-                    if tx
-                        .send(Delivery {
-                            seq: request.seq,
-                            tile: request.tile,
-                            result,
-                        })
-                        .is_err()
-                    {
-                        // Receiver gone: the pool is shutting down.
-                        return;
                     }
                 })
             })

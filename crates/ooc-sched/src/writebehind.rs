@@ -116,43 +116,49 @@ impl WriteBehind {
         let state = Arc::new(WbState::default());
         let writer = {
             let state = Arc::clone(&state);
-            std::thread::spawn(move || loop {
-                let (id, tile) = {
+            std::thread::spawn(move || {
+                let _lane =
+                    ooc_trace::lane_scope(ooc_trace::Lane::new(ooc_trace::LaneKind::Writer, 0));
+                loop {
+                    let (id, tile) = {
+                        let mut q = state.queue.lock().expect("writebehind queue");
+                        loop {
+                            if !q.pending.is_empty() {
+                                let (id, tile) = q.pending.remove(0);
+                                q.active = Some(id.clone());
+                                break (id, tile);
+                            }
+                            if q.closed {
+                                return;
+                            }
+                            q = state.work.wait(q).expect("writebehind queue");
+                        }
+                    };
+                    // Data first, then the fence's journal commit — the
+                    // write-ahead ordering crash recovery depends on.
+                    let _write =
+                        ooc_trace::enabled().then(|| ooc_trace::span("pipeline", "wb-write"));
+                    let result = sink.store(&id, &tile).and_then(|stats| {
+                        if let Some(f) = fence.as_mut() {
+                            f.commit(&id)?;
+                        }
+                        Ok(stats)
+                    });
                     let mut q = state.queue.lock().expect("writebehind queue");
-                    loop {
-                        if !q.pending.is_empty() {
-                            let (id, tile) = q.pending.remove(0);
-                            q.active = Some(id.clone());
-                            break (id, tile);
+                    q.active = None;
+                    match result {
+                        Ok(stats) => {
+                            q.stats.entry(id.key.array).or_default().merge(&stats);
+                            q.tiles_written += 1;
                         }
-                        if q.closed {
-                            return;
-                        }
-                        q = state.work.wait(q).expect("writebehind queue");
-                    }
-                };
-                // Data first, then the fence's journal commit — the
-                // write-ahead ordering crash recovery depends on.
-                let result = sink.store(&id, &tile).and_then(|stats| {
-                    if let Some(f) = fence.as_mut() {
-                        f.commit(&id)?;
-                    }
-                    Ok(stats)
-                });
-                let mut q = state.queue.lock().expect("writebehind queue");
-                q.active = None;
-                match result {
-                    Ok(stats) => {
-                        q.stats.entry(id.key.array).or_default().merge(&stats);
-                        q.tiles_written += 1;
-                    }
-                    Err(e) => {
-                        if q.error.is_none() {
-                            q.error = Some(e);
+                        Err(e) => {
+                            if q.error.is_none() {
+                                q.error = Some(e);
+                            }
                         }
                     }
+                    state.settled.notify_all();
                 }
-                state.settled.notify_all();
             })
         };
         WriteBehind {
@@ -175,8 +181,11 @@ impl WriteBehind {
     /// before re-staging data it may have dirtied earlier.
     pub fn wait_clear(&self, array: u32, region: &Region) {
         let mut q = self.state.queue.lock().expect("writebehind queue");
-        while q.blocks(array, region) {
-            q = self.state.settled.wait(q).expect("writebehind queue");
+        if q.blocks(array, region) {
+            let _fence = ooc_trace::enabled().then(|| ooc_trace::span("pipeline", "fence-wait"));
+            while q.blocks(array, region) {
+                q = self.state.settled.wait(q).expect("writebehind queue");
+            }
         }
     }
 
@@ -188,8 +197,11 @@ impl WriteBehind {
     /// flush.
     pub fn flush(&self) -> io::Result<()> {
         let mut q = self.state.queue.lock().expect("writebehind queue");
-        while q.busy() {
-            q = self.state.settled.wait(q).expect("writebehind queue");
+        if q.busy() {
+            let _fence = ooc_trace::enabled().then(|| ooc_trace::span("pipeline", "fence-wait"));
+            while q.busy() {
+                q = self.state.settled.wait(q).expect("writebehind queue");
+            }
         }
         match q.error.take() {
             Some(e) => Err(e),

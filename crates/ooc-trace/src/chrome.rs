@@ -11,7 +11,7 @@
 //! trace file is openable before anyone loads it into a viewer.
 
 use crate::json::Json;
-use crate::{ArgValue, Event, EventKind};
+use crate::{ArgValue, Event, EventKind, TraceData};
 
 fn arg_json(v: &ArgValue) -> Json {
     match v {
@@ -28,6 +28,8 @@ fn event_json(e: &Event) -> Json {
         EventKind::End => "E",
         EventKind::Instant => "i",
         EventKind::Counter(_) => "C",
+        EventKind::FlowStart(_) => "s",
+        EventKind::FlowFinish(_) => "f",
     };
     let mut fields: Vec<(String, Json)> = vec![
         ("name".into(), Json::Str(e.name.clone())),
@@ -42,21 +44,29 @@ fn event_json(e: &Event) -> Json {
         fields.push(("s".into(), Json::Str("t".into())));
     }
     match &e.kind {
-        EventKind::Counter(v) => {
-            fields.push(("args".into(), Json::obj([("value", Json::F64(*v))])));
-        }
-        _ if !e.args.is_empty() => {
-            fields.push((
-                "args".into(),
-                Json::Obj(
-                    e.args
-                        .iter()
-                        .map(|(k, v)| ((*k).to_string(), arg_json(v)))
-                        .collect(),
-                ),
-            ));
+        EventKind::FlowStart(id) | EventKind::FlowFinish(id) => {
+            fields.push(("id".into(), Json::U64(*id)));
+            if matches!(e.kind, EventKind::FlowFinish(_)) {
+                // Bind to the enclosing slice like Chrome expects.
+                fields.push(("bp".into(), Json::Str("e".into())));
+            }
         }
         _ => {}
+    }
+    let mut args: Vec<(String, Json)> = Vec::new();
+    if let Some(lane) = e.lane {
+        args.push(("lane".into(), Json::Str(lane.to_string())));
+    }
+    match &e.kind {
+        EventKind::Counter(v) => {
+            args.push(("value".into(), Json::F64(*v)));
+        }
+        _ => {
+            args.extend(e.args.iter().map(|(k, v)| ((*k).to_string(), arg_json(v))));
+        }
+    }
+    if !args.is_empty() {
+        fields.push(("args".into(), Json::Obj(args)));
     }
     Json::Obj(fields)
 }
@@ -85,6 +95,71 @@ pub struct ChromeSummary {
     pub instants: usize,
     /// Counter samples.
     pub counters: usize,
+    /// Flow events (`s`/`f` causal links).
+    pub flows: usize,
+}
+
+/// Repairs a flight-recorder (or mid-run snapshot) trace so it
+/// exports as a structurally valid Chrome document: for every `End`
+/// whose `Begin` was evicted from the ring, a synthetic `Begin` is
+/// prepended at that thread's window start, and every span still open
+/// at the snapshot point gets a synthetic `End` at the thread's last
+/// timestamp. Synthetic events carry a `synthetic` argument so
+/// viewers and the analyzer can tell them apart. Returns the number
+/// of events synthesized.
+pub fn repair_truncation(data: &mut TraceData) -> usize {
+    use std::collections::BTreeMap;
+    // Per tid: first/last ts, unmatched Ends (stream order =
+    // deepest-open-first), and the stack of still-open Begins.
+    let mut first_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut orphans: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
+    let mut open: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
+    for e in &data.events {
+        first_ts.entry(e.tid).or_insert(e.ts_us);
+        last_ts.insert(e.tid, e.ts_us);
+        match e.kind {
+            EventKind::Begin => open.entry(e.tid).or_default().push(e.clone()),
+            EventKind::End if open.entry(e.tid).or_default().pop().is_none() => {
+                orphans.entry(e.tid).or_default().push(e.clone());
+            }
+            _ => {}
+        }
+    }
+    let mut prefix: Vec<Event> = Vec::new();
+    for (tid, ends) in &orphans {
+        let ts = first_ts.get(tid).copied().unwrap_or(0);
+        // Orphan Ends close spans deepest-first, so their Begins must
+        // be synthesized outermost-first: reverse the stream order.
+        for e in ends.iter().rev() {
+            prefix.push(Event {
+                ts_us: ts,
+                kind: EventKind::Begin,
+                args: vec![("synthetic", ArgValue::U64(1))],
+                ..e.clone()
+            });
+        }
+    }
+    let mut suffix: Vec<Event> = Vec::new();
+    for (tid, begins) in &open {
+        let ts = last_ts.get(tid).copied().unwrap_or(0);
+        for e in begins.iter().rev() {
+            suffix.push(Event {
+                ts_us: ts,
+                kind: EventKind::End,
+                args: vec![("synthetic", ArgValue::U64(1))],
+                ..e.clone()
+            });
+        }
+    }
+    let added = prefix.len() + suffix.len();
+    if added > 0 {
+        let mut events = prefix;
+        events.append(&mut data.events);
+        events.append(&mut suffix);
+        data.events = events;
+    }
+    added
 }
 
 /// Parses and structurally validates an exported trace document.
@@ -111,6 +186,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
         spans: 0,
         instants: 0,
         counters: 0,
+        flows: 0,
     };
     for (i, e) in events.iter().enumerate() {
         let name = e
@@ -166,6 +242,12 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
                     .and_then(Json::as_f64)
                     .ok_or_else(|| format!("event {i}: counter without numeric args.value"))?;
                 summary.counters += 1;
+            }
+            "s" | "f" => {
+                e.get("id")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: flow event without numeric `id`"))?;
+                summary.flows += 1;
             }
             "X" | "M" => {}
             other => return Err(format!("event {i}: unknown phase `{other}`")),
@@ -224,6 +306,62 @@ mod tests {
             .contains("backwards"));
         assert!(validate_chrome_trace("not json").is_err());
         assert!(validate_chrome_trace("{}").is_err());
+    }
+
+    #[test]
+    fn flow_and_lane_round_trip() {
+        let session = Session::start();
+        {
+            let _lane = crate::lane_scope(crate::Lane::shard(1));
+            let _s = crate::span("pipeline", "step");
+            crate::flow_start("pipeline", "delivery", 7);
+            crate::flow_finish("pipeline", "delivery", 7);
+        }
+        let data = session.finish();
+        let text = chrome_trace_json(&data.events);
+        let summary = validate_chrome_trace(&text).expect("valid");
+        assert_eq!(summary.flows, 2);
+        assert_eq!(summary.spans, 1);
+        let doc = Json::parse(&text).expect("parses");
+        let first = &doc.get("traceEvents").and_then(Json::as_arr).expect("arr")[0];
+        assert_eq!(
+            first
+                .get("args")
+                .and_then(|a| a.get("lane"))
+                .and_then(Json::as_str),
+            Some("shard:1")
+        );
+    }
+
+    #[test]
+    fn repair_truncation_balances_ring_window() {
+        let session = Session::start_flight_recorder(4);
+        {
+            let _outer = crate::span("t", "outer");
+            for i in 0..6 {
+                let _inner = crate::span("t", &format!("step-{i}"));
+                crate::instant("t", "tick", Vec::new());
+            }
+        }
+        let mut data = session.finish();
+        assert!(data.dropped > 0);
+        // Raw truncated window does not balance...
+        assert!(validate_chrome_trace(&chrome_trace_json(&data.events)).is_err());
+        // ...but the repaired one does.
+        let added = repair_truncation(&mut data);
+        assert!(added > 0);
+        validate_chrome_trace(&chrome_trace_json(&data.events)).expect("repaired");
+    }
+
+    #[test]
+    fn repair_truncation_closes_live_snapshot() {
+        let session = Session::start();
+        let _open = crate::span("t", "still-running");
+        let mut data = session.snapshot();
+        assert_eq!(repair_truncation(&mut data), 1);
+        validate_chrome_trace(&chrome_trace_json(&data.events)).expect("closed");
+        drop(_open);
+        let _ = session.finish();
     }
 
     #[test]

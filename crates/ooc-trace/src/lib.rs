@@ -43,6 +43,8 @@ pub mod chrome;
 pub mod json;
 pub mod tree;
 
+use std::cell::Cell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::Instant;
@@ -97,6 +99,76 @@ pub enum EventKind {
     Instant,
     /// Counter sample (`ph: "C"`).
     Counter(f64),
+    /// Cross-thread causal-link start (`ph: "s"`), keyed by a flow id.
+    /// Pairs with a [`EventKind::FlowFinish`] of the same id on the
+    /// receiving thread (e.g. a prefetch delivery being consumed).
+    FlowStart(u64),
+    /// Cross-thread causal-link finish (`ph: "f"`), keyed by a flow id.
+    FlowFinish(u64),
+}
+
+/// The role an execution lane plays in a parallel out-of-core run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LaneKind {
+    /// The orchestrating thread (setup, joins, flush barriers).
+    Main,
+    /// A shard worker executing iteration-space slices.
+    Shard,
+    /// A prefetch pool worker fetching tiles ahead of compute.
+    Prefetch,
+    /// The write-behind writer draining dirty tiles.
+    Writer,
+    /// A striped-store I/O node servicing tile requests.
+    IoNode,
+}
+
+impl LaneKind {
+    /// Stable lowercase label used in exports and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LaneKind::Main => "main",
+            LaneKind::Shard => "shard",
+            LaneKind::Prefetch => "prefetch",
+            LaneKind::Writer => "writer",
+            LaneKind::IoNode => "ionode",
+        }
+    }
+}
+
+/// Structured lane identity stamped on every event a thread emits
+/// while a [`LaneScope`] is active: which kind of worker it is and its
+/// index within that kind (shard 2, prefetch worker 0, I/O node 5...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lane {
+    /// The lane's role.
+    pub kind: LaneKind,
+    /// Index within the role (shard number, node number, ...).
+    pub index: u32,
+}
+
+impl Lane {
+    /// A lane of `kind` with the given index.
+    #[must_use]
+    pub fn new(kind: LaneKind, index: u32) -> Lane {
+        Lane { kind, index }
+    }
+    /// The orchestrating main lane.
+    #[must_use]
+    pub fn main() -> Lane {
+        Lane::new(LaneKind::Main, 0)
+    }
+    /// Shard worker `index`.
+    #[must_use]
+    pub fn shard(index: u32) -> Lane {
+        Lane::new(LaneKind::Shard, index)
+    }
+}
+
+impl std::fmt::Display for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.kind.label(), self.index)
+    }
 }
 
 /// One recorded trace event.
@@ -106,6 +178,9 @@ pub struct Event {
     pub ts_us: u64,
     /// Small per-thread id (assigned in thread-creation order).
     pub tid: u64,
+    /// Structured lane identity of the emitting thread, if declared
+    /// via [`lane_scope`].
+    pub lane: Option<Lane>,
     /// Event name (span name, counter name, ...).
     pub name: String,
     /// Category, e.g. `"compiler"` or `"runtime"`.
@@ -177,6 +252,10 @@ pub struct TraceData {
     pub events: Vec<Event>,
     /// All decision-explain records in emission order.
     pub explains: Vec<Explain>,
+    /// Events evicted by the flight-recorder ring buffer (0 for
+    /// unbounded sessions). When nonzero, `events` holds only the
+    /// trailing window and may start mid-span.
+    pub dropped: u64,
 }
 
 impl TraceData {
@@ -200,10 +279,22 @@ impl TraceData {
     }
 }
 
+/// Live collection state: a (possibly bounded) ring of events plus
+/// the explain log and eviction count.
+#[derive(Debug, Default)]
+struct Collected {
+    events: VecDeque<Event>,
+    explains: Vec<Explain>,
+    dropped: u64,
+}
+
 #[derive(Debug)]
 struct SessionInner {
     epoch: Instant,
-    data: Mutex<TraceData>,
+    /// `Some(n)` caps the event ring at `n` entries (flight recorder);
+    /// `None` collects unboundedly.
+    capacity: Option<usize>,
+    data: Mutex<Collected>,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -213,6 +304,34 @@ static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static LANE: Cell<Option<Lane>> = const { Cell::new(None) };
+}
+
+/// The lane identity currently declared for this thread, if any.
+#[must_use]
+pub fn current_lane() -> Option<Lane> {
+    LANE.with(Cell::get)
+}
+
+/// Declares this thread's lane identity for the duration of the
+/// returned guard; every event the thread emits meanwhile carries it.
+/// Nesting restores the previous lane on drop.
+#[must_use]
+pub fn lane_scope(lane: Lane) -> LaneScope {
+    let prev = LANE.with(|l| l.replace(Some(lane)));
+    LaneScope { prev }
+}
+
+/// RAII guard from [`lane_scope`]; restores the previous lane on drop.
+#[derive(Debug)]
+pub struct LaneScope {
+    prev: Option<Lane>,
+}
+
+impl Drop for LaneScope {
+    fn drop(&mut self) {
+        LANE.with(|l| l.set(self.prev));
+    }
 }
 
 /// `true` while a [`Session`] is installed. Relaxed atomic load — the
@@ -242,20 +361,24 @@ fn emit(
 ) {
     let ts_us = u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
     let tid = TID.with(|t| *t);
+    let lane = current_lane();
     let event = Event {
         ts_us,
         tid,
+        lane,
         name,
         cat,
         kind,
         args,
     };
-    inner
-        .data
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .events
-        .push(event);
+    let mut data = inner.data.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(cap) = inner.capacity {
+        while data.events.len() >= cap.max(1) {
+            data.events.pop_front();
+            data.dropped += 1;
+        }
+    }
+    data.events.push_back(event);
 }
 
 /// The process-wide trace collector. Starting a session enables every
@@ -268,14 +391,28 @@ pub struct Session {
 }
 
 impl Session {
-    /// Installs a fresh session. Blocks until any other live session
-    /// is dropped (sessions are process-exclusive).
+    /// Installs a fresh unbounded session. Blocks until any other
+    /// live session is dropped (sessions are process-exclusive).
     #[must_use]
     pub fn start() -> Session {
+        Session::install(None)
+    }
+
+    /// Installs a fresh *flight-recorder* session whose event ring
+    /// keeps at most `capacity` trailing events; older events are
+    /// evicted and counted in [`TraceData::dropped`]. Long runs keep
+    /// a bounded trailing window instead of unbounded event vectors.
+    #[must_use]
+    pub fn start_flight_recorder(capacity: usize) -> Session {
+        Session::install(Some(capacity.max(1)))
+    }
+
+    fn install(capacity: Option<usize>) -> Session {
         let exclusive = INSTALL_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
         let inner = Arc::new(SessionInner {
             epoch: Instant::now(),
-            data: Mutex::new(TraceData::default()),
+            capacity,
+            data: Mutex::new(Collected::default()),
         });
         *CURRENT.write().unwrap_or_else(PoisonError::into_inner) = Some(inner.clone());
         ENABLED.store(true, Ordering::Relaxed);
@@ -292,24 +429,24 @@ impl Session {
     /// Panics if an emitter panicked while holding the data lock.
     #[must_use]
     pub fn snapshot(&self) -> TraceData {
-        self.inner
+        let data = self
+            .inner
             .data
             .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+            .unwrap_or_else(PoisonError::into_inner);
+        TraceData {
+            events: data.events.iter().cloned().collect(),
+            explains: data.explains.clone(),
+            dropped: data.dropped,
+        }
     }
 
     /// Stops the session and returns everything it collected.
     #[must_use]
     pub fn finish(self) -> TraceData {
+        let data = self.snapshot();
         ENABLED.store(false, Ordering::Relaxed);
         *CURRENT.write().unwrap_or_else(PoisonError::into_inner) = None;
-        let data = self
-            .inner
-            .data
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone();
         data
     }
 }
@@ -375,6 +512,37 @@ pub fn counter(name: &str, value: f64) {
             name.to_string(),
             "counter",
             EventKind::Counter(value),
+            Vec::new(),
+        );
+    }
+}
+
+/// Emits the producing half of a cross-thread causal link (Chrome
+/// flow event `ph: "s"`). The consuming thread closes it with
+/// [`flow_finish`] using the same `id` — e.g. a prefetch worker
+/// starts flow `seq` when it sends a delivery, and the shard worker
+/// finishes it when it accepts that tile.
+pub fn flow_start(cat: &'static str, name: &str, id: u64) {
+    if let Some(inner) = current() {
+        emit(
+            &inner,
+            name.to_string(),
+            cat,
+            EventKind::FlowStart(id),
+            Vec::new(),
+        );
+    }
+}
+
+/// Emits the consuming half of a cross-thread causal link (Chrome
+/// flow event `ph: "f"`). See [`flow_start`].
+pub fn flow_finish(cat: &'static str, name: &str, id: u64) {
+    if let Some(inner) = current() {
+        emit(
+            &inner,
+            name.to_string(),
+            cat,
+            EventKind::FlowFinish(id),
             Vec::new(),
         );
     }
@@ -457,6 +625,62 @@ mod tests {
         for pair in data.events.windows(2) {
             assert!(pair[0].ts_us <= pair[1].ts_us);
         }
+    }
+
+    #[test]
+    fn lane_scope_stamps_events_and_restores() {
+        let session = Session::start();
+        instant("t", "before", Vec::new());
+        {
+            let _outer = lane_scope(Lane::shard(3));
+            instant("t", "in-shard", Vec::new());
+            {
+                let _inner = lane_scope(Lane::new(LaneKind::Prefetch, 1));
+                instant("t", "in-prefetch", Vec::new());
+            }
+            instant("t", "back-in-shard", Vec::new());
+        }
+        instant("t", "after", Vec::new());
+        let data = session.finish();
+        let lanes: Vec<Option<Lane>> = data.events.iter().map(|e| e.lane).collect();
+        assert_eq!(
+            lanes,
+            vec![
+                None,
+                Some(Lane::shard(3)),
+                Some(Lane::new(LaneKind::Prefetch, 1)),
+                Some(Lane::shard(3)),
+                None,
+            ]
+        );
+        assert_eq!(Lane::shard(3).to_string(), "shard:3");
+    }
+
+    #[test]
+    fn flight_recorder_keeps_trailing_window() {
+        let session = Session::start_flight_recorder(8);
+        for i in 0..20u64 {
+            instant("t", &format!("e{i}"), vec![("i", ArgValue::U64(i))]);
+        }
+        let data = session.finish();
+        assert_eq!(data.events.len(), 8);
+        assert_eq!(data.dropped, 12);
+        // The *last* 8 events survive.
+        assert_eq!(data.events[0].name, "e12");
+        assert_eq!(data.events[7].name, "e19");
+    }
+
+    #[test]
+    fn flow_links_pair_across_threads() {
+        let session = Session::start();
+        flow_start("pipeline", "delivery", 42);
+        std::thread::spawn(|| flow_finish("pipeline", "delivery", 42))
+            .join()
+            .expect("consumer");
+        let data = session.finish();
+        assert_eq!(data.events[0].kind, EventKind::FlowStart(42));
+        assert_eq!(data.events[1].kind, EventKind::FlowFinish(42));
+        assert_ne!(data.events[0].tid, data.events[1].tid);
     }
 
     #[test]

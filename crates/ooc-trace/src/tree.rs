@@ -44,7 +44,10 @@ fn build_forest<'a>(events: &[&'a Event]) -> Vec<Node<'a>> {
                 // A stray End with no open span is dropped; the
                 // exporter-side validator reports it as an error.
             }
-            EventKind::Instant | EventKind::Counter(_) => {
+            EventKind::Instant
+            | EventKind::Counter(_)
+            | EventKind::FlowStart(_)
+            | EventKind::FlowFinish(_) => {
                 attach(&mut open, &mut roots, Node::Leaf(e));
             }
         }
@@ -191,6 +194,7 @@ mod tests {
             Event {
                 ts_us: 1,
                 tid: 0,
+                lane: None,
                 name: "open".into(),
                 cat: "c",
                 kind: EventKind::Begin,
@@ -199,6 +203,7 @@ mod tests {
             Event {
                 ts_us: 9,
                 tid: 0,
+                lane: None,
                 name: "mark".into(),
                 cat: "c",
                 kind: EventKind::Instant,

@@ -94,7 +94,7 @@ proptest! {
                     let top = stack.pop();
                     prop_assert_eq!(top, Some(e.name.as_str()), "LIFO span order");
                 }
-                EventKind::Instant | EventKind::Counter(_) => {}
+                _ => {}
             }
         }
         prop_assert!(stack.is_empty(), "every span closed by end of session");

@@ -20,6 +20,7 @@
 pub mod analytic;
 pub mod config;
 pub mod contention;
+pub mod gap;
 pub mod pipeline;
 pub mod pricing;
 pub mod sim;
@@ -27,6 +28,7 @@ pub mod sim;
 pub use analytic::{estimate, lower_bound, stats, WorkloadStats};
 pub use config::{ComputeParams, DiskParams, MachineConfig, PfsConfig};
 pub use contention::{price_node_loads, ContentionReport, NodeLoad};
+pub use gap::{GapCell, GapReport};
 pub use pipeline::{
     op_io_seconds, overlap_lower_bound, overlap_report, pipelined_makespan, sequential_makespan,
     stages_from_trace, OverlapReport, Stage,
