@@ -252,6 +252,90 @@ pub fn efficiency_summary(cells: &[AnalyzeCell], nodes: usize) -> String {
     out
 }
 
+/// Machine-readable twin of [`efficiency_summary`] and
+/// [`gap_report`]: one `efficiency` row per kernel × version with the
+/// per-worker-count shard efficiencies, the dominant loss, and the
+/// critical path's bounding resource, plus one `gap` row per
+/// contention-gap cell. Built on [`ooc_trace::json::Json`] so the
+/// layout matches the other table dumps.
+#[must_use]
+pub fn analyze_json(cells: &[AnalyzeCell], nodes: usize, gap_workers: usize) -> String {
+    use ooc_trace::json::Json;
+    let mut keys: Vec<(String, String)> = cells
+        .iter()
+        .map(|c| (c.kernel.clone(), c.version.clone()))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    let efficiency = keys
+        .iter()
+        .map(|(kernel, version)| {
+            let mut effs = Vec::new();
+            let mut last: Option<&AnalyzeCell> = None;
+            for w in ANALYZE_WORKER_COUNTS {
+                let cell = cells.iter().find(|c| {
+                    c.kernel == *kernel
+                        && c.version == *version
+                        && c.workers == w
+                        && c.nodes == nodes
+                });
+                effs.push((
+                    format!("w{w}"),
+                    cell.and_then(|c| c.report.shard_efficiency())
+                        .map_or(Json::Null, Json::F64),
+                ));
+                if cell.is_some() {
+                    last = cell;
+                }
+            }
+            let loss = last.and_then(|c| {
+                let agg = c.report.timeline.aggregate();
+                ALL_BLAMES
+                    .iter()
+                    .copied()
+                    .filter(|b| *b != Blame::Compute && agg.get(*b) > 0)
+                    .max_by_key(|b| agg.get(*b))
+            });
+            let bound = last.and_then(|c| c.report.critical.bounding());
+            Json::obj([
+                ("kernel", Json::Str(kernel.clone())),
+                ("version", Json::Str(version.clone())),
+                ("efficiency", Json::Obj(effs)),
+                (
+                    "dominant_loss",
+                    loss.map_or(Json::Null, |b| Json::Str(b.label().to_string())),
+                ),
+                (
+                    "bounded_by",
+                    bound.map_or(Json::Null, |b| Json::Str(b.label().to_string())),
+                ),
+            ])
+        })
+        .collect();
+    let gap = gap_report(cells, gap_workers)
+        .cells
+        .iter()
+        .map(|g| {
+            Json::obj([
+                ("kernel", Json::Str(g.kernel.clone())),
+                ("version", Json::Str(g.version.clone())),
+                ("nodes", Json::U64(g.nodes as u64)),
+                ("priced_makespan_s", Json::F64(g.priced_makespan_s)),
+                ("priced_serial_s", Json::F64(g.priced_serial_s)),
+                ("busy_gap", Json::F64(g.busy_gap())),
+                ("wait_share", Json::F64(g.wait_share())),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("nodes", Json::U64(nodes as u64)),
+        ("gap_workers", Json::U64(gap_workers as u64)),
+        ("efficiency", Json::Arr(efficiency)),
+        ("gap", Json::Arr(gap)),
+    ])
+    .pretty()
+}
+
 /// Registers the sweep's results.
 ///
 /// Deterministic structure registers as counters (`bench-compare`

@@ -14,21 +14,23 @@
 //!   vs experienced queue waits) over 4/8/16 nodes.
 //!
 //! Usage: `analyze [scale] [--kernels a,b,c] [--workers-detail N]
-//!         [--metrics out.json] [--serve ADDR]`
+//!         [--metrics out.json] [--json out.json] [--serve ADDR]`
 //!
 //! `--kernels` restricts the sweep (CSV of kernel names); the detail
 //! blocks (waterfall/Gantt/critical path) print for the highest worker
-//! count unless `--workers-detail` picks another; `--serve ADDR`
-//! starts the live HTTP endpoint (`/metrics`, `/analyze`) for the
-//! duration of the sweep. Gate with `bench-compare` against
-//! `BENCH_analyze_seed.json`.
+//! count unless `--workers-detail` picks another; `--json out.json`
+//! writes the efficiency summary and the contention-gap table as a
+//! machine-readable dump; `--serve ADDR` starts the live HTTP endpoint
+//! (`/metrics`, `/analyze`, `/ledger`) for the duration of the sweep.
+//! Gate with `bench-compare` against `BENCH_analyze_seed.json`.
 
-use ooc_analyze::{registry_provider, LiveServer};
+use ooc_analyze::{registry_provider, render_ledger, LiveServer};
 use ooc_bench::{
-    analyze_register, efficiency_summary, gap_report, run_analyze_cell, MetricsScope,
-    ANALYZE_WORKER_COUNTS, MEASURED_NODE_COUNTS,
+    analyze_register, efficiency_summary, gap_report, run_analyze_cell, run_ledger_cell,
+    MetricsScope, ANALYZE_WORKER_COUNTS, MEASURED_NODE_COUNTS,
 };
 use ooc_kernels::{all_kernels, Version};
+use pfs_sim::DiskParams;
 use std::sync::{Arc, Mutex};
 
 const SWEEP_NODES: usize = 8;
@@ -44,22 +46,26 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(*ANALYZE_WORKER_COUNTS.last().expect("non-empty"));
     let serve = ooc_bench::trace::take_value_flag(&mut args, "--serve");
+    let json_out = ooc_bench::trace::take_value_flag(&mut args, "--json");
     let scale: i64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
 
     // The live endpoint shares the metrics registry (scrapes see cells
-    // as they land) and a report slot refreshed after every cell.
+    // as they land), a report slot refreshed after every cell, and a
+    // ledger slot refreshed at version granularity.
     let live_registry = Arc::new(ooc_metrics::Registry::new());
     let live_report = Arc::new(Mutex::new(String::new()));
+    let live_ledger = Arc::new(Mutex::new(String::new()));
     let mut server = serve.map(|addr| {
         let provider = registry_provider(
             "analyze-live",
             Arc::clone(&live_registry),
             Arc::clone(&live_report),
+            Arc::clone(&live_ledger),
         );
         let server = LiveServer::start(&addr, provider)
             .unwrap_or_else(|e| panic!("cannot bind live endpoint {addr}: {e}"));
         eprintln!(
-            "live endpoint: http://{}/metrics and /analyze",
+            "live endpoint: http://{}/metrics, /analyze, and /ledger",
             server.local_addr()
         );
         server
@@ -96,11 +102,16 @@ fn main() {
                     cells.push(run_analyze_cell(&k, v, scale, GAP_WORKERS, nodes));
                 }
             }
-            // Refresh the live endpoint at version granularity.
+            // Refresh the live endpoint at version granularity: the
+            // latest forensics render plus a fresh provenance ledger
+            // from a quick synchronous run of the same version.
             if server.is_some() {
                 let last = cells.last().expect("cells non-empty");
                 *live_report.lock().expect("live report") = last.report.render(80);
                 ooc_bench::analyze_register(&live_registry, std::slice::from_ref(last));
+                let (ledger, _) = run_ledger_cell(&k, v);
+                *live_ledger.lock().expect("live ledger") =
+                    render_ledger(&ledger, &DiskParams::default());
             }
             let detail = cells
                 .iter()
@@ -131,6 +142,12 @@ fn main() {
     print!("{}", gap_report(&cells, GAP_WORKERS).render());
     println!("(gap = measured busy makespan / priced makespan; w-share = experienced");
     println!(" queue wait over busy time — contention the analytic model leaves unpriced)");
+
+    if let Some(path) = json_out {
+        let json = ooc_bench::analyze::analyze_json(&cells, SWEEP_NODES, GAP_WORKERS);
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
 
     analyze_register(metrics.registry(), &cells);
     let _ = metrics.finish();

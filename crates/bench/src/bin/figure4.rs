@@ -62,7 +62,7 @@ fn main() {
     for &mult in &CAPACITY_MULTS {
         for &depth in &DEPTHS {
             let cfg = PipelineConfig {
-                functional: fcfg,
+                functional: fcfg.clone(),
                 workers: 2,
                 prefetch_depth: depth,
                 cache_capacity: Some(footprint * mult),

@@ -9,7 +9,7 @@
 //!
 //! Usage: `inspect <kernel> [procs] [scale-divisor] [--trace out.json]
 //!         [--explain] [--profile] [--pipeline] [--shards N]
-//!         [--analyze] [--recovery] [--metrics out.json]`
+//!         [--analyze] [--recovery] [--ledger] [--metrics out.json]`
 //!
 //! `--trace out.json` records every compiler decision and runtime tile
 //! access into a Chrome-trace file (open in <https://ui.perfetto.dev>);
@@ -28,7 +28,12 @@
 //! process's trace session); `--recovery` runs the
 //! kernel's c-opt version through the crash-consistent durable
 //! executor (crash, torn write, checksum scan, resume) and prints the
-//! recovery counters; `--metrics out.json` writes a metrics snapshot
+//! recovery counters; `--ledger` runs each version on the synchronous
+//! executor with the I/O provenance ledger attached, prints the
+//! cause-classified byte attribution (compulsory vs capacity-miss vs
+//! write traffic, priced by the disk model), and closes with the
+//! col → c-opt diff explaining which causes the optimizations
+//! eliminated; `--metrics out.json` writes a metrics snapshot
 //! for `bench-compare`.
 use ooc_bench::trace::{render_explain, TraceScope};
 use ooc_bench::{interval_summary, recovery_register, run_recovery_demo, MetricsScope};
@@ -103,6 +108,8 @@ fn main() {
         .max(1);
     let recovery = args.iter().any(|a| a == "--recovery");
     args.retain(|a| a != "--recovery");
+    let ledger = args.iter().any(|a| a == "--ledger");
+    args.retain(|a| a != "--ledger");
     let name = args.first().cloned().unwrap_or_else(|| "trans".into());
     let procs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     let scale: i64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -262,15 +269,39 @@ fn main() {
             } else {
                 let cell = ooc_bench::run_analyze_cell(&k, v, scale, shards.max(2), 8);
                 println!(
-                    "       forensics (workers={}, nodes={}, {:.1} ms measured):",
+                    "       forensics (workers={}, nodes={}, {:.1} ms measured, \
+                     {} events dropped by flight recorder):",
                     cell.workers,
                     cell.nodes,
-                    cell.seconds * 1e3
+                    cell.seconds * 1e3,
+                    cell.report.timeline.dropped
                 );
                 print!("{}", cell.report.render(72));
                 ooc_bench::analyze_register(metrics.registry(), std::slice::from_ref(&cell));
             }
         }
+        if ledger {
+            let (led, _) = ooc_bench::run_ledger_cell(&k, v);
+            println!(
+                "       provenance ledger (sync executor at {:?}):",
+                k.small_params
+            );
+            print!("{}", ooc_analyze::render_ledger(&led, &disk));
+            ooc_bench::ledger_register(metrics.registry(), &led, &disk);
+        }
+    }
+    if ledger {
+        // Close with the version comparison: which causes did the
+        // combined optimizations eliminate, and why?
+        let (from, to) = ooc_bench::LEDGER_DIFF_PAIR;
+        let diff = ooc_bench::run_ledger_diff(&k, from, to, &disk);
+        println!(
+            "ledger diff ({} \u{2192} {} at {:?}):",
+            from.label(),
+            to.label(),
+            k.small_params
+        );
+        print!("{}", diff.render());
     }
     if recovery {
         // The durable executor only runs the optimized version — the

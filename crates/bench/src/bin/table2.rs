@@ -3,17 +3,32 @@
 //! rest as a percentage of col), side by side with the published
 //! numbers.
 //!
-//! Usage: `table2 [scale] [procs] [--trace out.json]`
+//! Usage: `table2 [scale] [procs] [--trace out.json] [--ledger]`
 //!   scale — divide every paper array extent by this (default 1 =
 //!           full paper scale; use 4 for a quick run)
 //!   procs — compute processors (default 16, the paper's Table 2)
+//!
+//! `--ledger` additionally runs every kernel's col and c-opt versions
+//! for real on the synchronous executor with the I/O provenance
+//! ledger attached and prints the cause-classified diff explaining
+//! *why* c-opt moves fewer bytes (which capacity misses disappeared,
+//! what the prefetcher wasted, ...). The cause buckets register as
+//! deterministic counters under `--metrics`, gated in CI against
+//! `BENCH_ledger_seed.json`.
 use ooc_bench::trace::TraceScope;
-use ooc_bench::{paper_table2, run_table2, table2_register, MetricsScope};
+use ooc_bench::{
+    ledger_register, paper_table2, run_ledger_cell, run_table2, table2_register, MetricsScope,
+    LEDGER_DIFF_PAIR,
+};
+use ooc_kernels::all_kernels;
+use pfs_sim::DiskParams;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = TraceScope::from_args(&mut args);
     let metrics = MetricsScope::from_args(&mut args, "table2");
+    let ledger = args.iter().any(|a| a == "--ledger");
+    args.retain(|a| a != "--ledger");
     let scale: i64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1);
     let procs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     eprintln!("running Table 2 at 1/{scale} scale on {procs} simulated processors...");
@@ -59,6 +74,27 @@ fn main() {
         let json = ooc_bench::json::table2_json(&rows);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
+    }
+    if ledger {
+        // Why do the optimized versions win? Run col and c-opt for
+        // real (sync executor, functional-test size) with the
+        // provenance ledger attached and diff the cause buckets.
+        let disk = DiskParams::default();
+        let (from, to) = LEDGER_DIFF_PAIR;
+        println!();
+        println!(
+            "== I/O provenance: {} \u{2192} {} cause-bucket diffs (sync executor)",
+            from.label(),
+            to.label()
+        );
+        for k in all_kernels() {
+            let (a, _) = run_ledger_cell(&k, from);
+            let (b, _) = run_ledger_cell(&k, to);
+            println!();
+            print!("{}", ooc_analyze::diff_ledgers(&a, &b, &disk).render());
+            ledger_register(metrics.registry(), &a, &disk);
+            ledger_register(metrics.registry(), &b, &disk);
+        }
     }
     table2_register(metrics.registry(), &rows);
     let _ = metrics.finish();

@@ -15,12 +15,14 @@
 //! | Figure 4 (ext.) | `figure4` | async tile pipeline vs synchronous |
 //! | Figure 5 (ext.) | `figure5` | crash points × checkpoint intervals: recovery cost |
 //! | Forensics (ext.) | `analyze` | blame waterfalls, critical paths, contention gap |
+//! | Provenance (ext.) | `table2 --ledger`, `inspect --ledger` | cause-classified I/O attribution, version diffs |
 
 #![warn(missing_docs)]
 
 pub mod analyze;
 pub mod experiments;
 pub mod json;
+pub mod ledger;
 pub mod measured;
 pub mod metrics;
 pub mod recovery;
@@ -28,10 +30,13 @@ pub mod reference;
 pub mod trace;
 
 pub use analyze::{
-    analyze_register, efficiency_summary, gap_report, run_analyze_cell, run_analyze_sweep,
-    AnalyzeCell, ANALYZE_WORKER_COUNTS,
+    analyze_json, analyze_register, efficiency_summary, gap_report, run_analyze_cell,
+    run_analyze_sweep, AnalyzeCell, ANALYZE_WORKER_COUNTS,
 };
 pub use experiments::{run_table2, run_table3, table2_row, Table2Cell, Table2Row, Table3Entry};
+pub use ledger::{
+    ledger_register, run_ledger_cell, run_ledger_diff, LEDGER_DIFF_PAIR, LEDGER_FRACTION,
+};
 pub use measured::{
     measured_params, measured_table3_register, run_measured_table3, MeasuredEntry,
     MEASURED_NODE_COUNTS, MEASURED_STRIPE_ELEMS,

@@ -13,9 +13,12 @@
 //! * [`critical`] — the heaviest non-overlapping chain of attributed
 //!   segments across lanes, naming the resource that bounds the run.
 //! * [`gantt`] — fixed-width ASCII visualization of the lanes.
+//! * [`ledger`] — rendering, disk-model pricing, and version-diff
+//!   explanation of the cause-classified I/O provenance ledgers the
+//!   executors record ([`ooc_runtime::ProvenanceLedger`]).
 //! * [`live`] — a zero-dependency HTTP pull endpoint serving live
-//!   metric snapshots and the latest forensics report from a running
-//!   job.
+//!   metric snapshots, the latest forensics report, and the latest
+//!   provenance-ledger render from a running job.
 //!
 //! The entry point is [`AnalysisReport::from_trace`]; bench binaries
 //! (`analyze`, `inspect --analyze`) render it directly.
@@ -25,11 +28,13 @@
 pub mod blame;
 pub mod critical;
 pub mod gantt;
+pub mod ledger;
 pub mod live;
 pub mod timeline;
 
 pub use blame::{Blame, Waterfall, ALL_BLAMES};
 pub use critical::{CriticalPath, PathStep};
+pub use ledger::{diff_ledgers, price_ledger, render_ledger, CauseDelta, LedgerDiff};
 pub use live::{registry_provider, LiveServer, Provider, Response};
 pub use timeline::{FlowLink, LaneTimeline, Segment, Timeline};
 
@@ -185,6 +190,13 @@ impl AnalysisReport {
             } else {
                 self.critical.total_us as f64 / self.timeline.wall_us as f64
             },
+        );
+        // Flight-recorder overflow is a data-quality signal: nonzero
+        // means the waterfall under-attributes the dropped spans.
+        registry.counter_add(
+            "analyze_dropped_events_total",
+            labels,
+            self.timeline.dropped,
         );
     }
 }

@@ -148,12 +148,14 @@ fn serve_one(mut stream: TcpStream, provider: &Provider) {
 
 /// The standard wiring: `/metrics` serves a fresh Prometheus snapshot
 /// of `registry`; `/analyze` serves the latest report text in
-/// `report`; `/` lists both.
+/// `report`; `/ledger` serves the latest provenance-ledger render in
+/// `ledger`; `/` lists all three.
 #[must_use]
 pub fn registry_provider(
     producer: &'static str,
     registry: Arc<ooc_metrics::Registry>,
     report: Arc<Mutex<String>>,
+    ledger: Arc<Mutex<String>>,
 ) -> Provider {
     Arc::new(move |path| match path {
         "/metrics" => {
@@ -168,7 +170,15 @@ pub fn registry_provider(
                 body
             }))
         }
-        "/" => Some(Response::text("endpoints: /metrics /analyze\n")),
+        "/ledger" => {
+            let body = ledger.lock().map(|r| r.clone()).unwrap_or_default();
+            Some(Response::text(if body.is_empty() {
+                "ledger pending (no run completed yet)\n".to_string()
+            } else {
+                body
+            }))
+        }
+        "/" => Some(Response::text("endpoints: /metrics /analyze /ledger\n")),
         _ => None,
     })
 }
@@ -204,7 +214,13 @@ mod tests {
     fn serves_metrics_and_analysis_live() {
         let registry = Arc::new(ooc_metrics::Registry::new());
         let report = Arc::new(Mutex::new(String::new()));
-        let provider = registry_provider("live-test", Arc::clone(&registry), Arc::clone(&report));
+        let ledger = Arc::new(Mutex::new(String::new()));
+        let provider = registry_provider(
+            "live-test",
+            Arc::clone(&registry),
+            Arc::clone(&report),
+            Arc::clone(&ledger),
+        );
         let mut server = LiveServer::start("127.0.0.1:0", provider).expect("bind");
         let addr = server.local_addr();
 
@@ -224,6 +240,16 @@ mod tests {
         *report.lock().expect("report") = "critical path: 12 us\n".into();
         let (_, body) = fetch(addr, "/analyze").expect("refetch analyze");
         assert!(body.contains("critical path"), "{body}");
+
+        let (status, body) = fetch(addr, "/ledger").expect("fetch ledger");
+        assert_eq!(status, 200);
+        assert!(body.contains("pending"), "{body}");
+        *ledger.lock().expect("ledger") = "== I/O provenance: trans c-opt\n".into();
+        let (_, body) = fetch(addr, "/ledger").expect("refetch ledger");
+        assert!(body.contains("I/O provenance"), "{body}");
+
+        let (_, body) = fetch(addr, "/").expect("fetch index");
+        assert!(body.contains("/ledger"), "{body}");
 
         let (status, _) = fetch(addr, "/nope").expect("fetch 404");
         assert_eq!(status, 404);

@@ -24,8 +24,9 @@ use crate::tiling::{
 };
 use ooc_ir::{ArrayId, Expr, GuardAt, LoopNest, Statement};
 use ooc_runtime::{
-    AccessRecord, InterleavedGroup, IoStats, MeasuredIo, MemStore, MemoryBudget, OocArray,
-    ProfilingStore, Region, RuntimeConfig, Store, Tile, TracingStore, ELEM_BYTES,
+    AccessRecord, InterleavedGroup, IoStats, LedgerEvent, LedgerRecorder, MeasuredIo, MemStore,
+    MemoryBudget, OocArray, ProfilingStore, Region, RuntimeConfig, Store, Tile, TouchTracker,
+    TracingStore, ELEM_BYTES,
 };
 use pfs_sim::{FileId, MachineConfig, Op, PfsSim, SimResult, Workload};
 use std::collections::BTreeMap;
@@ -500,13 +501,17 @@ pub fn simulate(tp: &TiledProgram, cfg: &ExecConfig) -> SimReport {
 }
 
 /// Configuration of a functional execution.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FunctionalConfig {
     /// Runtime parameters: call splitting and the retry policy for
     /// transient store failures.
     pub runtime: RuntimeConfig,
     /// Memory = total out-of-core data / this fraction (paper: 128).
     pub memory_fraction: u64,
+    /// When set, every executor feeding on this config records each
+    /// transfer it makes into the provenance ledger, classified by
+    /// cause — see [`ooc_runtime::ledger`].
+    pub ledger: Option<LedgerRecorder>,
 }
 
 impl Default for FunctionalConfig {
@@ -514,6 +519,7 @@ impl Default for FunctionalConfig {
         FunctionalConfig {
             runtime: RuntimeConfig::default(),
             memory_fraction: 128,
+            ledger: None,
         }
     }
 }
@@ -525,7 +531,15 @@ impl FunctionalConfig {
         FunctionalConfig {
             runtime: RuntimeConfig::default(),
             memory_fraction,
+            ledger: None,
         }
+    }
+
+    /// The same configuration with a provenance ledger attached.
+    #[must_use]
+    pub fn with_ledger(mut self, ledger: LedgerRecorder) -> Self {
+        self.ledger = Some(ledger);
+        self
     }
 }
 
@@ -691,7 +705,20 @@ pub fn run_functional_on<S: Store>(
     let total_elems = u64::try_from(tp.program.total_elements(params)).expect("size");
     let budget = MemoryBudget::paper_fraction(total_elems, cfg.memory_fraction);
 
-    for tnest in &tp.nests {
+    // Provenance: the sync walk is one locality — a single tracker
+    // classifies first touches vs. re-reads across all nests, and a
+    // global step counter stamps each event's schedule position.
+    let ledger = cfg.ledger.clone();
+    if let Some(rec) = &ledger {
+        rec.set_executor("sync");
+        for (a, arr) in arrays.iter().enumerate() {
+            rec.set_array(a as u32, arr.name());
+        }
+    }
+    let mut tracker = TouchTracker::new();
+    let mut step: u64 = 0;
+
+    for (ni, tnest) in tp.nests.iter().enumerate() {
         let nest = &tnest.nest;
         let Some(ranges) = level_ranges(nest, params) else {
             continue;
@@ -763,7 +790,24 @@ pub fn run_functional_on<S: Store>(
                                         )
                                     });
                                     arrays[a.0].write_tile(&old).expect("evict tile");
+                                    if let Some(rec) = &ledger {
+                                        let cause =
+                                            tracker.classify_write(a.0 as u32, old.region());
+                                        rec.record(LedgerEvent {
+                                            array: a.0 as u32,
+                                            cause,
+                                            calls: arrays[a.0].exact_tile_calls(old.region()),
+                                            elems: old.region().len() as u64,
+                                            region: old.region().clone(),
+                                            nest: ni as u32,
+                                            step,
+                                            evict: None,
+                                        });
+                                    }
                                 }
+                                // Displacement = eviction of the
+                                // staged copy, read or written.
+                                tracker.note_evicted(a.0 as u32, old.region(), step, None);
                             }
                             let _s = traced.then(|| {
                                 ooc_trace::span_with(
@@ -773,6 +817,19 @@ pub fn run_functional_on<S: Store>(
                                 )
                             });
                             tiles.insert(key, arrays[a.0].read_tile(&region).expect("read tile"));
+                            if let Some(rec) = &ledger {
+                                let (cause, evict) = tracker.classify_read(a.0 as u32, &region);
+                                rec.record(LedgerEvent {
+                                    array: a.0 as u32,
+                                    cause,
+                                    calls: arrays[a.0].exact_tile_calls(&region),
+                                    elems: region.len() as u64,
+                                    region: region.clone(),
+                                    nest: ni as u32,
+                                    step,
+                                    evict,
+                                });
+                            }
                         }
                     }
                     // Element loops: every polyhedron point inside the box.
@@ -781,6 +838,7 @@ pub fn run_functional_on<S: Store>(
                     exec_box(
                         nest, &bounds, params, lo, hi, &mut iter, &mut tiles, &staging,
                     );
+                    step += 1;
                 },
             );
             // Flush written tiles.
@@ -790,7 +848,22 @@ pub fn run_functional_on<S: Store>(
                         ooc_trace::span("runtime", &format!("write-tile:{}", arrays[a.0].name()))
                     });
                     arrays[a.0].write_tile(&tile).expect("final flush");
+                    if let Some(rec) = &ledger {
+                        let cause = tracker.classify_write(a.0 as u32, tile.region());
+                        rec.record(LedgerEvent {
+                            array: a.0 as u32,
+                            cause,
+                            calls: arrays[a.0].exact_tile_calls(tile.region()),
+                            elems: tile.region().len() as u64,
+                            region: tile.region().clone(),
+                            nest: ni as u32,
+                            step,
+                            evict: None,
+                        });
+                    }
                 }
+                // The iteration barrier drops every staged tile.
+                tracker.note_evicted(a.0 as u32, tile.region(), step, None);
             }
         }
     }

@@ -199,6 +199,9 @@ pub(crate) fn exec_parallel_inner<S: Store + Send + 'static>(
         shared,
         arrays: mut main_arrays,
     } = setup_run(tp, params, init, pcfg, &mut make_store, &mut dur)?;
+    if let Some(rec) = &pcfg.functional.ledger {
+        rec.set_executor("parallel");
+    }
 
     // One ShardWorker per shard, each with its own array handles,
     // prefetch pool, write-behind queue, and durability fence.

@@ -41,7 +41,10 @@ use crate::exec::{
 use crate::recovery::DurableSession;
 use crate::tiling::{plan_spans, IoWeights, TiledProgram};
 use ooc_ir::ArrayId;
-use ooc_runtime::{IoStats, MemoryBudget, OocArray, SharedJournal, SharedStore, Store, Tile};
+use ooc_runtime::{
+    IoCause, IoStats, LedgerEvent, LedgerRecorder, MemoryBudget, OocArray, SharedJournal,
+    SharedStore, Store, Tile, TouchTracker,
+};
 use ooc_sched::{
     annotate_next_use, CacheStats, Delivery, NestSchedule, PipelineStats, PrefetchPool, SlotKey,
     StageRequest, TileCache, TileId, TileSchedule, TileSink, TileSource, TileStep, WriteBehind,
@@ -293,14 +296,59 @@ fn slot_key_pair(id: &TileId) -> (ArrayId, usize) {
 /// sink journals durable runs), or writes it on the main thread — with
 /// the journal protocol (intent → write → commit) when `journal` is
 /// set.
+///
+/// Provenance: the retirement is recorded *here*, with the exact
+/// per-run call arithmetic ([`OocArray::exact_tile_calls`]) the sink
+/// or the inline write will incur — write-behind aggregates per array
+/// only, so retire time is the last point the tile identity is known.
+/// Durable sinks additionally take a journal pre-image read per tile,
+/// booked as [`IoCause::ReplayRead`].
+#[allow(clippy::too_many_arguments)]
 fn retire<S: Store>(
     wb: Option<&WriteBehind>,
     arrays: &mut [OocArray<SharedStore<S>>],
     stats: &mut PipelineStats,
     journal: Option<&SharedJournal>,
+    provenance: (&mut TouchTracker, Option<&LedgerRecorder>, u32, u64),
     id: TileId,
     tile: Tile,
 ) -> io::Result<()> {
+    let (tracker, ledger, nest, step) = provenance;
+    if let Some(rec) = ledger {
+        let a = id.key.array;
+        let region = tile.region();
+        let calls = arrays[a as usize].exact_tile_calls(region);
+        let elems = region.len() as u64;
+        if journal.is_some() {
+            rec.record(LedgerEvent {
+                array: a,
+                cause: IoCause::ReplayRead,
+                calls,
+                elems,
+                region: region.clone(),
+                nest,
+                step,
+                evict: None,
+            });
+            // The intent record carries the new data plus the
+            // pre-image.
+            rec.add_journal_bytes(2 * elems * ooc_runtime::ELEM_BYTES);
+        }
+        let cause = tracker.classify_write(a, region);
+        rec.record(LedgerEvent {
+            array: a,
+            cause,
+            calls,
+            elems,
+            region: region.clone(),
+            nest,
+            step,
+            evict: None,
+        });
+        // Retirement ends the region's residency; a later re-stage
+        // is a capacity miss paying for this displacement.
+        tracker.note_evicted(a, region, step, None);
+    }
     match wb {
         Some(wb) => {
             stats.writebehind_tiles += 1;
@@ -330,8 +378,10 @@ fn retire<S: Store>(
 fn accept_delivery(
     d: Delivery,
     inflight: &mut BTreeMap<TileId, u64>,
-    arrived: &mut BTreeMap<TileId, Tile>,
+    arrived: &mut BTreeMap<TileId, (Tile, IoStats)>,
     prefetch_stats: &mut BTreeMap<u32, IoStats>,
+    ledger: Option<&LedgerRecorder>,
+    nest: u32,
 ) {
     // Close the causal link the prefetch worker opened when it sent
     // this delivery (critical-path edge across threads).
@@ -345,7 +395,24 @@ fn accept_delivery(
                 .entry(d.tile.key.array)
                 .or_default()
                 .merge(&stats);
-            arrived.insert(d.tile, tile);
+            let array = d.tile.key.array;
+            if let Some((old, old_stats)) = arrived.insert(d.tile, (tile, stats)) {
+                // A displaced duplicate delivery was never consumed:
+                // its bytes are waste, booked now so the partition
+                // stays exact.
+                if let Some(rec) = ledger {
+                    rec.record(LedgerEvent {
+                        array,
+                        cause: IoCause::PrefetchWasted,
+                        calls: old_stats.read_calls,
+                        elems: old_stats.read_elems,
+                        region: old.region().clone(),
+                        nest,
+                        step: 0,
+                        evict: None,
+                    });
+                }
+            }
         }
         Err(e) => {
             if ooc_trace::enabled() {
@@ -356,6 +423,55 @@ fn accept_delivery(
                 );
             }
         }
+    }
+}
+
+/// Books a consumed prefetch delivery as [`IoCause::PrefetchUseful`]
+/// with the exact stats its fetch cost.
+fn record_prefetched<S: Store + Send + 'static>(
+    w: &mut ShardWorker<S>,
+    ni: usize,
+    g: u64,
+    array: u32,
+    tile: &Tile,
+    fstats: &IoStats,
+) {
+    if let Some(rec) = &w.ledger {
+        let evict = w.tracker.note_read(array, tile.region());
+        rec.record(LedgerEvent {
+            array,
+            cause: IoCause::PrefetchUseful,
+            calls: fstats.read_calls,
+            elems: fstats.read_elems,
+            region: tile.region().clone(),
+            nest: ni as u32,
+            step: g,
+            evict,
+        });
+    }
+}
+
+/// Books a main-thread staging read, classified first-touch vs.
+/// re-read by the worker's tracker.
+fn record_sync_read<S: Store + Send + 'static>(
+    w: &mut ShardWorker<S>,
+    ni: usize,
+    g: u64,
+    array: u32,
+    tile: &Tile,
+) {
+    if let Some(rec) = &w.ledger {
+        let (cause, evict) = w.tracker.classify_read(array, tile.region());
+        rec.record(LedgerEvent {
+            array,
+            cause,
+            calls: w.arrays[array as usize].exact_tile_calls(tile.region()),
+            elems: tile.region().len() as u64,
+            region: tile.region().clone(),
+            nest: ni as u32,
+            step: g,
+            evict,
+        });
     }
 }
 
@@ -383,6 +499,11 @@ pub(crate) struct ShardWorker<S: Store + Send + 'static> {
     /// Steps executed while driven without a durable session (the
     /// parallel executor folds these into the recovery report).
     pub(crate) executed_steps: u64,
+    /// Provenance classification state of this worker's serial walk
+    /// (first touch vs. re-read is a per-locality notion).
+    pub(crate) tracker: TouchTracker,
+    /// The run's shared provenance recorder, when attached.
+    pub(crate) ledger: Option<LedgerRecorder>,
 }
 
 impl<S: Store + Send + 'static> ShardWorker<S> {
@@ -438,6 +559,8 @@ impl<S: Store + Send + 'static> ShardWorker<S> {
             stats: PipelineStats::default(),
             prefetch_stats: BTreeMap::new(),
             executed_steps: 0,
+            tracker: TouchTracker::new(),
+            ledger: cfg.functional.ledger.clone(),
         }
     }
 
@@ -481,7 +604,10 @@ pub(crate) struct NestRun<'a> {
     row_start: Vec<bool>,
     rows_done: u64,
     cache: TileCache,
-    arrived: BTreeMap<TileId, Tile>,
+    /// Delivered-but-unconsumed prefetches, each with the exact
+    /// [`IoStats`] its fetch cost (provenance: consumed = useful,
+    /// leftover at the barrier = wasted).
+    arrived: BTreeMap<TileId, (Tile, IoStats)>,
     inflight: BTreeMap<TileId, u64>,
     written_tiles: BTreeMap<(ArrayId, usize), Tile>,
     issued_until: u64,
@@ -580,6 +706,7 @@ impl<'a> NestRun<'a> {
                             &mut w.arrays,
                             &mut w.stats,
                             w.sync_journal.as_ref(),
+                            (&mut w.tracker, w.ledger.as_ref(), self.ni as u32, g),
                             id,
                             tile,
                         )?;
@@ -632,6 +759,8 @@ impl<'a> NestRun<'a> {
                     &mut self.inflight,
                     &mut self.arrived,
                     &mut w.prefetch_stats,
+                    w.ledger.as_ref(),
+                    self.ni as u32,
                 );
             }
             let depth_now = pool.in_flight();
@@ -648,8 +777,9 @@ impl<'a> NestRun<'a> {
             let key = slot_key_pair(id);
             let tile = if let Some(t) = self.cache.take(id.key, &id.region) {
                 t
-            } else if let Some(t) = self.arrived.remove(id) {
+            } else if let Some((t, fstats)) = self.arrived.remove(id) {
                 w.stats.prefetched_reads += 1;
+                record_prefetched(w, self.ni, g, id.key.array, &t, &fstats);
                 t
             } else if self.inflight.contains_key(id) {
                 // Stall: block on deliveries until ours lands.
@@ -667,6 +797,8 @@ impl<'a> NestRun<'a> {
                                 &mut self.inflight,
                                 &mut self.arrived,
                                 &mut w.prefetch_stats,
+                                w.ledger.as_ref(),
+                                self.ni as u32,
                             );
                         }
                         None => {
@@ -678,8 +810,9 @@ impl<'a> NestRun<'a> {
                 }
                 w.stats.stall_drains.observe(drains);
                 match self.arrived.remove(id) {
-                    Some(t) => {
+                    Some((t, fstats)) => {
                         w.stats.prefetched_reads += 1;
+                        record_prefetched(w, self.ni, g, id.key.array, &t, &fstats);
                         t
                     }
                     None => {
@@ -687,7 +820,9 @@ impl<'a> NestRun<'a> {
                         let _sync = ooc_trace::enabled().then(|| {
                             ooc_trace::span_with("pipeline", "sync-read", vec![("step", g.into())])
                         });
-                        w.arrays[key.0 .0].read_tile(&id.region)?
+                        let t = w.arrays[key.0 .0].read_tile(&id.region)?;
+                        record_sync_read(w, self.ni, g, id.key.array, &t);
+                        t
                     }
                 }
             } else {
@@ -697,7 +832,9 @@ impl<'a> NestRun<'a> {
                 let _sync = ooc_trace::enabled().then(|| {
                     ooc_trace::span_with("pipeline", "sync-read", vec![("step", g.into())])
                 });
-                w.arrays[key.0 .0].read_tile(&id.region)?
+                let t = w.arrays[key.0 .0].read_tile(&id.region)?;
+                record_sync_read(w, self.ni, g, id.key.array, &t);
+                t
             };
             tiles.insert(key, tile);
         }
@@ -730,6 +867,7 @@ impl<'a> NestRun<'a> {
                         &mut w.arrays,
                         &mut w.stats,
                         w.sync_journal.as_ref(),
+                        (&mut w.tracker, w.ledger.as_ref(), self.ni as u32, g),
                         old_id,
                         old,
                     )?;
@@ -740,6 +878,7 @@ impl<'a> NestRun<'a> {
                     wb.wait_clear(id.key.array, &id.region);
                 }
                 let t = w.arrays[key.0 .0].read_tile(&id.region)?;
+                record_sync_read(w, self.ni, g, id.key.array, &t);
                 self.written_tiles.insert(key, t);
             }
             let t = self
@@ -778,6 +917,17 @@ impl<'a> NestRun<'a> {
                     out.evicted.iter().all(|e| !e.dirty),
                     "dirty tile escaped the write path"
                 );
+                // Provenance: remember what the cache knew at each
+                // eviction, so the re-read that pays for it can carry
+                // the evicting step and the Belady annotation.
+                for e in &out.evicted {
+                    w.tracker
+                        .note_evicted(e.key.array, e.tile.region(), g, e.next_use);
+                }
+                if let Some(t) = &out.rejected {
+                    w.tracker
+                        .note_evicted(req.tile.key.array, t.region(), g, next);
+                }
             }
         }
         for id in &step.writes {
@@ -804,6 +954,7 @@ impl<'a> NestRun<'a> {
                     &mut w.arrays,
                     &mut w.stats,
                     w.sync_journal.as_ref(),
+                    (&mut w.tracker, w.ledger.as_ref(), self.ni as u32, g),
                     id,
                     tile,
                 )?;
@@ -835,9 +986,28 @@ impl<'a> NestRun<'a> {
                         &mut self.inflight,
                         &mut self.arrived,
                         &mut w.prefetch_stats,
+                        w.ledger.as_ref(),
+                        self.ni as u32,
                     ),
                     None => break,
                 }
+            }
+        }
+        // Provenance: everything still in the arrival buffer was
+        // delivered but never consumed — wasted prefetch bytes.
+        if let Some(rec) = &w.ledger {
+            let end = self.total_steps();
+            for (id, (tile, fstats)) in &self.arrived {
+                rec.record(LedgerEvent {
+                    array: id.key.array,
+                    cause: IoCause::PrefetchWasted,
+                    calls: fstats.read_calls,
+                    elems: fstats.read_elems,
+                    region: tile.region().clone(),
+                    nest: self.ni as u32,
+                    step: end,
+                    evict: None,
+                });
             }
         }
         self.arrived.clear();
@@ -845,6 +1015,13 @@ impl<'a> NestRun<'a> {
         w.stats.cache.merge(&self.cache.stats());
         let drained = self.cache.clear();
         debug_assert!(drained.iter().all(|e| !e.dirty));
+        // The barrier evicts every resident tile: a later nest's
+        // re-read of one of these regions is a capacity miss.
+        let end = self.total_steps();
+        for e in &drained {
+            w.tracker
+                .note_evicted(e.key.array, e.tile.region(), end, e.next_use);
+        }
         if let Some(wb) = &w.wb {
             wb.flush()?;
         }
@@ -907,11 +1084,19 @@ pub(crate) fn setup_run<S: Store + Send + 'static>(
         arrays.push(arr);
     }
 
+    // Provenance: register array names once per run.
+    if let Some(rec) = &cfg.functional.ledger {
+        for (a, arr) in arrays.iter().enumerate() {
+            rec.set_array(a as u32, arr.name());
+        }
+    }
+
     // Recovery: restore journal pre-images for every uncommitted (or
     // post-boundary) write of the crashed run, then mark seeding
     // durable for fresh runs.
     if let Some(d) = dur.as_deref_mut() {
         let _replay = ooc_trace::enabled().then(|| ooc_trace::span("durable", "recovery-replay"));
+        let ledger = cfg.functional.ledger.clone();
         d.rollback_now(&mut |a, region, pre| {
             let mut t = Tile::zeroed(region.clone());
             if t.data().len() != pre.len() {
@@ -921,7 +1106,20 @@ pub(crate) fn setup_run<S: Store + Send + 'static>(
                 ));
             }
             t.data_mut().copy_from_slice(pre);
-            arrays[a as usize].write_tile(&t)
+            let arr = &mut arrays[a as usize];
+            if let Some(rec) = &ledger {
+                rec.record(LedgerEvent {
+                    array: a,
+                    cause: IoCause::ReplayWrite,
+                    calls: arr.exact_tile_calls(region),
+                    elems: region.len() as u64,
+                    region: region.clone(),
+                    nest: 0,
+                    step: 0,
+                    evict: None,
+                });
+            }
+            arr.write_tile(&t)
         })?;
         d.begin()?;
     }
@@ -1048,6 +1246,9 @@ pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
     });
     // The single-threaded executor is one shard worker driving the
     // full serial schedule — the main arrays double as its handles.
+    if let Some(rec) = &cfg.functional.ledger {
+        rec.set_executor("pipelined");
+    }
     let mut w = ShardWorker {
         arrays,
         pool,
@@ -1056,6 +1257,8 @@ pub(crate) fn exec_pipelined_inner<S: Store + Send + 'static>(
         stats: PipelineStats::default(),
         prefetch_stats: BTreeMap::new(),
         executed_steps: 0,
+        tracker: TouchTracker::new(),
+        ledger: cfg.functional.ledger.clone(),
     };
 
     let total_elems = u64::try_from(tp.program.total_elements(params)).expect("size");

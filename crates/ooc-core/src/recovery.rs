@@ -42,8 +42,9 @@ use ooc_ir::ArrayId;
 use ooc_metrics::Registry;
 use ooc_runtime::{
     parse_journal, rollback, ChecksumHandle, ChecksummedStore, FaultConfig, FaultHandle,
-    FaultStore, FileLog, FileStore, Journal, JournalScan, LogStore, MemLog, MemStore, MemoryBudget,
-    OocArray, Region, SharedJournal, SharedStore, Store, Tile, UndoWriter, WriteIntent,
+    FaultStore, FileLog, FileStore, IoCause, Journal, JournalScan, LedgerEvent, LedgerRecorder,
+    LogStore, MemLog, MemStore, MemoryBudget, OocArray, Region, SharedJournal, SharedStore, Store,
+    Tile, TouchTracker, UndoWriter, WriteIntent, ELEM_BYTES,
 };
 use ooc_sched::{DurabilityFence, TileId};
 use std::collections::BTreeMap;
@@ -772,15 +773,87 @@ fn build_arrays(
     Ok((arrays, fault_handles, checksum_handles))
 }
 
+/// Stamps the ledger's executor label and array-name table for a
+/// durable run, when a recorder is attached.
+fn register_ledger_arrays(
+    cfg: &FunctionalConfig,
+    arrays: &[OocArray<DurableStore>],
+    executor: &str,
+) {
+    if let Some(rec) = &cfg.ledger {
+        rec.set_executor(executor);
+        for (a, arr) in arrays.iter().enumerate() {
+            rec.set_array(u32::try_from(a).expect("array index"), arr.name());
+        }
+    }
+}
+
+/// Feeds each array's checksum-sidecar traffic into the ledger's
+/// `ChecksumOverhead` channel. Called after the run finishes, so the
+/// figure covers all integrity traffic since the post-seed metrics
+/// reset — including verification of the final result dump. Sidecar
+/// bytes live outside the conservation law by construction: the data
+/// store's own metrics never see them.
+fn record_sidecar(ledger: Option<&LedgerRecorder>, handles: &[ChecksumHandle]) {
+    if let Some(rec) = ledger {
+        for (a, ch) in handles.iter().enumerate() {
+            let (calls, elems) = ch.sidecar_io();
+            rec.add_sidecar(u32::try_from(a).expect("array index"), calls, elems);
+        }
+    }
+}
+
+/// Ledger context of the durable tile walk: the walk-local touch
+/// tracker plus the attached recorder, if any. Bundled so
+/// [`durable_write`] and [`flush_written`] can stamp provenance
+/// without growing every signature by three parameters.
+struct WalkLedger<'a> {
+    tracker: TouchTracker,
+    rec: Option<&'a LedgerRecorder>,
+}
+
 /// Journaled tile write-back: intent (with the staged pre-image) →
-/// data write → commit.
+/// data write → commit. The pre-image read lands in the ledger as
+/// `ReplayRead` (journal-protocol traffic, not a data reuse) and the
+/// data write classifies as `WriteBack`/`WriteRewrite`; the journal
+/// record itself carries the new data plus the pre-image.
 fn durable_write(
     arrays: &mut [OocArray<DurableStore>],
     a: ArrayId,
     journal: &SharedJournal,
     tile: &Tile,
+    led: &mut WalkLedger<'_>,
+    nest: u32,
+    step: u64,
 ) -> io::Result<()> {
     let pre = arrays[a.0].read_tile(tile.region())?;
+    if let Some(rec) = led.rec {
+        let array = u32::try_from(a.0).expect("array index");
+        let calls = arrays[a.0].exact_tile_calls(tile.region());
+        let elems = tile.region().len() as u64;
+        rec.record(LedgerEvent {
+            array,
+            cause: IoCause::ReplayRead,
+            calls,
+            elems,
+            region: tile.region().clone(),
+            nest,
+            step,
+            evict: None,
+        });
+        let cause = led.tracker.classify_write(array, tile.region());
+        rec.record(LedgerEvent {
+            array,
+            cause,
+            calls,
+            elems,
+            region: tile.region().clone(),
+            nest,
+            step,
+            evict: None,
+        });
+        rec.add_journal_bytes(2 * elems * ELEM_BYTES);
+    }
     let seq = journal.intent(
         u32::try_from(a.0).expect("array index"),
         tile.region(),
@@ -793,17 +866,27 @@ fn durable_write(
 
 /// Durably flushes every written resident tile and clears the whole
 /// residency map (so checkpoint boundaries carry no in-memory state —
-/// what a resumed run cannot reconstruct).
+/// what a resumed run cannot reconstruct). Every drained tile ends its
+/// residency here, so a later re-read classifies as a capacity miss.
 fn flush_written(
     arrays: &mut [OocArray<DurableStore>],
     staging: &Staging,
     tiles: &mut BTreeMap<(ArrayId, usize), Tile>,
     journal: &SharedJournal,
+    led: &mut WalkLedger<'_>,
+    nest: u32,
+    step: u64,
 ) -> io::Result<()> {
     for ((a, slot), tile) in std::mem::take(tiles) {
         if staging.slot_written(a, slot) {
-            durable_write(arrays, a, journal, &tile)?;
+            durable_write(arrays, a, journal, &tile, led, nest, step)?;
         }
+        led.tracker.note_evicted(
+            u32::try_from(a.0).expect("array index"),
+            tile.region(),
+            step,
+            None,
+        );
     }
     Ok(())
 }
@@ -825,6 +908,10 @@ fn run_durable_loop(
     let total_elems = u64::try_from(tp.program.total_elements(params)).expect("size");
     let budget = MemoryBudget::paper_fraction(total_elems, cfg.memory_fraction);
     let interval = session.cfg.checkpoint_rows;
+    let mut led = WalkLedger {
+        tracker: TouchTracker::new(),
+        rec: cfg.ledger.as_ref(),
+    };
 
     for (ni, tnest) in tp.nests.iter().enumerate() {
         if session.skip_nest(ni) {
@@ -882,9 +969,16 @@ fn run_durable_loop(
                         if last_row_lo.is_some() {
                             rows_done += 1;
                             if g > start_g && interval > 0 && rows_done % interval == 0 {
-                                if let Err(e) =
-                                    flush_written(arrays, &staging, &mut tiles, &session.journal)
-                                        .and_then(|()| session.checkpoint(ni, g))
+                                if let Err(e) = flush_written(
+                                    arrays,
+                                    &staging,
+                                    &mut tiles,
+                                    &session.journal,
+                                    &mut led,
+                                    ni as u32,
+                                    g,
+                                )
+                                .and_then(|()| session.checkpoint(ni, g))
                                 {
                                     io_err = Some(e);
                                     return;
@@ -907,14 +1001,42 @@ fn run_durable_loop(
                         }
                         if let Some(old) = tiles.remove(&key) {
                             if staging.slot_written(a, slot) {
-                                if let Err(e) = durable_write(arrays, a, &session.journal, &old) {
+                                if let Err(e) = durable_write(
+                                    arrays,
+                                    a,
+                                    &session.journal,
+                                    &old,
+                                    &mut led,
+                                    ni as u32,
+                                    g,
+                                ) {
                                     io_err = Some(e);
                                     return;
                                 }
                             }
+                            led.tracker.note_evicted(
+                                u32::try_from(a.0).expect("array index"),
+                                old.region(),
+                                g,
+                                None,
+                            );
                         }
                         match arrays[a.0].read_tile(&region) {
                             Ok(t) => {
+                                if let Some(rec) = led.rec {
+                                    let array = u32::try_from(a.0).expect("array index");
+                                    let (cause, evict) = led.tracker.classify_read(array, &region);
+                                    rec.record(LedgerEvent {
+                                        array,
+                                        cause,
+                                        calls: arrays[a.0].exact_tile_calls(&region),
+                                        elems: region.len() as u64,
+                                        region: region.clone(),
+                                        nest: ni as u32,
+                                        step: g,
+                                        evict,
+                                    });
+                                }
                                 tiles.insert(key, t);
                             }
                             Err(e) => {
@@ -936,7 +1058,15 @@ fn run_durable_loop(
             }
             // End-of-iteration boundary: flush + checkpoint record.
             if g > start_g {
-                flush_written(arrays, &staging, &mut tiles, &session.journal)?;
+                flush_written(
+                    arrays,
+                    &staging,
+                    &mut tiles,
+                    &session.journal,
+                    &mut led,
+                    ni as u32,
+                    g,
+                )?;
                 session.checkpoint(ni, g)?;
             }
         }
@@ -1015,10 +1145,13 @@ pub fn run_functional_durable(
         arr.initialize(|idx| init(ArrayId(a), idx))?;
         arr.reset_all_metrics();
     }
+    register_ledger_arrays(cfg, &arrays, "durable");
     let mut session = DurableSession::fresh(SharedJournal::new(Journal::new(jlog)), mlog, *dur);
     session.begin()?;
     run_durable_loop(tp, params, cfg, &mut arrays, &mut session)?;
-    finish_functional(arrays, session, fault_handles, checksum_handles)
+    let out = finish_functional(arrays, session, fault_handles, checksum_handles)?;
+    record_sidecar(cfg.ledger.as_ref(), &out.checksum_handles);
+    Ok(out)
 }
 
 /// Resumes a crashed durable run: scans the manifest for the last
@@ -1068,6 +1201,7 @@ pub fn resume_functional(
     for arr in arrays.iter_mut() {
         arr.reset_all_metrics();
     }
+    register_ledger_arrays(cfg, &arrays, "durable-resume");
     let mut session = DurableSession::resumed(
         SharedJournal::new(Journal::resume(jlog, jscan.next_seq)),
         mlog,
@@ -1080,6 +1214,7 @@ pub fn resume_functional(
             .collect(),
         jscan.torn_tail || mscan.torn_tail,
     );
+    let rb_ledger = cfg.ledger.clone();
     session.rollback_now(&mut |a, region, pre| {
         let mut t = Tile::zeroed(region.clone());
         if t.data().len() != pre.len() {
@@ -1089,10 +1224,24 @@ pub fn resume_functional(
             ));
         }
         t.data_mut().copy_from_slice(pre);
+        if let Some(rec) = &rb_ledger {
+            rec.record(LedgerEvent {
+                array: a,
+                cause: IoCause::ReplayWrite,
+                calls: arrays[a as usize].exact_tile_calls(region),
+                elems: region.len() as u64,
+                region: region.clone(),
+                nest: 0,
+                step: 0,
+                evict: None,
+            });
+        }
         arrays[a as usize].write_tile(&t)
     })?;
     run_durable_loop(tp, params, cfg, &mut arrays, &mut session)?;
-    finish_functional(arrays, session, fault_handles, checksum_handles)
+    let out = finish_functional(arrays, session, fault_handles, checksum_handles)?;
+    record_sidecar(cfg.ledger.as_ref(), &out.checksum_handles);
+    Ok(out)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1132,6 +1281,7 @@ fn drive_pipelined(
     run.pipeline.journal_commits = commits;
     run.pipeline.recovery_replayed_tiles = report.rolled_back_tiles;
     run.pipeline.corrupt_reads = report.corrupt_reads;
+    record_sidecar(cfg.functional.ledger.as_ref(), &checksum_handles);
     Ok(PipelinedDurableOutcome {
         run,
         report,
@@ -1166,7 +1316,12 @@ pub fn exec_pipelined_durable(
     let mut mlog = medium.manifest()?;
     mlog.truncate()?;
     let session = DurableSession::fresh(SharedJournal::new(Journal::new(jlog)), mlog, *dur);
-    drive_pipelined(tp, params, init, cfg, dur, medium, faults, session)
+    let out = drive_pipelined(tp, params, init, cfg, dur, medium, faults, session)?;
+    // Last write wins over the inner executor's "pipelined" label.
+    if let Some(rec) = &cfg.functional.ledger {
+        rec.set_executor("durable-pipelined");
+    }
+    Ok(out)
 }
 
 /// Resumes a crashed durable *pipelined* run from its last consistent
@@ -1215,7 +1370,11 @@ pub fn resume_pipelined(
             .collect(),
         jscan.torn_tail || mscan.torn_tail,
     );
-    drive_pipelined(tp, params, init, cfg, dur, medium, faults, session)
+    let out = drive_pipelined(tp, params, init, cfg, dur, medium, faults, session)?;
+    if let Some(rec) = &cfg.functional.ledger {
+        rec.set_executor("durable-pipelined-resume");
+    }
+    Ok(out)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1255,6 +1414,7 @@ fn drive_parallel(
     run.pipeline.journal_commits = commits;
     run.pipeline.recovery_replayed_tiles = report.rolled_back_tiles;
     run.pipeline.corrupt_reads = report.corrupt_reads;
+    record_sidecar(cfg.pipeline.functional.ledger.as_ref(), &checksum_handles);
     Ok(ParallelDurableOutcome {
         run,
         report,
@@ -1290,7 +1450,12 @@ pub fn exec_parallel_durable(
     let mut mlog = medium.manifest()?;
     mlog.truncate()?;
     let session = DurableSession::fresh(SharedJournal::new(Journal::new(jlog)), mlog, *dur);
-    drive_parallel(tp, params, init, cfg, dur, medium, faults, session)
+    let out = drive_parallel(tp, params, init, cfg, dur, medium, faults, session)?;
+    // Last write wins over the inner executor's "parallel" label.
+    if let Some(rec) = &cfg.pipeline.functional.ledger {
+        rec.set_executor("durable-parallel");
+    }
+    Ok(out)
 }
 
 /// Resumes a crashed durable *parallel* run from its last consistent
@@ -1342,7 +1507,11 @@ pub fn resume_parallel(
             .collect(),
         jscan.torn_tail || mscan.torn_tail,
     );
-    drive_parallel(tp, params, init, cfg, dur, medium, faults, session)
+    let out = drive_parallel(tp, params, init, cfg, dur, medium, faults, session)?;
+    if let Some(rec) = &cfg.pipeline.functional.ledger {
+        rec.set_executor("durable-parallel-resume");
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -349,6 +349,22 @@ impl<S: Store> OocArray<S> {
         )
     }
 
+    /// The **exact** I/O call count a [`read_tile`](Self::read_tile)
+    /// or [`write_tile`](Self::write_tile) of `region` incurs — the
+    /// same per-run `div_ceil` accounting those methods apply, unlike
+    /// [`io_cost`](Self::io_cost)'s average-run approximation. The
+    /// provenance ledger uses this so cause buckets conserve exactly
+    /// against [`IoStats`] call totals. No data is moved.
+    #[must_use]
+    pub fn exact_tile_calls(&self, region: &Region) -> u64 {
+        let region = region.clamped(&self.dims);
+        self.layout
+            .region_runs(&self.dims, &region)
+            .iter()
+            .map(|run| run.len.div_ceil(self.config.max_call_elems))
+            .sum()
+    }
+
     /// Reads a tile, counting calls.
     ///
     /// # Errors

@@ -148,6 +148,19 @@ impl ChecksumHandle {
     pub fn chunk_updates(&self) -> u64 {
         self.0.chunk_updates.load(Ordering::Relaxed)
     }
+
+    /// Sidecar traffic implied by the counters, as `(calls, elems)`:
+    /// every chunk verification (clean or corrupt) reads one checksum
+    /// element, every chunk update writes one back. This is the
+    /// provenance ledger's `ChecksumOverhead` channel — integrity
+    /// traffic that never appears in the data store's own metrics
+    /// (see [`ChecksummedStore::metrics`], which forwards the data
+    /// store only).
+    #[must_use]
+    pub fn sidecar_io(&self) -> (u64, u64) {
+        let n = self.verified_chunks() + self.corrupt_reads() + self.chunk_updates();
+        (n, n)
+    }
 }
 
 /// A [`Store`] wrapper verifying every read against a per-chunk CRC64
@@ -350,6 +363,12 @@ impl<S: Store, C: Store> Store for ChecksummedStore<S, C> {
     fn reset_metrics(&mut self) {
         self.data.reset_metrics();
         self.sidecar.reset_metrics();
+        // The verification counters scope to the same window as the
+        // I/O metrics, so post-seed resets leave both channels
+        // covering exactly the compute phase.
+        self.counters.verified_chunks.store(0, Ordering::Relaxed);
+        self.counters.corrupt_reads.store(0, Ordering::Relaxed);
+        self.counters.chunk_updates.store(0, Ordering::Relaxed);
     }
 
     fn metrics(&self) -> Option<MeasuredIo> {

@@ -28,6 +28,10 @@
 //! * [`journal`] — the write intent [`Journal`]: append-only
 //!   intent/commit log with pre-images, torn-tail-tolerant scan, and
 //!   idempotent [`rollback`].
+//! * [`ledger`] — the I/O provenance ledger: every transfer
+//!   classified by cause (compulsory, capacity miss, wasted prefetch,
+//!   replay, …) in a partition that conserves exactly against the
+//!   analytic and measured totals.
 //! * [`shared`] — [`SharedStore`]: a cloneable `Arc<Mutex<…>>` handle
 //!   that lets prefetch/write-behind threads share one store.
 //! * [`striped`] — [`StripedStore`]: 64 KB stripes round-robined over
@@ -46,6 +50,7 @@ pub mod fault;
 pub mod interleave;
 pub mod journal;
 pub mod layout;
+pub mod ledger;
 pub mod profile;
 pub mod shared;
 pub mod store;
@@ -68,6 +73,9 @@ pub use journal::{
     SharedJournal, UndoWriter, WriteIntent,
 };
 pub use layout::{FileLayout, Region, Run, RunSummary};
+pub use ledger::{
+    CauseTotal, EvictDetail, IoCause, LedgerEvent, LedgerRecorder, ProvenanceLedger, TouchTracker,
+};
 pub use profile::{
     heatmap, sequential_stats, AccessLog, AccessRecord, ProfilingStore, SeekCdf, SeqStats,
 };

@@ -76,6 +76,11 @@ pub struct Evicted {
     pub tile: Tile,
     /// Whether the tile holds unwritten modifications.
     pub dirty: bool,
+    /// The Belady next-use annotation the entry carried when it was
+    /// pushed out (`None` = no scheduled future use, or a barrier
+    /// clear) — the provenance ledger attaches this to the capacity
+    /// miss that later pays for the eviction.
+    pub next_use: Option<u64>,
 }
 
 /// Outcome of an insert: what was displaced, and — if the tile cannot
@@ -197,6 +202,7 @@ impl TileCache {
                         key: victim.0,
                         tile: e.tile,
                         dirty: e.dirty,
+                        next_use: e.next_use,
                     });
                 }
                 None => {
@@ -274,6 +280,7 @@ impl TileCache {
                 key,
                 tile: e.tile,
                 dirty: e.dirty,
+                next_use: e.next_use,
             })
             .collect()
     }

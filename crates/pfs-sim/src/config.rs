@@ -42,6 +42,21 @@ impl Default for DiskParams {
     }
 }
 
+impl DiskParams {
+    /// Seconds one I/O node spends serving `calls` calls that move
+    /// `bytes` bytes in aggregate: the fixed per-call service cost
+    /// plus streaming time, with every call occupying the disk for at
+    /// least the minimum transfer. This is the bulk form of
+    /// [`price_sequence`](crate::pricing::price_sequence)'s per-call
+    /// model, used to price provenance-ledger cause buckets where
+    /// only aggregate `(calls, bytes)` per bucket are known.
+    #[must_use]
+    pub fn bulk_seconds(&self, calls: u64, bytes: u64) -> f64 {
+        let floored = bytes.max(calls.saturating_mul(self.min_transfer_bytes));
+        calls as f64 * self.call_overhead_s + floored as f64 / self.bandwidth_bps
+    }
+}
+
 /// Configuration of the parallel file system.
 #[derive(Debug, Clone, Copy)]
 pub struct PfsConfig {
