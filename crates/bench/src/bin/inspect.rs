@@ -9,7 +9,8 @@
 //!
 //! Usage: `inspect <kernel> [procs] [scale-divisor] [--trace out.json]
 //!         [--explain] [--profile] [--pipeline] [--shards N]
-//!         [--analyze] [--recovery] [--ledger] [--metrics out.json]`
+//!         [--analyze] [--recovery] [--ledger] [--scrub]
+//!         [--metrics out.json]`
 //!
 //! `--trace out.json` records every compiler decision and runtime tile
 //! access into a Chrome-trace file (open in <https://ui.perfetto.dev>);
@@ -33,8 +34,12 @@
 //! cause-classified byte attribution (compulsory vs capacity-miss vs
 //! write traffic, priced by the disk model), and closes with the
 //! col → c-opt diff explaining which causes the optimizations
-//! eliminated; `--metrics out.json` writes a metrics snapshot
-//! for `bench-compare`.
+//! eliminated; `--scrub` runs the kernel's c-opt version through the
+//! degraded-mode survival sweep (each of 4 parity-striped I/O nodes
+//! killed in turn), prints the repair traffic and the online
+//! scrubber's verdict on the surviving stripes, and closes with the
+//! healthy → degraded provenance diff; `--metrics out.json` writes a
+//! metrics snapshot for `bench-compare`.
 use ooc_bench::trace::{render_explain, TraceScope};
 use ooc_bench::{interval_summary, recovery_register, run_recovery_demo, MetricsScope};
 use ooc_core::{
@@ -110,6 +115,8 @@ fn main() {
     args.retain(|a| a != "--recovery");
     let ledger = args.iter().any(|a| a == "--ledger");
     args.retain(|a| a != "--ledger");
+    let scrub = args.iter().any(|a| a == "--scrub");
+    args.retain(|a| a != "--scrub");
     let name = args.first().cloned().unwrap_or_else(|| "trans".into());
     let procs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     let scale: i64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -341,6 +348,52 @@ fn main() {
             print!("{}", cell.report.render());
         }
         recovery_register(metrics.registry(), &demo);
+    }
+    if scrub {
+        // Bit-equality, conservation, and the replay bound are
+        // asserted inside run_degraded_demo; this section reports what
+        // surviving each loss cost.
+        println!(
+            "degraded mode (c-opt at {:?}, {} parity-striped I/O nodes):",
+            k.small_params,
+            ooc_bench::DEGRADED_NODES
+        );
+        let demo = ooc_bench::run_degraded_demo(k.name, None);
+        for cell in &demo.cells {
+            let rec = cell.repair.get(ooc_runtime::IoCause::DegradedReconstruct);
+            let par = cell.repair.get(ooc_runtime::IoCause::ParityWrite);
+            println!(
+                "       kill node {} @ first arrival: {} resume(s), \
+                 reconstructed {} elems in {} calls, parity RMW {} elems",
+                cell.killed,
+                cell.resumes,
+                rec.total_elems(),
+                rec.total_calls(),
+                par.total_elems(),
+            );
+            println!(
+                "       scrub: {} groups — {} clean, {} chunks skipped \
+                 (node {} down), {} unrecoverable",
+                cell.scrub.groups,
+                cell.scrub.clean,
+                cell.scrub.skipped,
+                cell.killed,
+                cell.scrub.unrecoverable
+            );
+        }
+        println!(
+            "       sampled mid-run/drain kills verified bit-equal: {:?}",
+            demo.sampled_kills
+        );
+        if let Some(cell) = demo.cells.first() {
+            println!(
+                "degraded ledger diff (healthy \u{2192} node {} dead at {:?}):",
+                cell.killed, k.small_params
+            );
+            let diff = ooc_analyze::diff_ledgers(&demo.healthy_ledger, &cell.ledger, &disk);
+            print!("{}", diff.render());
+        }
+        ooc_bench::degraded_register(metrics.registry(), &demo);
     }
     let _ = metrics.finish();
     let explain = trace.explain;

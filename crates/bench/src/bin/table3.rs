@@ -2,7 +2,7 @@
 //! every kernel on 16/32/64/128 processors, relative to the same
 //! version on a single node.
 //!
-//! Usage: `table3 [scale] [--workers N] [--trace out.json]`
+//! Usage: `table3 [scale] [--workers N] [--kill-node N|all] [--trace out.json]`
 //!
 //! With `--workers N` the binary switches to the **measured** mode:
 //! every kernel version actually executes through the parallel
@@ -10,11 +10,20 @@
 //! simulated I/O nodes, against a single-shard baseline. Per-node
 //! traffic registers as deterministic counters, timings as warn-only
 //! gauges (gate with `bench-compare` vs `BENCH_table3_seed.json`).
+//!
+//! With `--kill-node N` (or `all`) it runs the **degraded-mode**
+//! experiment instead: parallel runs over 4 parity-striped I/O nodes
+//! with node N dead from its first arrival, plus sampled mid-run and
+//! drain-phase kills — every run must land bit-equal to the fault-free
+//! twin. Repair/scrub counters are deterministic (gate vs
+//! `BENCH_degraded_seed.json`); priced slowdowns are warn-only gauges.
 use ooc_bench::trace::TraceScope;
 use ooc_bench::{
-    measured_table3_register, paper_table3_entry, run_measured_table3, run_table3, table3_register,
-    MetricsScope, MEASURED_NODE_COUNTS, PAPER_TABLE3_KERNELS,
+    degraded_register, measured_table3_register, paper_table3_entry, run_degraded_demo,
+    run_measured_table3, run_table3, table3_register, MetricsScope, DEGRADED_KERNELS,
+    DEGRADED_NODES, MEASURED_NODE_COUNTS, PAPER_TABLE3_KERNELS,
 };
+use ooc_runtime::IoCause;
 
 fn measured_main(scale: i64, workers: usize, metrics: MetricsScope) {
     eprintln!(
@@ -48,13 +57,70 @@ fn measured_main(scale: i64, workers: usize, metrics: MetricsScope) {
     let _ = metrics.finish();
 }
 
+fn degraded_main(kill: &str, metrics: MetricsScope) {
+    let kill_node = kill.parse::<usize>().ok();
+    match kill_node {
+        Some(n) => {
+            eprintln!("running degraded-mode sweep: I/O node {n} dead from first arrival...")
+        }
+        None => eprintln!(
+            "running degraded-mode sweep: each of {DEGRADED_NODES} I/O nodes killed in turn..."
+        ),
+    }
+    println!("Degraded mode: 4-node parity-striped parallel runs surviving single-node loss.");
+    println!("{:-<88}", "");
+    println!(
+        "{:8} {:>6} {:>8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "program",
+        "killed",
+        "resumes",
+        "reconstruct",
+        "parity wr",
+        "scrub skip",
+        "slowdown",
+        "retained"
+    );
+    println!("{:-<88}", "");
+    for kernel in DEGRADED_KERNELS {
+        let demo = run_degraded_demo(kernel, kill_node);
+        for cell in &demo.cells {
+            println!(
+                "{:8} {:>6} {:>8} {:>12} {:>12} {:>12} {:>9.2}x {:>9.1}%",
+                demo.kernel,
+                cell.killed,
+                cell.resumes,
+                cell.repair.get(IoCause::DegradedReconstruct).total_calls(),
+                cell.repair.get(IoCause::ParityWrite).total_calls(),
+                cell.scrub.skipped,
+                cell.priced.slowdown(),
+                cell.priced.bandwidth_retention() * 100.0,
+            );
+        }
+        println!(
+            "{:8} sampled kills verified bit-equal: {:?}",
+            demo.kernel, demo.sampled_kills
+        );
+        println!("{:-<88}", "");
+        degraded_register(metrics.registry(), &demo);
+    }
+    println!("(every degraded run is bit-equal to its fault-free twin; repair counters are");
+    println!(" deterministic and exact-gated, priced slowdowns are warn-only gauges)");
+    let _ = metrics.finish();
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = TraceScope::from_args(&mut args);
     let metrics = MetricsScope::from_args(&mut args, "table3");
     let workers = ooc_bench::trace::take_value_flag(&mut args, "--workers")
         .and_then(|w| w.parse::<usize>().ok());
+    let kill = ooc_bench::trace::take_value_flag(&mut args, "--kill-node");
     let scale: i64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    if let Some(kill) = kill {
+        degraded_main(&kill, metrics);
+        let _ = trace.finish();
+        return;
+    }
     if let Some(workers) = workers {
         measured_main(scale, workers.max(1), metrics);
         let _ = trace.finish();

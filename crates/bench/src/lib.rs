@@ -16,10 +16,12 @@
 //! | Figure 5 (ext.) | `figure5` | crash points × checkpoint intervals: recovery cost |
 //! | Forensics (ext.) | `analyze` | blame waterfalls, critical paths, contention gap |
 //! | Provenance (ext.) | `table2 --ledger`, `inspect --ledger` | cause-classified I/O attribution, version diffs |
+//! | Degraded mode (ext.) | `table3 --kill-node`, `inspect --scrub` | node-loss survival, repair traffic, parity scrub |
 
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod degraded;
 pub mod experiments;
 pub mod json;
 pub mod ledger;
@@ -32,6 +34,10 @@ pub mod trace;
 pub use analyze::{
     analyze_json, analyze_register, efficiency_summary, gap_report, run_analyze_cell,
     run_analyze_sweep, AnalyzeCell, ANALYZE_WORKER_COUNTS,
+};
+pub use degraded::{
+    degraded_register, run_degraded_demo, run_degraded_ledger_diff, DegradedCell, DegradedDemo,
+    DEGRADED_KERNELS, DEGRADED_NODES, DEGRADED_STRIPE_ELEMS,
 };
 pub use experiments::{run_table2, run_table3, table2_row, Table2Cell, Table2Row, Table3Entry};
 pub use ledger::{

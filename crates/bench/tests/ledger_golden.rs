@@ -5,7 +5,7 @@
 //! asserted numbers are exact — a change here means the optimizer,
 //! the scheduler, or the ledger classification itself changed.
 
-use ooc_bench::{run_ledger_cell, run_ledger_diff, LEDGER_DIFF_PAIR};
+use ooc_bench::{run_degraded_ledger_diff, run_ledger_cell, run_ledger_diff, LEDGER_DIFF_PAIR};
 use ooc_kernels::kernel_by_name;
 use ooc_runtime::IoCause;
 use pfs_sim::DiskParams;
@@ -72,6 +72,46 @@ fn mxm_diff_explains_capacity_miss_bytes() {
             .iter()
             .any(|e| e.contains("re-read") && e.contains("evicted regions")),
         "eviction forensics missing:\n{text}"
+    );
+}
+
+#[test]
+fn trans_degraded_diff_explains_the_repair_traffic() {
+    // Healthy vs node-0-dead-from-first-arrival on trans c-opt: the
+    // degraded run's extra bytes must be attributed to the repair
+    // causes, quantitatively. First-arrival kills discover, quarantine
+    // and resume on a serial schedule, so the repair-side numbers are
+    // exact (the same ones gated against BENCH_degraded_seed.json).
+    let diff = run_degraded_ledger_diff("trans", 0, &DiskParams::default());
+    assert!(
+        diff.b_seconds > diff.a_seconds,
+        "losing a node must price dearer: {} vs {}",
+        diff.b_seconds,
+        diff.a_seconds
+    );
+    let text = diff.render();
+    // The worked example, exactly: reads that would have hit the dead
+    // node rebuild by XOR from the three survivors, dominated by the
+    // input array B.
+    assert!(
+        diff.explanations.iter().any(|e| e
+            .contains("adds 55,936 degraded_reconstruct bytes on array B")
+            && e.contains("rebuilt by XOR from surviving peers")),
+        "quantitative reconstruction explanation drifted:\n{text}"
+    );
+    assert!(
+        diff.explanations
+            .iter()
+            .any(|e| e.contains("degraded_reconstruct bytes on array A")),
+        "array A reconstruction missing:\n{text}"
+    );
+    // Parity upkeep *shrinks* degraded: writes that would land on the
+    // dead node skip their RMW (the group's parity is the write).
+    assert!(
+        diff.explanations
+            .iter()
+            .any(|e| e.contains("parity_write") && e.contains("redundancy upkeep")),
+        "parity-upkeep explanation missing:\n{text}"
     );
 }
 

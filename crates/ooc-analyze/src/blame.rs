@@ -32,6 +32,11 @@ pub enum Blame {
     Checkpoint,
     /// Pre-image rollback on crash recovery (`recovery-replay`).
     Replay,
+    /// Degraded-mode repair machinery: parity writes, XOR
+    /// reconstruction, hedged reads, scrubbing, resilvering
+    /// (`parity-write`, `degraded-reconstruct`, `hedge-read`,
+    /// `scrub`, `resilver`).
+    Repair,
     /// Barrier skew: a shard lane outside its work window, or the
     /// main lane inside `join-wait`.
     Barrier,
@@ -40,7 +45,7 @@ pub enum Blame {
 }
 
 /// Every category, in waterfall rendering order.
-pub const ALL_BLAMES: [Blame; 10] = [
+pub const ALL_BLAMES: [Blame; 11] = [
     Blame::Compute,
     Blame::SyncRead,
     Blame::SyncWrite,
@@ -49,6 +54,7 @@ pub const ALL_BLAMES: [Blame; 10] = [
     Blame::QueueWait,
     Blame::Checkpoint,
     Blame::Replay,
+    Blame::Repair,
     Blame::Barrier,
     Blame::Idle,
 ];
@@ -65,6 +71,9 @@ impl Blame {
             "queue-wait" => Some(Blame::QueueWait),
             "checkpoint" => Some(Blame::Checkpoint),
             "recovery-replay" => Some(Blame::Replay),
+            "parity-write" | "degraded-reconstruct" | "hedge-read" | "scrub" | "resilver" => {
+                Some(Blame::Repair)
+            }
             "join-wait" => Some(Blame::Barrier),
             _ => None,
         }
@@ -82,6 +91,7 @@ impl Blame {
             Blame::QueueWait => "queue-wait",
             Blame::Checkpoint => "checkpoint",
             Blame::Replay => "replay",
+            Blame::Repair => "repair",
             Blame::Barrier => "barrier",
             Blame::Idle => "idle",
         }
@@ -99,6 +109,7 @@ impl Blame {
             Blame::QueueWait => 'q',
             Blame::Checkpoint => 'c',
             Blame::Replay => 'R',
+            Blame::Repair => 'p',
             Blame::Barrier => '.',
             Blame::Idle => ' ',
         }

@@ -410,6 +410,20 @@ fn explain_one(
         IoCause::ChecksumOverhead => {
             s.push_str(" (integrity sidecar: CRC verification and refresh)");
         }
+        IoCause::ParityWrite => {
+            s.push_str(
+                " (redundancy upkeep: parity read-modify-write riding along each data write)",
+            );
+        }
+        IoCause::DegradedReconstruct => {
+            s.push_str(" (degraded-mode traffic: lost chunks rebuilt by XOR from surviving peers)");
+        }
+        IoCause::HedgedRead => {
+            s.push_str(" (straggler hedges: reads retired against the parity-derived peer set)");
+        }
+        IoCause::ScrubRead => {
+            s.push_str(" (background scrubber verifying parity groups against their data)");
+        }
     }
     s.push('.');
     s

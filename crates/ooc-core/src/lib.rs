@@ -96,9 +96,10 @@ pub use parallel::{exec_parallel, ownership_level, ParallelConfig, ParallelRun, 
 pub use pipeline::{exec_pipelined, extract_schedule, PipelineConfig, PipelinedRun};
 pub use recovery::{
     exec_parallel_durable, exec_pipelined_durable, max_intents_per_interval, parse_manifest,
-    resume_functional, resume_parallel, resume_pipelined, run_functional_durable, Boundary,
-    DirMedium, DurabilityConfig, DurableMedium, DurableOutcome, DurableStore, ManifestRecord,
-    ManifestScan, MemMedium, ParallelDurableOutcome, PipelinedDurableOutcome, RecoveryReport,
+    resume_functional, resume_parallel, resume_pipelined, run_functional_durable,
+    run_parallel_surviving_node_loss, Boundary, DirMedium, DurabilityConfig, DurableMedium,
+    DurableOutcome, DurableStore, ManifestRecord, ManifestScan, MemMedium, NodeLossOutcome,
+    NodeLossReport, ParallelDurableOutcome, PipelinedDurableOutcome, RecoveryReport, StripedMedium,
 };
 pub use report::{optimization_report, IoComparison, NestReport, OptimizationReport, RefReport};
 pub use storage::{bounding_box, reduce_storage, StorageReduction};

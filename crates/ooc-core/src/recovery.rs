@@ -41,10 +41,12 @@ use crate::tiling::{plan_spans, IoWeights, TiledProgram};
 use ooc_ir::ArrayId;
 use ooc_metrics::Registry;
 use ooc_runtime::{
-    parse_journal, rollback, ChecksumHandle, ChecksummedStore, FaultConfig, FaultHandle,
-    FaultStore, FileLog, FileStore, IoCause, Journal, JournalScan, LedgerEvent, LedgerRecorder,
-    LogStore, MemLog, MemStore, MemoryBudget, OocArray, Region, SharedJournal, SharedStore, Store,
-    Tile, TouchTracker, UndoWriter, WriteIntent, ELEM_BYTES,
+    is_corrupt, node_down, parse_journal, rollback, ChecksumHandle, ChecksummedStore, DegradedMode,
+    FaultConfig, FaultHandle, FaultStore, FileLog, FileStore, IoCause, IoNodePool, Journal,
+    JournalScan, LedgerEvent, LedgerRecorder, LogStore, MemLog, MemStore, MemoryBudget,
+    NodeFaultConfig, NodeHealth, OocArray, Region, RepairIo, ScrubReport, SharedJournal,
+    SharedStore, Store, StripeConfig, StripedStore, Tile, TouchTracker, UndoWriter, WriteIntent,
+    ELEM_BYTES,
 };
 use ooc_sched::{DurabilityFence, TileId};
 use std::collections::BTreeMap;
@@ -1514,6 +1516,328 @@ pub fn resume_parallel(
     Ok(out)
 }
 
+/// A [`DurableMedium`] whose per-array **data** stores are striped
+/// with a rotating parity lane over one shared [`IoNodePool`] — the
+/// medium of a degraded-mode run. Every array's stripes and parity
+/// chunks route through the same K lanes, so an injected node death
+/// ([`NodeFaultConfig`]) or an explicit
+/// [`quarantine`](IoNodePool::quarantine) hits all arrays at once,
+/// exactly like losing a physical I/O node.
+///
+/// Data stores start in [`DegradedMode::Manual`]: the first access
+/// that *discovers* a dead node surfaces a typed
+/// [`NodeDownError`](ooc_runtime::NodeDownError) instead of silently
+/// reconstructing, which is the signal
+/// [`run_parallel_surviving_node_loss`] turns into quarantine +
+/// journal-bounded resume. Once a node is quarantined, reads
+/// reconstruct from parity and writes land in the parity lane in
+/// either mode.
+///
+/// CRC sidecars, the journal, and the manifest live **off** the
+/// striped pool (plain shared memory): they are metadata an I/O-node
+/// failure must not take down, mirroring a deployment that keeps logs
+/// on the compute node's local disk.
+pub struct StripedMedium {
+    pool: IoNodePool,
+    mode: DegradedMode,
+    data: BTreeMap<usize, SharedStore<StripedStore<MemStore>>>,
+    sidecars: BTreeMap<usize, SharedStore<MemStore>>,
+    journal: MemLog,
+    manifest: MemLog,
+    ledger: Option<LedgerRecorder>,
+}
+
+impl StripedMedium {
+    /// A fault-free striped-parity medium over `cfg.nodes` lanes.
+    ///
+    /// # Panics
+    /// Panics on zero nodes or a zero stripe unit.
+    #[must_use]
+    pub fn new(cfg: StripeConfig) -> Self {
+        Self::with_faults(cfg, NodeFaultConfig::new())
+    }
+
+    /// A medium with an injected node-fault schedule (permanent
+    /// deaths keyed to per-node arrival counters, gray slowness).
+    ///
+    /// # Panics
+    /// Panics on zero nodes or a zero stripe unit.
+    #[must_use]
+    pub fn with_faults(cfg: StripeConfig, faults: NodeFaultConfig) -> Self {
+        StripedMedium {
+            pool: IoNodePool::with_faults(cfg, faults),
+            mode: DegradedMode::Manual,
+            data: BTreeMap::new(),
+            sidecars: BTreeMap::new(),
+            journal: MemLog::new(),
+            manifest: MemLog::new(),
+            ledger: None,
+        }
+    }
+
+    /// Attaches a provenance-ledger recorder: each array's
+    /// repair-plane traffic (parity writes, reconstructions, hedges,
+    /// scrubs) is booked to its repair channel.
+    #[must_use]
+    pub fn with_ledger(mut self, recorder: LedgerRecorder) -> Self {
+        self.ledger = Some(recorder);
+        self
+    }
+
+    /// The shared lane pool (quarantine / revive / health / stats).
+    #[must_use]
+    pub fn pool(&self) -> &IoNodePool {
+        &self.pool
+    }
+
+    /// Per-node traffic and health snapshot.
+    #[must_use]
+    pub fn node_stats(&self) -> Vec<ooc_runtime::NodeStats> {
+        self.pool.snapshot()
+    }
+
+    /// Total repair-plane traffic across all nodes, by cause.
+    #[must_use]
+    pub fn total_repair(&self) -> RepairIo {
+        self.pool.total_repair()
+    }
+
+    /// The striped store of array `a`, once built (test plumbing and
+    /// scrubber attachment).
+    #[must_use]
+    pub fn array_store(&self, a: usize) -> Option<SharedStore<StripedStore<MemStore>>> {
+        self.data.get(&a).cloned()
+    }
+
+    /// Scrubs every array built so far: verifies each parity group
+    /// against its data chunks, optionally repairing what a single
+    /// fault can explain. Reports are summed across arrays.
+    ///
+    /// # Errors
+    /// Propagates lane I/O errors.
+    pub fn scrub(&self, repair: bool) -> io::Result<ScrubReport> {
+        let mut total = ScrubReport::default();
+        for store in self.data.values() {
+            let rep = store.with_inner(|s| s.scrub(repair))?;
+            total.absorb(&rep);
+        }
+        Ok(total)
+    }
+
+    /// The raw journal bytes (test plumbing).
+    #[must_use]
+    pub fn journal_bytes(&self) -> Vec<u8> {
+        self.journal.snapshot()
+    }
+
+    /// The raw manifest bytes (test plumbing).
+    #[must_use]
+    pub fn manifest_bytes(&self) -> Vec<u8> {
+        self.manifest.snapshot()
+    }
+}
+
+impl std::fmt::Debug for StripedMedium {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StripedMedium")
+            .field("nodes", &self.pool.nodes())
+            .field("mode", &self.mode)
+            .field("arrays", &self.data.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurableMedium for StripedMedium {
+    fn data(&mut self, a: usize, _name: &str, len: u64) -> io::Result<Box<dyn Store + Send>> {
+        if let Some(s) = self.data.get(&a) {
+            return Ok(Box::new(s.clone()));
+        }
+        let mut store = StripedStore::build_with_parity(
+            &self.pool,
+            len,
+            |_node, part| Ok(MemStore::new(part)),
+            |_node, part| Ok(MemStore::new(part)),
+        )?;
+        store.set_degraded_mode(self.mode);
+        if let Some(rec) = &self.ledger {
+            store = store.with_ledger(rec.clone(), u32::try_from(a).expect("array index"));
+        }
+        let shared = SharedStore::new(store);
+        self.data.insert(a, shared.clone());
+        Ok(Box::new(shared))
+    }
+
+    fn sidecar(&mut self, a: usize, _name: &str, len: u64) -> io::Result<Box<dyn Store + Send>> {
+        let s = self
+            .sidecars
+            .entry(a)
+            .or_insert_with(|| SharedStore::new(MemStore::new(len)))
+            .clone();
+        Ok(Box::new(s))
+    }
+
+    fn journal(&mut self) -> io::Result<Box<dyn LogStore>> {
+        Ok(Box::new(self.journal.clone()))
+    }
+
+    fn manifest(&mut self) -> io::Result<Box<dyn LogStore>> {
+        Ok(Box::new(self.manifest.clone()))
+    }
+}
+
+/// What [`run_parallel_surviving_node_loss`] observed about node
+/// failure and repair, alongside the run's [`RecoveryReport`].
+#[derive(Debug, Clone, Default)]
+pub struct NodeLossReport {
+    /// Nodes lost (quarantined after a typed discovery error), in
+    /// discovery order. Empty when the run finished fault-free.
+    pub nodes_lost: Vec<usize>,
+    /// Per-node arrival index each loss was discovered at.
+    pub discovery_calls: Vec<u64>,
+    /// Number of journal-bounded resumes taken (one per loss).
+    pub resumes: u64,
+    /// Per-node traffic, timing, health, and repair counters at the
+    /// end of the run.
+    pub node_stats: Vec<ooc_runtime::NodeStats>,
+    /// Total repair-plane traffic across nodes, by cause.
+    pub repair: RepairIo,
+}
+
+impl NodeLossReport {
+    /// Registers the degraded-mode counters with `kernel` / `version`
+    /// labels, following the repo's metrics naming scheme.
+    pub fn register_into(&self, registry: &Registry, kernel: &str, version: &str) {
+        let labels = &[("kernel", kernel), ("version", version)][..];
+        let c = |name: &str, v: u64| registry.counter_add(name, labels, v);
+        c("nodes_lost_total", self.nodes_lost.len() as u64);
+        c("node_loss_resumes_total", self.resumes);
+        c("repair_calls_total", self.repair.total_calls());
+        c("repair_elems_total", self.repair.total_elems());
+        for cause in IoCause::REPAIR {
+            let ctr = self.repair.get(cause);
+            c(
+                &format!("repair_{}_calls_total", cause.label()),
+                ctr.total_calls(),
+            );
+        }
+        let timeouts: u64 = self.node_stats.iter().map(|s| s.timing.timeouts).sum();
+        let rejections: u64 = self
+            .node_stats
+            .iter()
+            .map(|s| s.timing.down_rejections)
+            .sum();
+        c("hedge_timeouts_total", timeouts);
+        c("node_down_rejections_total", rejections);
+    }
+}
+
+/// Result of a node-loss survival run: the parallel outcome plus the
+/// failure/repair observations.
+#[derive(Debug)]
+pub struct NodeLossOutcome {
+    /// The completed (possibly resumed) durable parallel run.
+    pub outcome: ParallelDurableOutcome,
+    /// Node losses, resumes, and repair traffic.
+    pub loss: NodeLossReport,
+}
+
+/// Runs a durable parallel execution over a striped-parity medium and
+/// rides through permanent I/O-node loss: when a shard's access
+/// *discovers* a dead node (typed
+/// [`NodeDownError`](ooc_runtime::NodeDownError) in
+/// [`DegradedMode::Manual`]), the node is quarantined in the shared
+/// pool and the run resumes from its last checkpoint boundary —
+/// rolling back journal intents past the watermark and re-executing
+/// only the steps whose writes were not yet durable, now reading the
+/// dead node's stripes by parity reconstruction and landing its
+/// writes in the parity lane. The result is **bit-equal** to a
+/// fault-free run and the replayed work is bounded by one checkpoint
+/// interval, the same invariant as crash recovery.
+///
+/// The loop tolerates one loss per node (single-fault per parity
+/// group is the reconstruction limit; losses discovered after an
+/// earlier node was resilvered and revived still resolve), erroring
+/// out if discovery errors exceed the node count.
+///
+/// # Errors
+/// Propagates store/journal I/O errors other than single-node death —
+/// including double faults (a second dead node in the same parity
+/// group surfaces as an unrecoverable reconstruction error).
+///
+/// # Panics
+/// Panics on internal inconsistencies (compiler bugs).
+pub fn run_parallel_surviving_node_loss(
+    tp: &TiledProgram,
+    params: &[i64],
+    init: &dyn Fn(ArrayId, &[i64]) -> f64,
+    cfg: &ParallelConfig,
+    dur: &DurabilityConfig,
+    medium: &mut StripedMedium,
+) -> io::Result<NodeLossOutcome> {
+    let _span = ooc_trace::span("recovery", "survive-node-loss");
+    let mut loss = NodeLossReport::default();
+    let mut attempt = exec_parallel_durable(tp, params, init, cfg, dur, medium, &|_| None);
+    // One discovery per node is the most a single-fault-per-group
+    // schedule can produce; more means we are wedged, not degraded.
+    for _ in 0..=medium.pool().nodes() {
+        match attempt {
+            Ok(outcome) => {
+                loss.node_stats = medium.node_stats();
+                loss.repair = medium.total_repair();
+                return Ok(NodeLossOutcome { outcome, loss });
+            }
+            Err(e) => {
+                let discovered = match node_down(&e) {
+                    Some(dead) => Some((dead.node, dead.call)),
+                    // A node dying mid-write leaves its CRC chunk torn
+                    // (some stripes rewritten, sidecar stale), and a
+                    // surviving shard can trip over that chunk before
+                    // the dying shard's typed error wins the race out
+                    // of the executor. The pool already marked the
+                    // culprit Down at the rejected arrival — treat the
+                    // corrupt read as the discovery; the resume's
+                    // journal rollback restores the torn chunk. The
+                    // recorded call is the node's served-call count at
+                    // discovery (the true arrival index rode the lost
+                    // error).
+                    None if is_corrupt(&e) => {
+                        let stats = medium.node_stats();
+                        (0..medium.pool().nodes())
+                            .find(|&n| {
+                                medium.pool().health(n) == NodeHealth::Down
+                                    && !loss.nodes_lost.contains(&n)
+                            })
+                            .map(|n| (n, stats[n].io.total_calls() + stats[n].repair.total_calls()))
+                    }
+                    None => None,
+                };
+                let Some((node, call)) = discovered else {
+                    return Err(e);
+                };
+                medium.pool().quarantine(node);
+                loss.nodes_lost.push(node);
+                loss.discovery_calls.push(call);
+                loss.resumes += 1;
+                if ooc_trace::enabled() {
+                    ooc_trace::explain(
+                        ooc_trace::Explain::new(
+                            "recovery",
+                            "node-loss",
+                            format!("I/O node {node} lost at call {call}: quarantine + resume"),
+                        )
+                        .detail("node", node.to_string())
+                        .detail("call", call.to_string()),
+                    );
+                }
+                attempt = resume_parallel(tp, params, init, cfg, dur, medium, &|_| None);
+            }
+        }
+    }
+    Err(io::Error::other(
+        "node-loss recovery did not converge: more discovery errors than nodes",
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1982,6 +2306,145 @@ mod tests {
         assert!(scan.torn_tail);
         assert_eq!(scan.records.len(), 3);
         assert_eq!(scan.valid_len, full.len() as u64);
+    }
+
+    fn small_stripes(nodes: usize) -> StripeConfig {
+        // Tiny stripes so even the [10]² test arrays spread over all
+        // nodes and every node owns data plus rotating parity.
+        StripeConfig {
+            nodes,
+            stripe_elems: 8,
+            ..StripeConfig::default()
+        }
+    }
+
+    fn pcfg() -> ParallelConfig {
+        ParallelConfig {
+            pipeline: PipelineConfig {
+                functional: fcfg(),
+                ..PipelineConfig::default()
+            },
+            shards: 2,
+        }
+    }
+
+    #[test]
+    fn striped_medium_fault_free_run_is_bit_equal_with_parity_upkeep() {
+        let tp = tiled();
+        let params = [10i64];
+        let mut medium = StripedMedium::new(small_stripes(4));
+        let out = run_parallel_surviving_node_loss(
+            &tp,
+            &params,
+            &seed,
+            &pcfg(),
+            &DurabilityConfig::default(),
+            &mut medium,
+        )
+        .expect("fault-free striped run");
+        assert_eq!(out.outcome.run.run.data, reference(&tp, &params));
+        assert!(out.loss.nodes_lost.is_empty());
+        assert_eq!(out.loss.resumes, 0);
+        // Every write paid its parity read-modify-write.
+        let parity = out.loss.repair.get(IoCause::ParityWrite);
+        assert!(parity.write_calls > 0, "{:?}", out.loss.repair);
+        // A full scrub of the finished medium finds nothing to fix.
+        let scrub = medium.scrub(false).expect("scrub");
+        assert!(scrub.groups > 0);
+        assert_eq!(scrub.clean, scrub.groups, "{scrub:?}");
+    }
+
+    #[test]
+    fn killing_each_node_in_turn_still_lands_bit_equal() {
+        let tp = tiled();
+        let params = [10i64];
+        let expected = reference(&tp, &params);
+        let dur = DurabilityConfig::default();
+        for node in 0..4usize {
+            // Fires early (during seeding or the first tiles), so the
+            // run discovers the death mid-flight.
+            let faults = NodeFaultConfig::new().permanent_fail_at(node, 3);
+            let mut medium = StripedMedium::with_faults(small_stripes(4), faults);
+            let out =
+                run_parallel_surviving_node_loss(&tp, &params, &seed, &pcfg(), &dur, &mut medium)
+                    .expect("survive node loss");
+            assert_eq!(out.outcome.run.run.data, expected, "node {node}");
+            assert_eq!(out.loss.nodes_lost, vec![node]);
+            assert_eq!(out.loss.resumes, 1);
+            assert_eq!(
+                medium.pool().health(node),
+                ooc_runtime::NodeHealth::Down,
+                "node {node} stays quarantined"
+            );
+            // The dead node's stripes were served by reconstruction.
+            let rec = out.loss.repair.get(IoCause::DegradedReconstruct);
+            assert!(rec.read_calls > 0, "node {node}: {:?}", out.loss.repair);
+        }
+    }
+
+    #[test]
+    fn mid_run_node_loss_replay_is_bounded_by_a_checkpoint_interval() {
+        let tp = tiled();
+        let params = [10i64];
+        let expected = reference(&tp, &params);
+        let dur = DurabilityConfig::default();
+
+        // Fault-free striped twin: per-node arrival counts to place a
+        // mid-run kill, and the journal/manifest to bound replay.
+        let mut twin = StripedMedium::new(small_stripes(4));
+        run_parallel_surviving_node_loss(&tp, &params, &seed, &pcfg(), &dur, &mut twin)
+            .expect("twin");
+        let arrivals: Vec<u64> = twin
+            .node_stats()
+            .iter()
+            .map(|s| s.io.total_calls() + s.repair.total_calls())
+            .collect();
+        let scan = parse_journal(&twin.journal_bytes());
+        let marks = parse_manifest(&twin.manifest_bytes()).watermarks();
+        let bound = max_intents_per_interval(&scan, &marks);
+
+        let node = 1usize;
+        let at = arrivals[node] / 2;
+        assert!(at > 0, "twin never touched node {node}");
+        let faults = NodeFaultConfig::new().permanent_fail_at(node, at);
+        let mut medium = StripedMedium::with_faults(small_stripes(4), faults);
+        let out = run_parallel_surviving_node_loss(&tp, &params, &seed, &pcfg(), &dur, &mut medium)
+            .expect("survive mid-run node loss");
+        assert_eq!(out.outcome.run.run.data, expected);
+        assert_eq!(out.loss.nodes_lost, vec![node]);
+        for (a, n) in &out.outcome.report.rolled_back_by_array {
+            let max = bound.get(a).copied().unwrap_or(0);
+            assert!(*n <= max, "array {a}: rolled back {n} > bound {max}");
+        }
+    }
+
+    #[test]
+    fn node_loss_report_registers_repair_metrics() {
+        let tp = tiled();
+        let params = [8i64];
+        let faults = NodeFaultConfig::new().permanent_fail_at(2, 1);
+        let mut medium = StripedMedium::with_faults(small_stripes(4), faults);
+        let out = run_parallel_surviving_node_loss(
+            &tp,
+            &params,
+            &seed,
+            &pcfg(),
+            &DurabilityConfig::default(),
+            &mut medium,
+        )
+        .expect("survive");
+        let r = Registry::new();
+        out.loss.register_into(&r, "mxm", "c-opt");
+        let labels = &[("kernel", "mxm"), ("version", "c-opt")][..];
+        assert_eq!(
+            r.get("nodes_lost_total", labels),
+            Some(ooc_metrics::Value::Counter(1))
+        );
+        let repair = match r.get("repair_calls_total", labels) {
+            Some(ooc_metrics::Value::Counter(v)) => v,
+            other => panic!("repair_calls_total missing: {other:?}"),
+        };
+        assert!(repair > 0);
     }
 
     #[test]

@@ -68,6 +68,12 @@ impl RetryPolicy {
     /// Whether `e` is worth retrying.
     #[must_use]
     pub fn is_transient(e: &io::Error) -> bool {
+        // Node faults are structural, not transient: a dead node stays
+        // dead, and a lane-deadline miss must reach the hedging /
+        // degraded-read machinery instead of being blindly re-queued.
+        if crate::fault::is_node_down(e) || crate::fault::is_node_slow(e) {
+            return false;
+        }
         matches!(
             e.kind(),
             io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut

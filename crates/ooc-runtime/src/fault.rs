@@ -33,6 +33,7 @@
 
 use crate::store::Store;
 use crate::trace::MeasuredIo;
+use std::collections::BTreeMap;
 use std::io;
 use std::sync::{Arc, Mutex};
 
@@ -160,6 +161,158 @@ impl std::error::Error for CrashedError {}
 #[must_use]
 pub fn is_crashed(e: &io::Error) -> bool {
     e.get_ref().is_some_and(|inner| inner.is::<CrashedError>())
+}
+
+/// Per-node fault injection for an
+/// [`IoNodePool`](crate::striped::IoNodePool): *permanent* node death
+/// and *gray* slowdown, the two failure modes [`CrashMode`] cannot
+/// express (a crash kills the process; these kill or degrade one
+/// storage node while the run keeps going).
+///
+/// Like the transient schedule, injection is deterministic and
+/// replayable: each lane numbers its own arrivals, and node `n` dies
+/// at *its* call number `down_at[n]` regardless of which thread (or
+/// which logical segment) happens to be that arrival. At a fixed
+/// shard count the set of calls reaching each node is deterministic,
+/// so `permanent_fail_at(n, 0)` — dead from the start — reproduces
+/// exact repair-traffic counts run over run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeFaultConfig {
+    /// Node → per-node arrival index at which the node dies and stays
+    /// dead (every call from that index on fails with
+    /// [`NodeDownError`]).
+    pub down_at: BTreeMap<usize, u64>,
+    /// Node → extra nanoseconds of injected service time per call — a
+    /// gray straggler that still answers, just slowly.
+    pub slow_ns: BTreeMap<usize, u64>,
+}
+
+impl NodeFaultConfig {
+    /// No injected node faults.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// This config with node `node` dying permanently at its `call`-th
+    /// arrival (0 = dead before the run starts).
+    #[must_use]
+    pub fn permanent_fail_at(mut self, node: usize, call: u64) -> Self {
+        self.down_at.insert(node, call);
+        self
+    }
+
+    /// This config with node `node` serving every call `delay_ns`
+    /// nanoseconds late.
+    #[must_use]
+    pub fn slow_node(mut self, node: usize, delay_ns: u64) -> Self {
+        self.slow_ns.insert(node, delay_ns);
+        self
+    }
+
+    /// A seeded single-node kill: derives `(node, call)` from the same
+    /// splitmix-style hash the transient schedule uses, so fault
+    /// sweeps can scatter kill points deterministically.
+    #[must_use]
+    pub fn seeded_kill(seed: u64, nodes: usize, max_call: u64) -> Self {
+        let h = |salt: u64| {
+            let mut x = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+                | 1;
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x ^= x >> 27;
+            x
+        };
+        let node = usize::try_from(h(1) % nodes.max(1) as u64).expect("node fits usize");
+        let call = h(2) % max_call.max(1);
+        Self::new().permanent_fail_at(node, call)
+    }
+
+    /// `true` when no faults are configured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.down_at.is_empty() && self.slow_ns.is_empty()
+    }
+}
+
+/// The payload of a dead-node [`io::Error`]: node `node` failed
+/// permanently at its own call number `call` (injected or declared
+/// via quarantine). Never matched by the transient retry predicate.
+#[derive(Debug)]
+pub struct NodeDownError {
+    /// The dead I/O node.
+    pub node: usize,
+    /// The per-node arrival index the death fired at.
+    pub call: u64,
+}
+
+impl std::fmt::Display for NodeDownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "I/O node {} down (at node call {})",
+            self.node, self.call
+        )
+    }
+}
+
+impl std::error::Error for NodeDownError {}
+
+/// The payload of a lane-deadline [`io::Error`]: node `node` did not
+/// grant service within the caller's deadline — a straggler signal,
+/// not a death sentence. Distinct from both transient faults and
+/// [`NodeDownError`].
+#[derive(Debug)]
+pub struct NodeSlowError {
+    /// The slow I/O node.
+    pub node: usize,
+    /// Nanoseconds the caller waited before giving up.
+    pub waited_ns: u64,
+}
+
+impl std::fmt::Display for NodeSlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "I/O node {} missed its service deadline after {} ns",
+            self.node, self.waited_ns
+        )
+    }
+}
+
+impl std::error::Error for NodeSlowError {}
+
+/// Whether `e` is a dead-node error (see [`NodeDownError`]).
+#[must_use]
+pub fn is_node_down(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<NodeDownError>())
+}
+
+/// The dead-node payload of `e`, if any.
+#[must_use]
+pub fn node_down(e: &io::Error) -> Option<&NodeDownError> {
+    e.get_ref().and_then(|inner| inner.downcast_ref())
+}
+
+/// Whether `e` is a lane-deadline timeout (see [`NodeSlowError`]).
+#[must_use]
+pub fn is_node_slow(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<NodeSlowError>())
+}
+
+/// A dead-node [`io::Error`] for node `node` at per-node call `call`.
+#[must_use]
+pub fn node_down_error(node: usize, call: u64) -> io::Error {
+    io::Error::other(NodeDownError { node, call })
+}
+
+/// A lane-deadline [`io::Error`] for node `node` after waiting
+/// `waited_ns` nanoseconds.
+#[must_use]
+pub fn node_slow_error(node: usize, waited_ns: u64) -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, NodeSlowError { node, waited_ns })
 }
 
 #[derive(Debug)]
@@ -610,6 +763,52 @@ mod tests {
         assert!(s.would_fail_at(40), "crash point fails");
         let e = s.read_run(0, &mut buf).expect_err("call 40 crashes");
         assert!(is_crashed(&e));
+    }
+
+    #[test]
+    fn node_fault_errors_are_typed_and_not_transient() {
+        let down = io::Error::other(NodeDownError { node: 2, call: 17 });
+        assert!(is_node_down(&down));
+        assert!(!is_node_slow(&down));
+        assert!(!is_crashed(&down));
+        assert!(!crate::array::RetryPolicy::is_transient(&down));
+        assert_eq!(node_down(&down).expect("payload").node, 2);
+        assert_eq!(node_down(&down).expect("payload").call, 17);
+
+        let slow = io::Error::new(
+            io::ErrorKind::TimedOut,
+            NodeSlowError {
+                node: 1,
+                waited_ns: 5_000,
+            },
+        );
+        assert!(is_node_slow(&slow));
+        assert!(!is_node_down(&slow));
+        assert!(!crate::array::RetryPolicy::is_transient(&slow));
+        assert!(slow.to_string().contains("node 1"));
+    }
+
+    #[test]
+    fn node_fault_config_builders_compose() {
+        let cfg = NodeFaultConfig::new()
+            .permanent_fail_at(3, 40)
+            .slow_node(1, 2_000);
+        assert_eq!(cfg.down_at.get(&3), Some(&40));
+        assert_eq!(cfg.slow_ns.get(&1), Some(&2_000));
+        assert!(!cfg.is_empty());
+        assert!(NodeFaultConfig::new().is_empty());
+    }
+
+    #[test]
+    fn seeded_kill_is_deterministic_and_in_range() {
+        let a = NodeFaultConfig::seeded_kill(9, 4, 100);
+        let b = NodeFaultConfig::seeded_kill(9, 4, 100);
+        assert_eq!(a, b, "equal seeds give equal kills");
+        let (&node, &call) = a.down_at.iter().next().expect("one kill");
+        assert!(node < 4);
+        assert!(call < 100);
+        let c = NodeFaultConfig::seeded_kill(10, 4, 100);
+        assert_ne!(a, c, "different seeds should differ");
     }
 
     #[test]

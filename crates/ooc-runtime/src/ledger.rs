@@ -55,6 +55,19 @@ pub enum IoCause {
     /// The write side of recovery: rollback restoring pre-images
     /// after a crash or aborted intent.
     ReplayWrite,
+    /// Parity-lane maintenance traffic: old-data/old-parity reads and
+    /// the parity-chunk writes of the striped store's rotating parity
+    /// lane. Repair plane, outside the conserved data partition.
+    ParityWrite,
+    /// Peer-and-parity traffic reconstructing a lost or corrupt chunk
+    /// (degraded reads, resilvering a replacement node). Repair plane.
+    DegradedReconstruct,
+    /// Peer-and-parity traffic serving a hedged read after a straggler
+    /// deadline expired. Repair plane.
+    HedgedRead,
+    /// Scrubber verification reads walking stripes and parity chunks.
+    /// Repair plane.
+    ScrubRead,
     /// Checksum sidecar traffic (CRC maintenance); reported outside
     /// the conserved data partition.
     ChecksumOverhead,
@@ -62,7 +75,7 @@ pub enum IoCause {
 
 impl IoCause {
     /// Every cause, in display order.
-    pub const ALL: [IoCause; 9] = [
+    pub const ALL: [IoCause; 13] = [
         IoCause::Compulsory,
         IoCause::CapacityMiss,
         IoCause::PrefetchUseful,
@@ -71,7 +84,22 @@ impl IoCause {
         IoCause::WriteBack,
         IoCause::WriteRewrite,
         IoCause::ReplayWrite,
+        IoCause::ParityWrite,
+        IoCause::DegradedReconstruct,
+        IoCause::HedgedRead,
+        IoCause::ScrubRead,
         IoCause::ChecksumOverhead,
+    ];
+
+    /// The repair-plane causes: redundancy maintenance and
+    /// reconstruction traffic. Like [`IoCause::ChecksumOverhead`],
+    /// these ride outside the conserved data partition — degraded runs
+    /// keep the same data-cause buckets as healthy runs.
+    pub const REPAIR: [IoCause; 4] = [
+        IoCause::ParityWrite,
+        IoCause::DegradedReconstruct,
+        IoCause::HedgedRead,
+        IoCause::ScrubRead,
     ];
 
     /// The causes that partition the data store's traffic (everything
@@ -97,7 +125,17 @@ impl IoCause {
                 | IoCause::PrefetchUseful
                 | IoCause::PrefetchWasted
                 | IoCause::ReplayRead
+                | IoCause::DegradedReconstruct
+                | IoCause::HedgedRead
+                | IoCause::ScrubRead
         )
+    }
+
+    /// Whether this cause is repair-plane traffic (see
+    /// [`IoCause::REPAIR`]).
+    #[must_use]
+    pub fn is_repair(self) -> bool {
+        IoCause::REPAIR.contains(&self)
     }
 
     /// Stable lower-case label (used in tables, metrics, JSON).
@@ -112,6 +150,10 @@ impl IoCause {
             IoCause::WriteBack => "write_back",
             IoCause::WriteRewrite => "write_rewrite",
             IoCause::ReplayWrite => "replay_write",
+            IoCause::ParityWrite => "parity_write",
+            IoCause::DegradedReconstruct => "degraded_reconstruct",
+            IoCause::HedgedRead => "hedged_read",
+            IoCause::ScrubRead => "scrub_read",
             IoCause::ChecksumOverhead => "checksum_overhead",
         }
     }
@@ -202,6 +244,11 @@ pub struct ProvenanceLedger {
     /// Checksum sidecar traffic per array: `(calls, elems)` — the
     /// [`IoCause::ChecksumOverhead`] channel.
     pub sidecar: BTreeMap<u32, (u64, u64)>,
+    /// Repair-plane traffic per `(array, cause)`: `(calls, elems)` for
+    /// the [`IoCause::REPAIR`] causes. Outside the conserved data
+    /// partition, so a degraded run's data buckets stay identical to
+    /// the healthy run's.
+    pub repair: BTreeMap<(u32, IoCause), (u64, u64)>,
     /// Journal log bytes appended during the run (intent/commit
     /// records + pre-images), outside the cause partition.
     pub journal_bytes: u64,
@@ -223,6 +270,9 @@ impl ProvenanceLedger {
             out.entry((a, IoCause::ChecksumOverhead))
                 .or_default()
                 .add(calls, elems);
+        }
+        for (&(a, cause), &(calls, elems)) in &self.repair {
+            out.entry((a, cause)).or_default().add(calls, elems);
         }
         out
     }
@@ -276,17 +326,34 @@ impl ProvenanceLedger {
         Ok(())
     }
 
-    /// Total elements in data-cause buckets matching `cause`.
+    /// Total elements in buckets matching `cause` (data events for the
+    /// partition causes, the sidecar channel for
+    /// [`IoCause::ChecksumOverhead`], the repair channel for
+    /// [`IoCause::REPAIR`] causes).
     #[must_use]
     pub fn cause_elems(&self, cause: IoCause) -> u64 {
         if cause == IoCause::ChecksumOverhead {
             return self.sidecar.values().map(|&(_, e)| e).sum();
+        }
+        if cause.is_repair() {
+            return self
+                .repair
+                .iter()
+                .filter(|&(&(_, c), _)| c == cause)
+                .map(|(_, &(_, e))| e)
+                .sum();
         }
         self.events
             .iter()
             .filter(|e| e.cause == cause)
             .map(|e| e.elems)
             .sum()
+    }
+
+    /// Total elements across all repair-plane causes.
+    #[must_use]
+    pub fn repair_elems(&self) -> u64 {
+        self.repair.values().map(|&(_, e)| e).sum()
     }
 
     /// Total bytes in data-cause buckets matching `cause`.
@@ -354,6 +421,21 @@ impl LedgerRecorder {
     pub fn add_sidecar(&self, array: u32, calls: u64, elems: u64) {
         self.with(|l| {
             let e = l.sidecar.entry(array).or_insert((0, 0));
+            e.0 += calls;
+            e.1 += elems;
+        });
+    }
+
+    /// Adds repair-plane traffic for `array` under one of the
+    /// [`IoCause::REPAIR`] causes.
+    ///
+    /// # Panics
+    /// Panics when `cause` is not a repair cause — repair traffic in a
+    /// data bucket would break conservation.
+    pub fn add_repair(&self, array: u32, cause: IoCause, calls: u64, elems: u64) {
+        assert!(cause.is_repair(), "{cause} is not a repair cause");
+        self.with(|l| {
+            let e = l.repair.entry((array, cause)).or_insert((0, 0));
             e.0 += calls;
             e.1 += elems;
         });
@@ -549,6 +631,57 @@ mod tests {
                 calls: 5,
                 elems: 40
             }
+        );
+    }
+
+    #[test]
+    fn repair_channel_stays_out_of_the_data_partition() {
+        let rec = LedgerRecorder::new();
+        rec.record(event(0, IoCause::Compulsory, 1, 4));
+        rec.add_repair(0, IoCause::ParityWrite, 2, 8);
+        rec.add_repair(0, IoCause::DegradedReconstruct, 3, 12);
+        rec.add_repair(1, IoCause::ScrubRead, 1, 16);
+        let ledger = rec.snapshot();
+        let stats = IoStats {
+            read_calls: 1,
+            read_elems: 4,
+            ..IoStats::default()
+        };
+        ledger
+            .check_conservation(&[stats, IoStats::default()])
+            .expect("repair excluded from the partition");
+        assert_eq!(ledger.cause_elems(IoCause::ParityWrite), 8);
+        assert_eq!(ledger.cause_elems(IoCause::DegradedReconstruct), 12);
+        assert_eq!(ledger.cause_elems(IoCause::ScrubRead), 16);
+        assert_eq!(ledger.cause_elems(IoCause::HedgedRead), 0);
+        assert_eq!(ledger.repair_elems(), 36);
+        let totals = ledger.totals();
+        assert_eq!(totals[&(0, IoCause::ParityWrite)].elems, 8);
+        assert_eq!(totals[&(1, IoCause::ScrubRead)].calls, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a repair cause")]
+    fn repair_channel_rejects_data_causes() {
+        LedgerRecorder::new().add_repair(0, IoCause::WriteBack, 1, 1);
+    }
+
+    #[test]
+    fn repair_causes_are_disjoint_from_the_data_partition() {
+        for cause in IoCause::REPAIR {
+            assert!(cause.is_repair());
+            assert!(
+                !IoCause::DATA.contains(&cause),
+                "{cause} must stay out of DATA"
+            );
+        }
+        for cause in IoCause::DATA {
+            assert!(!cause.is_repair());
+        }
+        assert_eq!(
+            IoCause::ALL.len(),
+            IoCause::DATA.len() + IoCause::REPAIR.len() + 1,
+            "ALL = data partition + repair plane + checksum sidecar"
         );
     }
 

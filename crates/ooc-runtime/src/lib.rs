@@ -37,7 +37,11 @@
 //! * [`striped`] — [`StripedStore`]: 64 KB stripes round-robined over
 //!   K per-node stores behind bounded FIFO lanes ([`IoNodePool`]),
 //!   with deterministic per-node traffic counters and timing
-//!   histograms — measured multi-I/O-node contention.
+//!   histograms — measured multi-I/O-node contention. Optional
+//!   degraded mode: rotating parity, dead-node reconstruction, hedged
+//!   reads, and an online scrubber.
+//! * [`parity`] — [`ParityLayout`]: the rotating-parity geometry and
+//!   bitwise-XOR combine the degraded mode is built on.
 //! * [`testing`] — store factories and temp-dir plumbing for
 //!   differential tests.
 
@@ -51,6 +55,7 @@ pub mod interleave;
 pub mod journal;
 pub mod layout;
 pub mod ledger;
+pub mod parity;
 pub mod profile;
 pub mod shared;
 pub mod store;
@@ -64,8 +69,9 @@ pub use checksum::{
     corrupt_error, crc64, crc64_f64s, is_corrupt, ChecksumHandle, ChecksummedStore, CorruptError,
 };
 pub use fault::{
-    fault_plan, is_crashed, raw_fault, CrashMode, CrashedError, FaultConfig, FaultHandle,
-    FaultStore,
+    fault_plan, is_crashed, is_node_down, is_node_slow, node_down, node_down_error,
+    node_slow_error, raw_fault, CrashMode, CrashedError, FaultConfig, FaultHandle, FaultStore,
+    NodeDownError, NodeFaultConfig, NodeSlowError,
 };
 pub use interleave::InterleavedGroup;
 pub use journal::{
@@ -76,12 +82,15 @@ pub use layout::{FileLayout, Region, Run, RunSummary};
 pub use ledger::{
     CauseTotal, EvictDetail, IoCause, LedgerEvent, LedgerRecorder, ProvenanceLedger, TouchTracker,
 };
+pub use parity::{xor_into, ParityLayout};
 pub use profile::{
     heatmap, sequential_stats, AccessLog, AccessRecord, ProfilingStore, SeekCdf, SeqStats,
 };
 pub use shared::SharedStore;
 pub use store::{FileStore, MemStore, Store, ELEM_BYTES};
 pub use striped::{
-    part_len, IoNodePool, NodeStats, NodeTiming, ServiceModel, StripeConfig, StripedStore,
+    part_len, CallClass, DegradedMode, HedgeConfig, IoNodePool, NodeHealth, NodeStats, NodeTiming,
+    OnlineScrubber, RepairCounter, RepairIo, ResilverReport, ScrubReport, ServiceModel,
+    StripeConfig, StripedStore,
 };
 pub use trace::{MeasuredIo, TraceHandle, TracingStore, RUN_HIST_BUCKETS};

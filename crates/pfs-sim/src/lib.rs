@@ -13,13 +13,16 @@
 //! closed-form bounds used for cross-checks and compiler cost queries;
 //! [`contention`] prices measured per-I/O-node load distributions
 //! (from the runtime's striped store layer) into makespan, speedup,
-//! and skew.
+//! and skew; [`degraded`] prices the same loads with one I/O node
+//! dead and its traffic fanned out to the K−1 survivors by parity
+//! reconstruction.
 
 #![warn(missing_docs)]
 
 pub mod analytic;
 pub mod config;
 pub mod contention;
+pub mod degraded;
 pub mod gap;
 pub mod pipeline;
 pub mod pricing;
@@ -28,6 +31,7 @@ pub mod sim;
 pub use analytic::{estimate, lower_bound, stats, WorkloadStats};
 pub use config::{ComputeParams, DiskParams, MachineConfig, PfsConfig};
 pub use contention::{price_node_loads, ContentionReport, NodeLoad};
+pub use degraded::{price_degraded, worst_case_degraded, DegradedReport};
 pub use gap::{GapCell, GapReport};
 pub use pipeline::{
     op_io_seconds, overlap_lower_bound, overlap_report, pipelined_makespan, sequential_makespan,
